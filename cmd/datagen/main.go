@@ -1,0 +1,78 @@
+// Command datagen generates the synthetic workloads of the paper to CSV:
+// projected-cluster data (axis-parallel Case 1 and arbitrarily oriented
+// Case 2), uniform noise, and the two UCI surrogates.
+//
+// Usage:
+//
+//	datagen -type case1|case2|uniform|ionosphere|segmentation
+//	        [-n 5000] [-d 20] [-clusters 5] [-subdim 6] [-seed 1]
+//	        [-o data.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/synth"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "case1", "workload: case1, case2, uniform, ionosphere, segmentation")
+		n        = flag.Int("n", 5000, "number of points (case1/case2/uniform)")
+		d        = flag.Int("d", 20, "dimensionality (uniform and custom projected)")
+		clusters = flag.Int("clusters", 5, "clusters (custom projected)")
+		subdim   = flag.Int("subdim", 6, "hidden cluster dimensionality (custom projected)")
+		domain   = flag.Float64("domain", 100, "attribute domain upper bound")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "data.csv", "output CSV path")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var (
+		ds  *dataset.Dataset
+		err error
+	)
+	switch *typ {
+	case "case1":
+		var pd *synth.ProjectedData
+		pd, err = synth.GenerateProjectedClusters(synth.ProjectedConfig{
+			N: *n, Dim: *d, Clusters: *clusters, SubspaceDim: *subdim,
+			OutlierFrac: 0.05, Domain: *domain, Spread: 2,
+		}, rng)
+		if err == nil {
+			ds = pd.Data
+		}
+	case "case2":
+		var pd *synth.ProjectedData
+		pd, err = synth.GenerateProjectedClusters(synth.ProjectedConfig{
+			N: *n, Dim: *d, Clusters: *clusters, SubspaceDim: *subdim,
+			OutlierFrac: 0.05, Domain: *domain, Spread: 2, Arbitrary: true,
+		}, rng)
+		if err == nil {
+			ds = pd.Data
+		}
+	case "uniform":
+		ds, err = synth.Uniform(*n, *d, *domain, rng)
+	case "ionosphere":
+		ds, err = synth.IonosphereLike(rng)
+	case "segmentation":
+		ds, err = synth.SegmentationLike(rng)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload type %q\n", *typ)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "generate: %v\n", err)
+		os.Exit(1)
+	}
+	if err := ds.SaveCSV(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d points × %d dims (labeled: %v)\n", *out, ds.N(), ds.Dim(), ds.Labeled())
+}

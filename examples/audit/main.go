@@ -1,0 +1,82 @@
+// Audit and replay: interactive search you can show your reviewer.
+//
+// A meaningful-neighbors verdict is only as good as the interaction that
+// produced it. This example records the full transcript of a session —
+// every view shown, every separator placed, every skip — saves it as
+// JSON, and then replays it against the same data, reproducing the
+// original result exactly. In a production setting the transcript is the
+// audit artifact: reviewers can see which projections drove the answer
+// and re-run them at will.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"innsearch"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// 2000 sensor readings in 16 dims; a 90-strong anomaly family is
+	// coherent in four of them.
+	rows := make([][]float64, 2000)
+	for i := range rows {
+		row := make([]float64, 16)
+		for j := range row {
+			if i < 90 && j < 4 {
+				row[j] = 0.7 + rng.NormFloat64()*0.01
+			} else {
+				row[j] = rng.Float64()
+			}
+		}
+		rows[i] = row
+	}
+	ds, err := innsearch.NewDataset(rows, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := ds.PointCopy(0)
+
+	// Session 1: record.
+	transcript, obs := innsearch.NewTranscript(false)
+	cfg := innsearch.Config{Support: 90, AxisParallel: true}
+	cfgRec := cfg
+	cfgRec.Observer = obs
+	sess, err := innsearch.NewSession(ds, query, innsearch.NewHeuristicUser(), cfgRec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original session: %d views shown, %d answered, meaningful=%v, natural=%d\n",
+		res.ViewsShown, res.ViewsAnswered, res.Diagnosis.Meaningful, res.Diagnosis.NaturalSize)
+
+	path := filepath.Join(os.TempDir(), "innsearch_transcript.json")
+	if err := transcript.SaveJSON(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transcript saved to", path)
+
+	// Session 2: replay — the auditor's run.
+	replay, err := innsearch.NewSession(ds, query, &innsearch.ReplayUser{Transcript: transcript}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := replay.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := len(res.Neighbors) == len(res2.Neighbors)
+	for i := 0; identical && i < len(res.Neighbors); i++ {
+		identical = res.Neighbors[i] == res2.Neighbors[i]
+	}
+	fmt.Printf("replayed session: meaningful=%v, natural=%d, result identical: %v\n",
+		res2.Diagnosis.Meaningful, res2.Diagnosis.NaturalSize, identical)
+}

@@ -1,0 +1,102 @@
+// Fraud detection: find the transactions most similar to a flagged one.
+//
+// A transaction is a 24-dimensional behavioral vector (amounts, velocity
+// features, merchant-category shares, …). Fraud rings leave coherent
+// fingerprints in a few features while everything else looks like regular
+// traffic. Starting from one flagged transaction, the interactive session
+// recovers the ring — and, just as important for an investigator, says
+// how statistically coherent the recovered group is, or reports that the
+// flagged transaction has no meaningful peer group at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"innsearch"
+)
+
+const (
+	nTransactions = 1500
+	dim           = 24
+	ringSize      = 130
+	ringDims      = 6 // features where the ring is coherent
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(13))
+
+	// Regular traffic: independent feature noise. The fraud ring shares
+	// tight values in ringDims features (same merchant pattern, same
+	// amount band, same velocity profile).
+	rows := make([][]float64, nTransactions)
+	for i := range rows {
+		row := make([]float64, dim)
+		for j := range row {
+			if i < ringSize && j < ringDims {
+				row[j] = 0.8 + rng.NormFloat64()*0.015
+			} else {
+				row[j] = rng.Float64()
+			}
+		}
+		rows[i] = row
+	}
+	ds, err := innsearch.NewDataset(rows, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flagged := 0 // the transaction an analyst flagged, part of the ring
+	query := ds.PointCopy(flagged)
+
+	fmt.Printf("portfolio: %d transactions × %d features; investigating transaction %d\n",
+		ds.N(), ds.Dim(), flagged)
+
+	sess, err := innsearch.NewSession(ds, query, innsearch.NewHeuristicUser(), innsearch.Config{
+		Support:      ringSize,
+		AxisParallel: true, // feature-level views keep the evidence interpretable
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !res.Diagnosis.Meaningful {
+		fmt.Println("verdict: the flagged transaction has NO coherent peer group —")
+		fmt.Println("         treat it as an isolated event, not a ring.")
+		return
+	}
+	nat := res.NaturalNeighbors()
+	ringHits := 0
+	for _, nb := range nat {
+		if nb.ID < ringSize {
+			ringHits++
+		}
+	}
+	fmt.Printf("verdict: coherent peer group of %d transactions (true ring size %d, recovered %d)\n",
+		len(nat), ringSize, ringHits)
+	topHits := 0
+	for i, nb := range nat {
+		if i == ringSize {
+			break
+		}
+		if nb.ID < ringSize {
+			topHits++
+		}
+	}
+	fmt.Printf("ranking quality: %d of the top %d highest-confidence peers are true ring members\n",
+		topHits, ringSize)
+	fmt.Printf("statistical coherence: top P=%.3f with a %.2f steep drop at the group boundary\n",
+		res.Diagnosis.MaxProb, res.Diagnosis.Drop)
+	fmt.Println("highest-confidence peers:")
+	for i, nb := range nat {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  txn %4d  P=%.3f\n", nb.ID, nb.Probability)
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart: the smallest end-to-end use of the innsearch public API.
+//
+// We synthesize 1000 points in 12 dimensions with a hidden 60-point
+// cluster in three of them, then run an interactive session with the
+// built-in heuristic user (a stand-in for a person at the terminal; see
+// cmd/innsearch for the real thing) and print the natural neighbors the
+// session discovers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"innsearch"
+)
+
+func main() {
+	const (
+		n        = 1000
+		dim      = 12
+		clusterN = 60
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, dim)
+		for j := range row {
+			if i < clusterN && j < 3 {
+				row[j] = 40 + rng.NormFloat64() // hidden cluster in attrs 0–2
+			} else {
+				row[j] = rng.Float64() * 100
+			}
+		}
+		rows[i] = row
+	}
+	ds, err := innsearch.NewDataset(rows, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query from inside the hidden cluster.
+	query := append([]float64(nil), rows[0]...)
+
+	sess, err := innsearch.NewSession(ds, query, innsearch.NewHeuristicUser(), innsearch.Config{
+		Support:      30,
+		AxisParallel: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("iterations: %d, views answered: %d/%d\n",
+		res.Iterations, res.ViewsAnswered, res.ViewsShown)
+	if !res.Diagnosis.Meaningful {
+		fmt.Println("verdict: no meaningful nearest neighbors in this data")
+		return
+	}
+	nat := res.NaturalNeighbors()
+	inCluster := 0
+	for _, nb := range nat {
+		if nb.ID < clusterN {
+			inCluster++
+		}
+	}
+	fmt.Printf("verdict: meaningful — natural cluster of %d neighbors (%d from the planted cluster of %d)\n",
+		len(nat), inCluster, clusterN)
+	fmt.Println("top five:")
+	for i, nb := range nat {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  row %4d  P=%.3f\n", nb.ID, nb.Probability)
+	}
+}

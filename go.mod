@@ -1,0 +1,3 @@
+module innsearch
+
+go 1.22

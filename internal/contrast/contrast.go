@@ -1,0 +1,220 @@
+// Package contrast implements the meaningfulness diagnostics from the
+// theory the paper builds on (Beyer et al., ICDT 1999; Hinneburg,
+// Aggarwal & Keim, VLDB 2000): relative distance contrast, query
+// instability, and cross-metric rank disagreement. These quantify §1.1's
+// motivation — that in high dimensions the nearest and farthest neighbors
+// converge and different metrics order the data differently — and drive
+// the dimensionality-sweep experiment.
+package contrast
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/knn"
+	"innsearch/internal/metric"
+	"innsearch/internal/stats"
+)
+
+// ErrTooFewPoints indicates a dataset too small to measure contrast.
+var ErrTooFewPoints = errors.New("contrast: need at least two points")
+
+// RelativeContrast returns (Dmax − Dmin) / Dmin for the distances from
+// query to every point of ds under m — the classic meaningfulness
+// statistic. It tends to 0 as dimensionality grows for i.i.d. data.
+// Identical points (Dmin = 0) are excluded from the minimum; if every
+// distance is zero the contrast is 0.
+func RelativeContrast(ds *dataset.Dataset, query []float64, m metric.Metric) (float64, error) {
+	if ds.N() < 2 {
+		return 0, ErrTooFewPoints
+	}
+	dists, err := knn.Distances(ds, query, m)
+	if err != nil {
+		return 0, err
+	}
+	dmin, dmax := -1.0, 0.0
+	for _, d := range dists {
+		if d == 0 {
+			continue // the query itself, or an exact duplicate
+		}
+		if dmin < 0 || d < dmin {
+			dmin = d
+		}
+		if d > dmax {
+			dmax = d
+		}
+	}
+	if dmin <= 0 {
+		return 0, nil
+	}
+	return (dmax - dmin) / dmin, nil
+}
+
+// Instability measures how precarious the nearest-neighbor answer is: the
+// fraction of the data set lying within (1+eps)·Dmin of the query. When
+// this fraction is large, a small perturbation of the query reorders the
+// answer — the paper's "unstable query" notion. eps must be positive.
+func Instability(ds *dataset.Dataset, query []float64, m metric.Metric, eps float64) (float64, error) {
+	if eps <= 0 {
+		return 0, fmt.Errorf("contrast: eps %v must be positive", eps)
+	}
+	if ds.N() < 2 {
+		return 0, ErrTooFewPoints
+	}
+	dists, err := knn.Distances(ds, query, m)
+	if err != nil {
+		return 0, err
+	}
+	dmin := -1.0
+	for _, d := range dists {
+		if d == 0 {
+			continue
+		}
+		if dmin < 0 || d < dmin {
+			dmin = d
+		}
+	}
+	if dmin <= 0 {
+		return 1, nil // everything coincides with the query: fully unstable
+	}
+	within := 0
+	total := 0
+	for _, d := range dists {
+		if d == 0 {
+			continue
+		}
+		total++
+		if d <= (1+eps)*dmin {
+			within++
+		}
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return float64(within) / float64(total), nil
+}
+
+// RankDisagreement quantifies how differently two metrics order the data
+// around the query: the mean normalized absolute difference of each
+// point's rank under the two metrics, in [0, 1]. 0 means identical
+// orderings; values near 1/3 already indicate near-independent orderings
+// (the expected value for random permutations).
+func RankDisagreement(ds *dataset.Dataset, query []float64, m1, m2 metric.Metric) (float64, error) {
+	n := ds.N()
+	if n < 2 {
+		return 0, ErrTooFewPoints
+	}
+	d1, err := knn.Distances(ds, query, m1)
+	if err != nil {
+		return 0, err
+	}
+	d2, err := knn.Distances(ds, query, m2)
+	if err != nil {
+		return 0, err
+	}
+	r1 := ranks(d1)
+	r2 := ranks(d2)
+	var sum float64
+	for i := range r1 {
+		diff := r1[i] - r2[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += float64(diff)
+	}
+	// Normalize by the maximum possible mean absolute rank difference
+	// (n/2 for reversal-like disagreement… use n−1 to bound in [0,1]).
+	return sum / float64(n) / float64(n-1), nil
+}
+
+func ranks(dists []float64) []int {
+	order := stats.ArgsortAsc(dists)
+	r := make([]int, len(dists))
+	for rank, idx := range order {
+		r[idx] = rank
+	}
+	return r
+}
+
+// SweepResult is one row of a dimensionality sweep.
+type SweepResult struct {
+	Dim              int
+	RelativeContrast float64
+	Instability      float64
+}
+
+// SweepDims measures contrast and instability on prefixes of the data's
+// dimensions, reproducing the "contrast collapses with dimensionality"
+// motivation curve. dims must be ascending and within the data's
+// dimensionality; the query is taken per-dataset row 0 unless queryRow
+// is valid.
+func SweepDims(ds *dataset.Dataset, queryRow int, dims []int, m metric.Metric, eps float64) ([]SweepResult, error) {
+	if queryRow < 0 || queryRow >= ds.N() {
+		return nil, fmt.Errorf("contrast: query row %d out of range", queryRow)
+	}
+	if !sort.IntsAreSorted(dims) {
+		return nil, errors.New("contrast: dims must be ascending")
+	}
+	out := make([]SweepResult, 0, len(dims))
+	for _, d := range dims {
+		if d < 1 || d > ds.Dim() {
+			return nil, fmt.Errorf("contrast: dim %d outside [1, %d]", d, ds.Dim())
+		}
+		attrs := make([]int, d)
+		for j := range attrs {
+			attrs[j] = j
+		}
+		sub, err := prefixDataset(ds, attrs)
+		if err != nil {
+			return nil, err
+		}
+		q := sub.PointCopy(queryRow)
+		rc, err := RelativeContrast(sub, q, m)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := Instability(sub, q, m, eps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepResult{Dim: d, RelativeContrast: rc, Instability: inst})
+	}
+	return out, nil
+}
+
+// prefixDataset extracts the given attribute columns as a new dataset.
+func prefixDataset(ds *dataset.Dataset, attrs []int) (*dataset.Dataset, error) {
+	rows := make([][]float64, ds.N())
+	for i := 0; i < ds.N(); i++ {
+		p := ds.Point(i)
+		row := make([]float64, len(attrs))
+		for j, a := range attrs {
+			row[j] = p[a]
+		}
+		rows[i] = row
+	}
+	return dataset.New(rows, nil)
+}
+
+// MetricTau returns Kendall's τ between the orderings two metrics induce
+// on the distances from query to every point of ds: 1 means the metrics
+// rank the data identically, 0 means unrelated orderings, −1 reversed.
+// In high dimensions τ between, e.g., fractional and max norms drops
+// toward 0 — the §1 observation that "the use of different distance
+// metrics can result in widely varying ordering".
+func MetricTau(ds *dataset.Dataset, query []float64, m1, m2 metric.Metric) (float64, error) {
+	if ds.N() < 2 {
+		return 0, ErrTooFewPoints
+	}
+	d1, err := knn.Distances(ds, query, m1)
+	if err != nil {
+		return 0, err
+	}
+	d2, err := knn.Distances(ds, query, m2)
+	if err != nil {
+		return 0, err
+	}
+	return stats.KendallTau(d1, d2)
+}

@@ -1,0 +1,211 @@
+package contrast
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/metric"
+)
+
+func uniformDS(t *testing.T, n, d int, seed int64) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = r.Float64()
+		}
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRelativeContrastKnown(t *testing.T) {
+	ds, err := dataset.New([][]float64{{0}, {1}, {3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query at 0: distances {0, 1, 3}; zero excluded → (3−1)/1 = 2.
+	rc, err := RelativeContrast(ds, []float64{0}, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != 2 {
+		t.Errorf("contrast = %v, want 2", rc)
+	}
+}
+
+func TestRelativeContrastDegenerate(t *testing.T) {
+	ds, _ := dataset.New([][]float64{{5}, {5}, {5}}, nil)
+	rc, err := RelativeContrast(ds, []float64{5}, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != 0 {
+		t.Errorf("all-identical contrast = %v", rc)
+	}
+	one, _ := dataset.New([][]float64{{1}}, nil)
+	if _, err := RelativeContrast(one, []float64{0}, metric.Euclidean{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("single point: %v", err)
+	}
+}
+
+func TestContrastCollapsesWithDimension(t *testing.T) {
+	// The headline motivation: contrast at d=2 far exceeds contrast at
+	// d=100 for uniform data.
+	low := uniformDS(t, 500, 2, 1)
+	high := uniformDS(t, 500, 100, 1)
+	qLow := low.PointCopy(0)
+	qHigh := high.PointCopy(0)
+	rcLow, err := RelativeContrast(low, qLow, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcHigh, err := RelativeContrast(high, qHigh, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcLow < 3*rcHigh {
+		t.Errorf("contrast low-d %v vs high-d %v: no collapse", rcLow, rcHigh)
+	}
+}
+
+func TestInstability(t *testing.T) {
+	// One very close point, the rest far: stable query.
+	ds, _ := dataset.New([][]float64{{0.01}, {10}, {11}, {12}}, nil)
+	inst, err := Instability(ds, []float64{0}, metric.Euclidean{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != 0.25 {
+		t.Errorf("stable instability = %v, want 0.25", inst)
+	}
+	// All points nearly equidistant: unstable.
+	ds2, _ := dataset.New([][]float64{{1}, {1.01}, {1.02}, {0.99}}, nil)
+	inst2, err := Instability(ds2, []float64{0}, metric.Euclidean{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2 != 1 {
+		t.Errorf("unstable instability = %v, want 1", inst2)
+	}
+	if _, err := Instability(ds, []float64{0}, metric.Euclidean{}, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestInstabilityGrowsWithDimension(t *testing.T) {
+	low := uniformDS(t, 400, 2, 3)
+	high := uniformDS(t, 400, 80, 3)
+	iLow, err := Instability(low, low.PointCopy(0), metric.Euclidean{}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iHigh, err := Instability(high, high.PointCopy(0), metric.Euclidean{}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iHigh <= iLow {
+		t.Errorf("instability low %v vs high %v: no growth", iLow, iHigh)
+	}
+}
+
+func TestRankDisagreement(t *testing.T) {
+	ds := uniformDS(t, 200, 30, 4)
+	q := ds.PointCopy(0)
+	same, err := RankDisagreement(ds, q, metric.Euclidean{}, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != 0 {
+		t.Errorf("self-disagreement = %v", same)
+	}
+	diff, err := RankDisagreement(ds, q, metric.Euclidean{}, metric.Chebyshev{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff <= 0 || diff > 1 {
+		t.Errorf("L2-vs-Linf disagreement = %v", diff)
+	}
+	// In high dimensions fractional and max metrics disagree more than
+	// L1 and L2 do.
+	frac, err := RankDisagreement(ds, q, metric.LP{P: 0.5}, metric.Chebyshev{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1l2, err := RankDisagreement(ds, q, metric.Manhattan{}, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac <= l1l2 {
+		t.Errorf("L0.5-vs-Linf %v should exceed L1-vs-L2 %v", frac, l1l2)
+	}
+}
+
+func TestSweepDims(t *testing.T) {
+	ds := uniformDS(t, 300, 50, 5)
+	res, err := SweepDims(ds, 0, []int{2, 10, 50}, metric.Euclidean{}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	if res[0].RelativeContrast <= res[2].RelativeContrast {
+		t.Errorf("sweep contrast did not fall: %v vs %v",
+			res[0].RelativeContrast, res[2].RelativeContrast)
+	}
+	if res[0].Dim != 2 || res[2].Dim != 50 {
+		t.Errorf("dims = %v", res)
+	}
+}
+
+func TestSweepDimsErrors(t *testing.T) {
+	ds := uniformDS(t, 50, 10, 6)
+	if _, err := SweepDims(ds, -1, []int{2}, metric.Euclidean{}, 0.2); err == nil {
+		t.Error("bad query row accepted")
+	}
+	if _, err := SweepDims(ds, 0, []int{5, 2}, metric.Euclidean{}, 0.2); err == nil {
+		t.Error("unsorted dims accepted")
+	}
+	if _, err := SweepDims(ds, 0, []int{0}, metric.Euclidean{}, 0.2); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := SweepDims(ds, 0, []int{99}, metric.Euclidean{}, 0.2); err == nil {
+		t.Error("oversized dim accepted")
+	}
+}
+
+func TestMetricTau(t *testing.T) {
+	ds := uniformDS(t, 150, 30, 7)
+	q := ds.PointCopy(0)
+	self, err := MetricTau(ds, q, metric.Euclidean{}, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != 1 {
+		t.Errorf("self tau = %v", self)
+	}
+	// L1 and L2 stay far more concordant than L0.5 and L∞.
+	close, err := MetricTau(ds, q, metric.Manhattan{}, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := MetricTau(ds, q, metric.LP{P: 0.5}, metric.Chebyshev{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if close <= far {
+		t.Errorf("tau(L1,L2)=%v should exceed tau(L0.5,Linf)=%v", close, far)
+	}
+	one, _ := dataset.New([][]float64{{1}}, nil)
+	if _, err := MetricTau(one, []float64{0}, metric.Euclidean{}, metric.Euclidean{}); err == nil {
+		t.Error("single point accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/linalg"
+)
+
+func benchDataset(b *testing.B, n, d int) (*dataset.Dataset, linalg.Vector) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			if i < n/10 && j < 4 {
+				row[j] = 50 + r.NormFloat64()*2
+			} else {
+				row[j] = r.Float64() * 100
+			}
+		}
+		rows[i] = row
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := make(linalg.Vector, d)
+	for j := range q {
+		q[j] = 50
+	}
+	return ds, q
+}
+
+func BenchmarkFindQueryCenteredProjection5000x20(b *testing.B) {
+	ds, q := benchDataset(b, 5000, 20)
+	cfg := ProjectionSearch{Support: 25, Graded: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindQueryCenteredProjection(ds, q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindQueryCenteredProjectionAxis5000x20(b *testing.B) {
+	ds, q := benchDataset(b, 5000, 20)
+	cfg := ProjectionSearch{Support: 25, Graded: true, AxisParallel: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindQueryCenteredProjection(ds, q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullSession2000x20(b *testing.B) {
+	ds, q := benchDataset(b, 2000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+			Support: 25, GridSize: 48, MaxMajorIterations: 2, AxisParallel: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantifyMeaningfulness(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	n := 5000
+	counts := make([]float64, n)
+	for i := range counts {
+		counts[i] = float64(r.Intn(11))
+	}
+	picks := make([]PickStats, 10)
+	for i := range picks {
+		picks[i] = PickStats{Picked: 200 + r.Intn(300), Weight: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = QuantifyMeaningfulness(counts, n, picks)
+	}
+}
+
+func BenchmarkDiagnose5000(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	probs := make([]float64, 5000)
+	for i := range probs {
+		if i < 400 {
+			probs[i] = 0.9 + 0.1*r.Float64()
+		} else {
+			probs[i] = 0.3 * r.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Diagnose(probs, DiagnosisConfig{})
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantifyMeaningfulnessCoherentUser(t *testing.T) {
+	// 10 projections, 50 of 1000 points picked each time; points 0–49
+	// picked every time, the rest never.
+	n := 1000
+	counts := make([]float64, n)
+	var picks []PickStats
+	for i := 0; i < 10; i++ {
+		picks = append(picks, PickStats{Picked: 50, Weight: 1})
+	}
+	for j := 0; j < 50; j++ {
+		counts[j] = 10
+	}
+	probs := QuantifyMeaningfulness(counts, n, picks)
+	for j := 0; j < 50; j++ {
+		if probs[j] < 0.99 {
+			t.Fatalf("coherently picked point %d has P=%v", j, probs[j])
+		}
+	}
+	for j := 50; j < n; j++ {
+		if probs[j] != 0 {
+			t.Fatalf("never-picked point %d has P=%v", j, probs[j])
+		}
+	}
+}
+
+func TestQuantifyMeaningfulnessIncoherentUser(t *testing.T) {
+	// Picks spread evenly: every point picked in about half the
+	// projections → counts near E[Y] → probabilities stay small.
+	n := 200
+	r := rand.New(rand.NewSource(1))
+	counts := make([]float64, n)
+	var picks []PickStats
+	rounds := 10
+	for i := 0; i < rounds; i++ {
+		picks = append(picks, PickStats{Picked: n / 2, Weight: 1})
+	}
+	for j := range counts {
+		// Binomial(rounds, 1/2) counts: exactly the null model.
+		for i := 0; i < rounds; i++ {
+			if r.Float64() < 0.5 {
+				counts[j]++
+			}
+		}
+	}
+	probs := QuantifyMeaningfulness(counts, n, picks)
+	high := 0
+	for _, p := range probs {
+		if p > 0.95 {
+			high++
+		}
+	}
+	if high > n/10 {
+		t.Errorf("%d of %d null points got P>0.95", high, n)
+	}
+}
+
+func TestQuantifyMeaningfulnessEdgeCases(t *testing.T) {
+	// No picks at all → all zero.
+	probs := QuantifyMeaningfulness([]float64{1, 2}, 2, nil)
+	for _, p := range probs {
+		if p != 0 {
+			t.Error("no-projection probabilities should be 0")
+		}
+	}
+	// Every projection picked everything → zero variance → all zero.
+	probs = QuantifyMeaningfulness([]float64{3, 3}, 2, []PickStats{{Picked: 2}, {Picked: 2}, {Picked: 2}})
+	for _, p := range probs {
+		if p != 0 {
+			t.Errorf("zero-variance P = %v", p)
+		}
+	}
+	// n = 0 guard.
+	probs = QuantifyMeaningfulness(nil, 0, []PickStats{{Picked: 1}})
+	if len(probs) != 0 {
+		t.Error("n=0 should return empty")
+	}
+}
+
+func TestQuantifyMeaningfulnessWeights(t *testing.T) {
+	// A point picked only in the heavily weighted projection should score
+	// higher than one picked only in the light projection.
+	n := 100
+	counts := make([]float64, n)
+	counts[0] = 5 // picked in the w=5 projection
+	counts[1] = 1 // picked in the w=1 projection
+	picks := []PickStats{
+		{Picked: 10, Weight: 5},
+		{Picked: 10, Weight: 1},
+	}
+	probs := QuantifyMeaningfulness(counts, n, picks)
+	if probs[0] <= probs[1] {
+		t.Errorf("weighted pick P=%v not above unweighted P=%v", probs[0], probs[1])
+	}
+}
+
+func TestPropertyMeaningfulnessMonotoneInCount(t *testing.T) {
+	// More picks ⇒ at least as high probability.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 10 + rr.Intn(100)
+		rounds := 1 + rr.Intn(10)
+		picks := make([]PickStats, rounds)
+		for i := range picks {
+			picks[i] = PickStats{Picked: 1 + rr.Intn(n-1), Weight: 1}
+		}
+		counts := make([]float64, n)
+		for j := range counts {
+			counts[j] = float64(rr.Intn(rounds + 1))
+		}
+		probs := QuantifyMeaningfulness(counts, n, picks)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if counts[a] > counts[b] && probs[a] < probs[b]-1e-12 {
+					return false
+				}
+			}
+		}
+		for _, p := range probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiagnoseSteepDrop(t *testing.T) {
+	// 20 points near 1, then a cliff to near 0.
+	probs := make([]float64, 500)
+	for i := range probs {
+		if i < 20 {
+			probs[i] = 0.95 + 0.002*float64(i%3)
+		} else {
+			probs[i] = 0.05
+		}
+	}
+	d := Diagnose(probs, DiagnosisConfig{})
+	if !d.Meaningful {
+		t.Fatal("clear steep drop not detected")
+	}
+	if d.NaturalSize != 20 {
+		t.Errorf("natural size = %d, want 20", d.NaturalSize)
+	}
+	if d.Threshold < 0.9 {
+		t.Errorf("threshold = %v", d.Threshold)
+	}
+	if d.MaxProb < 0.95 {
+		t.Errorf("max prob = %v", d.MaxProb)
+	}
+}
+
+func TestDiagnoseUniformNoDrop(t *testing.T) {
+	// Evenly spread small probabilities: not meaningful.
+	r := rand.New(rand.NewSource(2))
+	probs := make([]float64, 500)
+	for i := range probs {
+		probs[i] = r.Float64() * 0.4
+	}
+	d := Diagnose(probs, DiagnosisConfig{})
+	if d.Meaningful {
+		t.Errorf("uniform probabilities diagnosed meaningful: %+v", d)
+	}
+	if d.NaturalSize != 0 {
+		t.Errorf("natural size = %d for meaningless data", d.NaturalSize)
+	}
+}
+
+func TestDiagnoseHighButGradual(t *testing.T) {
+	// High max but a smooth ramp (no cliff): not meaningful.
+	probs := make([]float64, 100)
+	for i := range probs {
+		probs[i] = 1 - float64(i)*0.01
+	}
+	d := Diagnose(probs, DiagnosisConfig{})
+	if d.Meaningful {
+		t.Errorf("gradual ramp diagnosed meaningful: %+v", d)
+	}
+}
+
+func TestDiagnoseEmptyAndDefaults(t *testing.T) {
+	d := Diagnose(nil, DiagnosisConfig{})
+	if d.Meaningful || d.MaxProb != 0 {
+		t.Errorf("empty diagnosis = %+v", d)
+	}
+	// MaxNaturalFrac cap: a cliff past the cap must not count.
+	probs := make([]float64, 100)
+	for i := range probs {
+		if i < 80 {
+			probs[i] = 0.9
+		} else {
+			probs[i] = 0.1
+		}
+	}
+	d = Diagnose(probs, DiagnosisConfig{MaxNaturalFrac: 0.5})
+	if d.Meaningful {
+		t.Errorf("cliff at 80%% counted as natural cluster: %+v", d)
+	}
+}
+
+func TestDiagnoseCustomThresholds(t *testing.T) {
+	probs := []float64{0.6, 0.6, 0.2, 0.2, 0.1, 0.1, 0.05, 0.05}
+	// Default MinTopProb=0.7 rejects.
+	if Diagnose(probs, DiagnosisConfig{}).Meaningful {
+		t.Error("default config should reject max 0.6")
+	}
+	// Relaxed config accepts.
+	d := Diagnose(probs, DiagnosisConfig{MinTopProb: 0.5, MinDrop: 0.3})
+	if !d.Meaningful || d.NaturalSize != 2 {
+		t.Errorf("relaxed diagnosis = %+v", d)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/grid"
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+)
+
+// VisualProfile is everything the user sees for one query-centered
+// projection (one minor iteration): the kernel density grid over the 2-D
+// projection, the query's position and density in it, the projected data
+// coordinates (for lateral scatter plots), and the projection's
+// discrimination score.
+type VisualProfile struct {
+	// Major and Minor are 1-based iteration counters.
+	Major, Minor int
+	// Grid is the p×p kernel density estimate of the projected data.
+	Grid *kde.Grid
+	// QueryX, QueryY locate the query point in the projection.
+	QueryX, QueryY float64
+	// QueryDensity is the (bilinearly interpolated) density at the query.
+	QueryDensity float64
+	// Points holds the n×2 projected coordinates of the current data.
+	Points *linalg.Matrix
+	// IDs holds the original row ID of each row of Points.
+	IDs []int
+	// Projection is the 2-D subspace (in current session coordinates).
+	Projection *linalg.Subspace
+	// Discrimination is the query-cluster/rest variance-ratio score in
+	// [0, 1]; higher means the projection distinguishes the query
+	// cluster better (see DiscriminationScore).
+	Discrimination float64
+	// RemainingDim is the dimensionality of the session's current
+	// subspace E_c from which this projection was drawn.
+	RemainingDim int
+	// OriginalN is the size of the dataset the session started from.
+	// Points are pruned across major iterations, so judgements like
+	// "this selection covers most of the data" must anchor here rather
+	// than at len(IDs): once pruning has concentrated the data around
+	// the query, the true cluster often IS the majority of what's left.
+	OriginalN int
+}
+
+// PeakRatio returns the query density relative to the grid's maximum
+// density — a cheap measure of whether the query sits on a density peak
+// (Figure 9(a)) or in a sparse region (Figure 9(b)).
+func (p *VisualProfile) PeakRatio() float64 {
+	mx := p.Grid.MaxDensity()
+	if mx <= 0 {
+		return 0
+	}
+	return p.QueryDensity / mx
+}
+
+// Region returns the density-connected query region R(τ, Q) this profile
+// induces at noise threshold tau — the density-separated view of
+// Figure 6. Implementations of User call this (directly or through the
+// session's preview callback) while adjusting the separator.
+func (p *VisualProfile) Region(tau float64) (*grid.Region, error) {
+	return grid.FindRegion(p.Grid, p.QueryX, p.QueryY, tau)
+}
+
+// SelectAt returns the positions (rows of the current data) inside
+// R(τ, Q) at the given threshold, i.e. the user preference set a
+// threshold would produce.
+func (p *VisualProfile) SelectAt(tau float64) ([]int, error) {
+	reg, err := p.Region(tau)
+	if err != nil {
+		return nil, err
+	}
+	return reg.SelectPoints(p.Points.Col(0), p.Points.Col(1)), nil
+}
+
+// Decision is the user's answer to one visual profile: either skip the
+// projection (the paper's "arbitrarily high noise threshold"), place the
+// density separator at Tau, or — the paper's alternative interaction —
+// draw separating Lines on the lateral plot, selecting the polygonal
+// region containing the query. When Lines is non-empty it takes
+// precedence over Tau.
+type Decision struct {
+	Skip   bool
+	Tau    float64
+	Lines  []grid.Line
+	Weight float64 // 0 is treated as 1
+	// Confidence optionally grades how sure the user is of this
+	// separation, in [0, 1]. It is used only to referee ModeAuto's
+	// projection-family contest; 0 means unspecified.
+	Confidence float64
+}
+
+// SelectLines returns the positions of the current data points in the
+// same polygonal region as the query under the given separating lines.
+func (p *VisualProfile) SelectLines(lines []grid.Line) ([]int, error) {
+	return grid.PolygonSelect(p.Points.Col(0), p.Points.Col(1), p.QueryX, p.QueryY, lines)
+}
+
+// User supplies the human side of the interaction: given a visual
+// profile, position the density separator. The preview function renders
+// the density-separated view for a candidate τ (Figure 6's interactive
+// loop); it returns nil only if the query fell outside the grid, which
+// cannot happen for profiles built by the session.
+type User interface {
+	SeparateCluster(p *VisualProfile, preview func(tau float64) *grid.Region) Decision
+}
+
+// UserFunc adapts a function to the User interface.
+type UserFunc func(p *VisualProfile, preview func(tau float64) *grid.Region) Decision
+
+// SeparateCluster implements User.
+func (f UserFunc) SeparateCluster(p *VisualProfile, preview func(tau float64) *grid.Region) Decision {
+	return f(p, preview)
+}
+
+// BuildProfile projects the current data and query onto proj, estimates
+// the kernel density on a p×p grid (Figure 5), and assembles the visual
+// profile shown to the user.
+func BuildProfile(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options) (*VisualProfile, error) {
+	pts, err := proj.ProjectRows(ds.Matrix())
+	if err != nil {
+		return nil, fmt.Errorf("core: project data: %w", err)
+	}
+	qp := proj.Project(q)
+	g, err := kde.Estimate2D(pts, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: density estimate: %w", err)
+	}
+	// The grid covers the data extent plus margins; a query outside it
+	// (possible when the query is an extreme outlier) is clamped onto
+	// the boundary so the density-connectivity search stays anchored.
+	qx, qy := qp[0], qp[1]
+	if qx < g.MinX {
+		qx = g.MinX
+	}
+	if qx > g.MaxX {
+		qx = g.MaxX
+	}
+	if qy < g.MinY {
+		qy = g.MinY
+	}
+	if qy > g.MaxY {
+		qy = g.MaxY
+	}
+	return &VisualProfile{
+		Grid:           g,
+		QueryX:         qx,
+		QueryY:         qy,
+		QueryDensity:   g.InterpAt(qx, qy),
+		Points:         pts,
+		IDs:            ds.IDs(),
+		Projection:     proj,
+		Discrimination: DiscriminationScore(ds, q, proj, support),
+		RemainingDim:   ds.Dim(),
+		OriginalN:      ds.N(),
+	}, nil
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/grid"
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+	"innsearch/internal/stats"
+)
+
+// ProjectionMode selects the family of projections a session searches.
+type ProjectionMode int
+
+const (
+	// ModeArbitrary uses PCA-derived directions (the general case of
+	// §2.1) — the most powerful family on arbitrarily oriented clusters.
+	ModeArbitrary ProjectionMode = iota
+	// ModeAxis restricts projections to original attributes, the
+	// interpretable variant.
+	ModeAxis
+	// ModeAuto determines both an axis-parallel and an arbitrary
+	// candidate projection each minor iteration and shows the user
+	// whichever discriminates the query's full-space neighborhood
+	// better. This extends the paper, which supports both families but
+	// leaves the choice to configuration.
+	ModeAuto
+)
+
+// Config tunes an interactive search session. Zero values take documented
+// defaults.
+type Config struct {
+	// Support is s, the number of points to retrieve and the candidate
+	// cluster size during projection search. Per §2 of the paper it is
+	// raised to the data dimensionality when smaller, and clamped to N.
+	Support int
+	// Mode selects the projection family (arbitrary by default; see
+	// ProjectionMode). The legacy AxisParallel flag forces ModeAxis when
+	// Mode is left at its zero value.
+	Mode ProjectionMode
+	// AxisParallel restricts projections to original attributes.
+	// Deprecated: set Mode to ModeAxis instead; kept because the zero
+	// Config must stay meaningful.
+	AxisParallel bool
+	// StageSupportFactor floors each projection-search stage's candidate
+	// cluster at factor·dim points (default 5; 1 = the paper's literal
+	// pseudocode). See ProjectionSearch.StageFactor.
+	StageSupportFactor int
+	// Graded enables gradual subspace halving (default). Setting
+	// DisableGrading turns it off for ablation.
+	DisableGrading bool
+	// GridSize is the density grid resolution p (default 48).
+	GridSize int
+	// BandwidthScale multiplies the Silverman bandwidths (default 1).
+	BandwidthScale float64
+	// MaxMajorIterations caps the outer loop (default 8).
+	MaxMajorIterations int
+	// MinMajorIterations is the minimum number of major iterations before
+	// the termination test may fire (default 2).
+	MinMajorIterations int
+	// OverlapThreshold is t: the session terminates once the top-s sets
+	// of two successive major iterations overlap by at least this
+	// fraction (default 0.9).
+	OverlapThreshold float64
+	// Diagnosis tunes the steep-drop analysis.
+	Diagnosis DiagnosisConfig
+	// Observer, when non-nil, receives progress callbacks.
+	Observer Observer
+}
+
+func (c Config) withDefaults(n, d int) Config {
+	if c.Mode == ModeArbitrary && c.AxisParallel {
+		c.Mode = ModeAxis
+	}
+	if c.Support <= 0 {
+		c.Support = d
+	}
+	if c.Support < d {
+		c.Support = d
+	}
+	if c.Support > n {
+		c.Support = n
+	}
+	if c.GridSize == 0 {
+		c.GridSize = 48
+	}
+	if c.BandwidthScale == 0 {
+		c.BandwidthScale = 1
+	}
+	if c.MaxMajorIterations == 0 {
+		c.MaxMajorIterations = 8
+	}
+	if c.MinMajorIterations == 0 {
+		c.MinMajorIterations = 2
+	}
+	if c.OverlapThreshold == 0 {
+		c.OverlapThreshold = 0.9
+	}
+	return c
+}
+
+// Observer receives progress callbacks from a session. Either hook may be
+// nil.
+type Observer struct {
+	// OnProfile fires after each minor iteration with the profile shown,
+	// the user's decision, and the original IDs of the picked points.
+	OnProfile func(p *VisualProfile, d Decision, pickedIDs []int)
+	// OnMajorIteration fires after each major iteration with the
+	// iteration number (1-based) and the running mean meaningfulness
+	// probability per original ID.
+	OnMajorIteration func(iter int, probs map[int]float64)
+}
+
+// Neighbor is one entry of the final answer: an original dataset row and
+// its meaningfulness probability.
+type Neighbor struct {
+	ID          int
+	Probability float64
+}
+
+// Result summarizes a completed session.
+type Result struct {
+	// Neighbors holds the s points with the highest meaningfulness
+	// probability, in descending order.
+	Neighbors []Neighbor
+	// Probabilities maps every original row ID that survived at least
+	// one iteration to its final (iteration-averaged) meaningfulness
+	// probability. Rows removed early keep the average over the
+	// iterations they participated in.
+	Probabilities map[int]float64
+	// Iterations is the number of major iterations executed.
+	Iterations int
+	// Converged reports whether the top-s overlap test triggered
+	// termination (as opposed to the iteration cap).
+	Converged bool
+	// ViewsShown and ViewsAnswered count the minor iterations presented
+	// to the user and those the user answered with a density separator
+	// (rather than skipping). A low answered fraction is itself strong
+	// evidence that the data supports no meaningful search (§4.2).
+	ViewsShown, ViewsAnswered int
+	// Diagnosis is the steep-drop verdict on the final probabilities.
+	Diagnosis Diagnosis
+}
+
+// NaturalNeighbors returns the neighbors above the diagnosed steep drop —
+// the "natural" query cluster of §4.1 — or nil when the search was
+// diagnosed as not meaningful.
+func (r *Result) NaturalNeighbors() []Neighbor {
+	if !r.Diagnosis.Meaningful {
+		return nil
+	}
+	ranked := rankProbabilities(r.Probabilities)
+	if r.Diagnosis.NaturalSize < len(ranked) {
+		ranked = ranked[:r.Diagnosis.NaturalSize]
+	}
+	return ranked
+}
+
+// Session runs the interactive nearest-neighbor loop of Figure 2 against
+// a dataset and a single user.
+type Session struct {
+	cfg   Config
+	user  User
+	data  *dataset.Dataset // current D (shrinks across major iterations)
+	query linalg.Vector    // ambient query
+
+	// probSum accumulates Σ pᵢⱼ per original ID; probIters counts the
+	// major iterations each ID participated in.
+	probSum   map[int]float64
+	probIters map[int]int
+	iter      int
+	originalN int
+
+	viewsShown    int
+	viewsAnswered int
+
+	prevTop   []int
+	converged bool
+	finished  bool
+
+	// autoChoice is ModeAuto's family pick for the current major
+	// iteration (set at the first minor iteration, reused afterwards):
+	// one arbitrary view re-coordinatizes the complement into mixtures
+	// and destroys axis semantics for every later view of the iteration,
+	// so the family must be chosen once per sweep, where both candidates
+	// are cleanest.
+	autoChoice ProjectionMode
+}
+
+// NewSession validates the inputs and prepares a session. The dataset is
+// cloned, so the caller's copy is never mutated.
+func NewSession(ds *dataset.Dataset, query []float64, user User, cfg Config) (*Session, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if ds.Dim() < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 dimensions", ErrDegenerateData)
+	}
+	if len(query) != ds.Dim() {
+		return nil, fmt.Errorf("core: query dim %d, data dim %d", len(query), ds.Dim())
+	}
+	if !linalg.Vector(query).IsFinite() {
+		return nil, errors.New("core: query has non-finite coordinates")
+	}
+	if user == nil {
+		return nil, errors.New("core: nil user")
+	}
+	return &Session{
+		cfg:       cfg.withDefaults(ds.N(), ds.Dim()),
+		user:      user,
+		data:      ds.Clone(),
+		query:     linalg.Vector(query).Clone(),
+		probSum:   make(map[int]float64),
+		probIters: make(map[int]int),
+		originalN: ds.N(),
+	}, nil
+}
+
+// Run executes major iterations until the termination criterion fires or
+// the iteration cap is reached, then returns the ranked result.
+func (s *Session) Run() (*Result, error) {
+	for {
+		done, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return s.Result(), nil
+		}
+	}
+}
+
+// Step executes one major iteration — a full sweep of d/2 orthogonal
+// projections plus the meaningfulness update — and reports whether the
+// session has terminated (by convergence of the top-s set, by the
+// iteration cap, or because the data has shrunk below usability). Hosts
+// that want control between sweeps (progress UIs, budget checks) can call
+// Step in their own loop and read Result at any point.
+func (s *Session) Step() (done bool, err error) {
+	if s.finished {
+		return true, nil
+	}
+	if err := s.runMajorIteration(); err != nil {
+		return false, err
+	}
+	top := s.topIDs(s.cfg.Support)
+	if s.iter >= s.cfg.MinMajorIterations && s.prevTop != nil &&
+		stats.Overlap(s.prevTop, top) >= s.cfg.OverlapThreshold {
+		s.converged = true
+		s.finished = true
+		return true, nil
+	}
+	s.prevTop = top
+	if s.iter >= s.cfg.MaxMajorIterations || s.data.N() < 2 || s.data.Dim() < 2 {
+		s.finished = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// Result ranks the current meaningfulness probabilities and diagnoses
+// them. It may be called after any Step (or after Run, which calls it on
+// termination); calling it mid-session yields the verdict as of the
+// completed iterations.
+func (s *Session) Result() *Result {
+	return s.finish(s.converged)
+}
+
+// runMajorIteration performs one sweep of ⌊d/2⌋ mutually orthogonal
+// projections, quantifies the user's coherence, and removes never-picked
+// points.
+func (s *Session) runMajorIteration() error {
+	s.iter++
+	d := s.data.Dim()
+	n := s.data.N()
+
+	// Current data and query in the shrinking coordinate system E_c.
+	dc := s.data
+	qc := s.query.Clone()
+
+	counts := make([]float64, n) // by position in s.data
+	var picks []PickStats
+	psearch := ProjectionSearch{
+		Support:     min(s.cfg.Support, n),
+		Graded:      !s.cfg.DisableGrading,
+		StageFactor: s.cfg.StageSupportFactor,
+	}
+
+	for minor := 1; minor <= d/2; minor++ {
+		if dc.Dim() < 2 || dc.N() < 2 {
+			break
+		}
+		profile, decision, err := s.presentView(dc, qc, psearch, minor)
+		if err != nil {
+			return fmt.Errorf("core: major %d minor %d: %w", s.iter, minor, err)
+		}
+		proj := profile.Projection
+
+		s.viewsShown++
+		var pickedIDs []int
+		if !decision.Skip {
+			s.viewsAnswered++
+			var positions []int
+			if len(decision.Lines) > 0 {
+				positions, err = profile.SelectLines(decision.Lines)
+				if err != nil {
+					return fmt.Errorf("core: polygonal selection: %w", err)
+				}
+			} else {
+				positions, err = profile.SelectAt(decision.Tau)
+				if err != nil {
+					return fmt.Errorf("core: select at τ=%v: %w", decision.Tau, err)
+				}
+			}
+			w := decision.Weight
+			if w == 0 {
+				w = 1
+			}
+			for _, pos := range positions {
+				counts[pos] += w
+				pickedIDs = append(pickedIDs, dc.ID(pos))
+			}
+			picks = append(picks, PickStats{Picked: len(positions), Weight: w})
+		} else {
+			picks = append(picks, PickStats{Picked: 0, Weight: 1})
+		}
+
+		if s.cfg.Observer.OnProfile != nil {
+			s.cfg.Observer.OnProfile(profile, decision, pickedIDs)
+		}
+
+		if dc.Dim() == 2 {
+			break // the whole space has been shown
+		}
+		complement, err := proj.Complement(linalg.FullSpace(dc.Dim()))
+		if err != nil {
+			return fmt.Errorf("core: complement: %w", err)
+		}
+		dc, err = dc.ProjectInto(complement)
+		if err != nil {
+			return fmt.Errorf("core: reproject data: %w", err)
+		}
+		qc = complement.Project(qc)
+	}
+
+	probs := QuantifyMeaningfulness(counts, n, picks)
+	for pos, p := range probs {
+		id := s.data.ID(pos)
+		s.probSum[id] += p
+		s.probIters[id]++
+	}
+	if s.cfg.Observer.OnMajorIteration != nil {
+		s.cfg.Observer.OnMajorIteration(s.iter, s.meanProbs())
+	}
+
+	// Remove points never picked this iteration — unless nothing was
+	// picked at all (the user skipped everything), which carries no
+	// information about any individual point.
+	totalPicked := 0
+	for _, p := range picks {
+		totalPicked += p.Picked
+	}
+	if totalPicked > 0 {
+		var keep []int
+		for pos := range counts {
+			if counts[pos] > 0 {
+				keep = append(keep, pos)
+			}
+		}
+		if len(keep) >= 2 {
+			kept, err := s.data.Subset(keep)
+			if err != nil {
+				return fmt.Errorf("core: prune: %w", err)
+			}
+			s.data = kept
+		}
+	}
+	return nil
+}
+
+// presentView determines the next query-centered projection per the
+// session's mode, builds its visual profile, and collects the user's
+// decision.
+//
+// In ModeAuto the choice between projection families is made by the user
+// on the first view of each major iteration: the interpretable
+// axis-parallel view is shown first and, if the user skips it, the
+// arbitrary view is offered; whichever family the user answers drives the
+// rest of the sweep (one arbitrary view re-coordinatizes the complement
+// into mixtures, destroying axis semantics for later views, so the family
+// cannot change mid-iteration). Automating this contest is a trap — every
+// tightness-style statistic is optimistically biased toward the more
+// expressive arbitrary family — and judging views is exactly what the
+// paper keeps the human for.
+func (s *Session) presentView(dc *dataset.Dataset, qc linalg.Vector, psearch ProjectionSearch, minor int) (*VisualProfile, Decision, error) {
+	var families []bool // axis-parallel?
+	switch {
+	case s.cfg.Mode == ModeAxis:
+		families = []bool{true}
+	case s.cfg.Mode == ModeArbitrary:
+		families = []bool{false}
+	case minor == 1: // ModeAuto, family contest
+		families = []bool{true, false}
+	default: // ModeAuto, family locked for this sweep
+		families = []bool{s.autoChoice == ModeAxis}
+	}
+
+	type candidate struct {
+		profile  *VisualProfile
+		decision Decision
+		axis     bool
+	}
+	var cands []candidate
+	for _, axis := range families {
+		psearch.AxisParallel = axis
+		proj, err := FindQueryCenteredProjection(dc, qc, psearch)
+		if err != nil {
+			if len(families) > 1 {
+				continue // the other family may still work
+			}
+			return nil, Decision{}, err
+		}
+		profile, err := BuildProfile(dc, qc, proj, psearch.Support, kde.Options{
+			GridSize:       s.cfg.GridSize,
+			BandwidthScale: s.cfg.BandwidthScale,
+		})
+		if err != nil {
+			return nil, Decision{}, err
+		}
+		profile.Major = s.iter
+		profile.Minor = minor
+		profile.OriginalN = s.originalN
+		decision := s.user.SeparateCluster(profile, func(tau float64) *grid.Region {
+			reg, err := profile.Region(tau)
+			if err != nil {
+				return nil
+			}
+			return reg
+		})
+		cands = append(cands, candidate{profile, decision, axis})
+	}
+	if len(cands) == 0 {
+		return nil, Decision{}, fmt.Errorf("core: no projection family usable")
+	}
+	// Contest refereeing (only ever more than one candidate in ModeAuto's
+	// first minor iteration): an answered view beats a skipped one;
+	// between two answered views the higher user confidence wins; the
+	// interpretable axis family wins ties.
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		b, c := cands[best], cands[i]
+		switch {
+		case b.decision.Skip && !c.decision.Skip:
+			best = i
+		case !b.decision.Skip && !c.decision.Skip &&
+			c.decision.Confidence > b.decision.Confidence:
+			best = i
+		}
+	}
+	if s.cfg.Mode == ModeAuto && minor == 1 {
+		if cands[best].axis {
+			s.autoChoice = ModeAxis
+		} else {
+			s.autoChoice = ModeArbitrary
+		}
+	}
+	return cands[best].profile, cands[best].decision, nil
+}
+
+// meanProbs returns the per-ID mean meaningfulness probability so far.
+func (s *Session) meanProbs() map[int]float64 {
+	out := make(map[int]float64, len(s.probSum))
+	for id, sum := range s.probSum {
+		out[id] = sum / float64(s.probIters[id])
+	}
+	return out
+}
+
+// topIDs returns the k IDs with the highest mean probability.
+func (s *Session) topIDs(k int) []int {
+	ranked := rankProbabilities(s.meanProbs())
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ranked[i].ID
+	}
+	return out
+}
+
+func (s *Session) finish(converged bool) *Result {
+	probs := s.meanProbs()
+	ranked := rankProbabilities(probs)
+	k := s.cfg.Support
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	values := make([]float64, len(ranked))
+	for i, nb := range ranked {
+		values[i] = nb.Probability
+	}
+	diag := Diagnose(values, s.cfg.Diagnosis)
+	// A user who skipped nearly every view has declared the data
+	// undiagnosable by inspection; the probability profile alone (often
+	// just the query's own trivial coherence) must not override that.
+	minAnswered := s.cfg.Diagnosis.withDefaults().MinAnsweredFrac
+	if s.viewsShown > 0 && float64(s.viewsAnswered) < minAnswered*float64(s.viewsShown) {
+		diag.Meaningful = false
+		diag.NaturalSize = 0
+		diag.Threshold = 0
+	}
+	return &Result{
+		Neighbors:     ranked[:k],
+		Probabilities: probs,
+		Iterations:    s.iter,
+		Converged:     converged,
+		Diagnosis:     diag,
+		ViewsShown:    s.viewsShown,
+		ViewsAnswered: s.viewsAnswered,
+	}
+}
+
+// rankProbabilities sorts (ID, probability) pairs by descending
+// probability with ascending-ID tie-breaks.
+func rankProbabilities(probs map[int]float64) []Neighbor {
+	ids := make([]int, 0, len(probs))
+	for id := range probs {
+		ids = append(ids, id)
+	}
+	// Deterministic order before ranking.
+	sort.Ints(ids)
+	vals := make([]float64, len(ids))
+	for i, id := range ids {
+		vals[i] = probs[id]
+	}
+	order := stats.ArgsortDesc(vals)
+	out := make([]Neighbor, len(ids))
+	for rank, idx := range order {
+		out[rank] = Neighbor{ID: ids[idx], Probability: vals[idx]}
+	}
+	return out
+}

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/grid"
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+)
+
+// alwaysTauUser places the separator at a fixed fraction of the profile's
+// max density.
+func alwaysTauUser(frac float64) UserFunc {
+	return func(p *VisualProfile, preview func(tau float64) *grid.Region) Decision {
+		return Decision{Tau: frac * p.Grid.MaxDensity()}
+	}
+}
+
+func skipUser() UserFunc {
+	return func(*VisualProfile, func(tau float64) *grid.Region) Decision {
+		return Decision{Skip: true}
+	}
+}
+
+// clusteredDataset builds n points in d dims, the first clusterN of which
+// form a tight cluster in dims {0,1,2} around (5,5,5); all other
+// coordinates are uniform in [0,10].
+func clusteredDataset(t testing.TB, n, clusterN, d int, seed int64) (*dataset.Dataset, []float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			if i < clusterN && j < 3 {
+				row[j] = 5 + r.NormFloat64()*0.15
+			} else {
+				row[j] = r.Float64() * 10
+			}
+		}
+		rows[i] = row
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, d)
+	q[0], q[1], q[2] = 5, 5, 5
+	for j := 3; j < d; j++ {
+		q[j] = 5
+	}
+	return ds, q
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	ds, q := clusteredDataset(t, 50, 10, 4, 1)
+	if _, err := NewSession(nil, q, skipUser(), Config{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := NewSession(ds, q[:2], skipUser(), Config{}); err == nil {
+		t.Error("query dim mismatch accepted")
+	}
+	if _, err := NewSession(ds, q, nil, Config{}); err == nil {
+		t.Error("nil user accepted")
+	}
+	bad := append([]float64(nil), q...)
+	bad[0] = math.NaN()
+	if _, err := NewSession(ds, bad, skipUser(), Config{}); err == nil {
+		t.Error("NaN query accepted")
+	}
+	oneD, _ := dataset.New([][]float64{{1}, {2}}, nil)
+	if _, err := NewSession(oneD, []float64{1}, skipUser(), Config{}); err == nil {
+		t.Error("1-D data accepted")
+	}
+}
+
+func TestSessionDoesNotMutateInput(t *testing.T) {
+	ds, q := clusteredDataset(t, 100, 20, 4, 2)
+	before := ds.Point(0).Clone()
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{MaxMajorIterations: 1, GridSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Point(0).ApproxEqual(before, 0) {
+		t.Error("session mutated the caller's dataset")
+	}
+}
+
+func TestSessionFindsPlantedCluster(t *testing.T) {
+	ds, q := clusteredDataset(t, 800, 60, 8, 3)
+	s, err := NewSession(ds, q, alwaysTauUser(0.25), Config{
+		Support:            40,
+		GridSize:           32,
+		MaxMajorIterations: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 || len(res.Neighbors) == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	// The top neighbors should be dominated by planted cluster members
+	// (IDs < 60).
+	top := res.Neighbors
+	if len(top) > 30 {
+		top = top[:30]
+	}
+	hits := 0
+	for _, nb := range top {
+		if nb.ID < 60 {
+			hits++
+		}
+	}
+	if hits < 24 {
+		t.Errorf("only %d/%d top neighbors from planted cluster", hits, len(top))
+	}
+	// Neighbors sorted by descending probability.
+	for i := 1; i < len(res.Neighbors); i++ {
+		if res.Neighbors[i].Probability > res.Neighbors[i-1].Probability+1e-12 {
+			t.Fatal("neighbors not sorted by probability")
+		}
+	}
+}
+
+func TestSessionAllSkipsTerminates(t *testing.T) {
+	ds, q := clusteredDataset(t, 200, 30, 6, 4)
+	s, err := NewSession(ds, q, skipUser(), Config{MaxMajorIterations: 3, GridSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing picked: all probabilities zero, diagnosis not meaningful.
+	for _, nb := range res.Neighbors {
+		if nb.Probability != 0 {
+			t.Errorf("skip-only session produced P=%v", nb.Probability)
+		}
+	}
+	if res.Diagnosis.Meaningful {
+		t.Error("skip-only session diagnosed meaningful")
+	}
+}
+
+func TestSessionObserverCallbacks(t *testing.T) {
+	ds, q := clusteredDataset(t, 300, 40, 6, 5)
+	var profiles, majors int
+	var lastMinorDims []int
+	cfg := Config{
+		Support:            30,
+		GridSize:           16,
+		MaxMajorIterations: 1,
+		Observer: Observer{
+			OnProfile: func(p *VisualProfile, d Decision, picked []int) {
+				profiles++
+				lastMinorDims = append(lastMinorDims, p.RemainingDim)
+				if p.Major != 1 {
+					t.Errorf("major = %d", p.Major)
+				}
+				if p.Minor != profiles {
+					t.Errorf("minor = %d, want %d", p.Minor, profiles)
+				}
+			},
+			OnMajorIteration: func(iter int, probs map[int]float64) {
+				majors++
+				if len(probs) != 300 {
+					t.Errorf("probs for %d points, want 300", len(probs))
+				}
+			},
+		},
+	}
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if profiles != 3 { // d=6 → d/2 = 3 minor iterations
+		t.Errorf("profiles = %d, want 3", profiles)
+	}
+	if majors != 1 {
+		t.Errorf("majors = %d, want 1", majors)
+	}
+	// The remaining dimensionality shrinks by 2 per minor iteration.
+	want := []int{6, 4, 2}
+	for i, dim := range lastMinorDims {
+		if dim != want[i] {
+			t.Errorf("minor %d remaining dim = %d, want %d", i+1, dim, want[i])
+		}
+	}
+}
+
+func TestSessionProjectionsMutuallyOrthogonal(t *testing.T) {
+	// Capture the ambient-space projection planes across minor iterations
+	// and verify orthogonality. Reconstructing ambient directions from
+	// the session's shrinking coordinates needs the chain of complements,
+	// so instead verify the structural invariant the recoordinatization
+	// guarantees: the dimension drops 2 per minor iteration and each
+	// profile's projection is 2-D within the current space.
+	ds, q := clusteredDataset(t, 200, 30, 8, 6)
+	var dims []int
+	cfg := Config{
+		Support: 20, GridSize: 16, MaxMajorIterations: 1,
+		Observer: Observer{OnProfile: func(p *VisualProfile, d Decision, picked []int) {
+			dims = append(dims, p.Projection.Dim(), p.Projection.Ambient())
+		}},
+	}
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantAmbient := []int{8, 6, 4, 2}
+	for i := 0; i*2 < len(dims); i++ {
+		if dims[i*2] != 2 {
+			t.Errorf("projection %d dim = %d", i, dims[i*2])
+		}
+		if dims[i*2+1] != wantAmbient[i] {
+			t.Errorf("projection %d ambient = %d, want %d", i, dims[i*2+1], wantAmbient[i])
+		}
+	}
+}
+
+func TestSessionConvergesAndStops(t *testing.T) {
+	ds, q := clusteredDataset(t, 400, 50, 6, 7)
+	s, err := NewSession(ds, q, alwaysTauUser(0.25), Config{
+		Support:            30,
+		GridSize:           24,
+		MaxMajorIterations: 6,
+		OverlapThreshold:   0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged && res.Iterations == 6 {
+		t.Log("session used all iterations without convergence (acceptable but unusual)")
+	}
+	if res.Converged && res.Iterations < 2 {
+		t.Errorf("converged after %d iterations, min is 2", res.Iterations)
+	}
+}
+
+func TestSessionPrunesNeverPickedPoints(t *testing.T) {
+	ds, q := clusteredDataset(t, 300, 40, 6, 8)
+	pickedLastMajor := map[int]bool{}
+	var dataSizeSecondIter int
+	iter := 0
+	cfg := Config{
+		Support: 30, GridSize: 24, MaxMajorIterations: 2, MinMajorIterations: 2,
+		OverlapThreshold: 1.01, // never converge; force both iterations
+		Observer: Observer{
+			OnProfile: func(p *VisualProfile, d Decision, picked []int) {
+				if iter == 1 && p.Minor == 1 {
+					dataSizeSecondIter = len(p.IDs)
+				}
+				if iter == 0 {
+					for _, id := range picked {
+						pickedLastMajor[id] = true
+					}
+				}
+			},
+			OnMajorIteration: func(i int, probs map[int]float64) { iter = i },
+		},
+	}
+	s, err := NewSession(ds, q, alwaysTauUser(0.25), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dataSizeSecondIter == 0 {
+		t.Skip("session ended before second iteration")
+	}
+	if dataSizeSecondIter != len(pickedLastMajor) {
+		t.Errorf("second iteration has %d points, want %d (the ever-picked set)",
+			dataSizeSecondIter, len(pickedLastMajor))
+	}
+}
+
+func TestBuildProfileQueryOutsideGridClamped(t *testing.T) {
+	ds, _ := clusteredDataset(t, 100, 20, 4, 9)
+	// An extreme query far outside the data.
+	q := linalg.Vector{1e6, 1e6, 1e6, 1e6}
+	proj, err := linalg.AxisSubspace(4, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProfile(ds, q, proj, 10, kde.Options{GridSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.QueryX > p.Grid.MaxX || p.QueryY > p.Grid.MaxY {
+		t.Error("query not clamped onto grid")
+	}
+	if _, err := p.Region(0.1); err != nil {
+		t.Errorf("region after clamping: %v", err)
+	}
+}
+
+func TestProfilePeakRatio(t *testing.T) {
+	ds, q := clusteredDataset(t, 400, 80, 4, 10)
+	clusterProj, _ := linalg.AxisSubspace(4, []int{0, 1})
+	p, err := BuildProfile(ds, linalg.Vector(q), clusterProj, 40, kde.Options{GridSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakRatio() < 0.5 {
+		t.Errorf("query on cluster peak has ratio %v", p.PeakRatio())
+	}
+}
+
+func TestResultNaturalNeighbors(t *testing.T) {
+	res := &Result{
+		Probabilities: map[int]float64{1: 0.95, 2: 0.93, 3: 0.1, 4: 0.05},
+		Diagnosis:     Diagnosis{Meaningful: true, NaturalSize: 2},
+	}
+	nat := res.NaturalNeighbors()
+	if len(nat) != 2 || nat[0].ID != 1 || nat[1].ID != 2 {
+		t.Errorf("natural = %+v", nat)
+	}
+	res.Diagnosis.Meaningful = false
+	if res.NaturalNeighbors() != nil {
+		t.Error("non-meaningful result returned natural neighbors")
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	// Two identical sessions must produce identical results — the system
+	// has no hidden randomness.
+	ds, q := clusteredDataset(t, 400, 60, 8, 77)
+	run := func() *Result {
+		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+			Support: 30, GridSize: 24, MaxMajorIterations: 2, AxisParallel: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Neighbors) != len(b.Neighbors) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Neighbors), len(b.Neighbors))
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, a.Neighbors[i], b.Neighbors[i])
+		}
+	}
+	if a.Diagnosis != b.Diagnosis {
+		t.Errorf("diagnosis differs: %+v vs %+v", a.Diagnosis, b.Diagnosis)
+	}
+}
+
+func TestZScoreCanonicalizesScale(t *testing.T) {
+	// The session itself is scale-sensitive (candidate selection during
+	// the projection refinement uses distances), which is why real data
+	// should be normalized first. Z-scoring is an exact canonicalizer:
+	// z(x·s) = z(x) per attribute, so sessions over z-scored originals
+	// and z-scored rescalings must agree bit for bit.
+	ds, q := clusteredDataset(t, 400, 60, 6, 91)
+	scales := []float64{1000, 0.001, 7, 1, 42, 0.5}
+	scaledRows := make([][]float64, ds.N())
+	for i := range scaledRows {
+		row := make([]float64, ds.Dim())
+		for j, x := range ds.Point(i) {
+			row[j] = x * scales[j]
+		}
+		scaledRows[i] = row
+	}
+	scaled, err := dataset.New(scaledRows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qScaled := make([]float64, len(q))
+	for j := range q {
+		qScaled[j] = q[j] * scales[j]
+	}
+
+	run := func(d *dataset.Dataset, query []float64) []Neighbor {
+		dd := d.Clone()
+		tr := dd.NormalizeZScore()
+		qq := tr.Applied(query)
+		s, err := NewSession(dd, qq, alwaysTauUser(0.3), Config{
+			Support: 30, GridSize: 24, MaxMajorIterations: 2, AxisParallel: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Neighbors
+	}
+	a := run(ds, q)
+	b := run(scaled, qScaled)
+	if len(a) != len(b) {
+		t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("rank %d differs after z-scoring: %d vs %d", i, a[i].ID, b[i].ID)
+		}
+	}
+}
+
+func TestSessionStepAPI(t *testing.T) {
+	ds, q := clusteredDataset(t, 300, 40, 6, 92)
+	cfg := Config{Support: 30, GridSize: 16, MaxMajorIterations: 3,
+		MinMajorIterations: 3, OverlapThreshold: 1.01, AxisParallel: true}
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		// Mid-session results are available.
+		if r := s.Result(); r.Iterations != steps {
+			t.Fatalf("mid-session iterations = %d after %d steps", r.Iterations, steps)
+		}
+		if done {
+			break
+		}
+		if steps > 10 {
+			t.Fatal("runaway session")
+		}
+	}
+	if steps != 3 {
+		t.Errorf("steps = %d, want 3 (cap)", steps)
+	}
+	// Further steps are no-ops.
+	done, err := s.Step()
+	if err != nil || !done {
+		t.Errorf("post-termination Step = %v, %v", done, err)
+	}
+	if s.Result().Iterations != 3 {
+		t.Errorf("iterations grew after termination")
+	}
+}
+
+func TestSessionStepMatchesRun(t *testing.T) {
+	ds, q := clusteredDataset(t, 300, 40, 6, 93)
+	cfg := Config{Support: 30, GridSize: 16, MaxMajorIterations: 3, AxisParallel: true}
+	s1, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		done, err := s2.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	r2 := s2.Result()
+	if len(r1.Neighbors) != len(r2.Neighbors) || r1.Iterations != r2.Iterations {
+		t.Fatalf("step/run mismatch: %d/%d vs %d/%d",
+			len(r1.Neighbors), r1.Iterations, len(r2.Neighbors), r2.Iterations)
+	}
+	for i := range r1.Neighbors {
+		if r1.Neighbors[i] != r2.Neighbors[i] {
+			t.Fatalf("rank %d differs", i)
+		}
+	}
+}

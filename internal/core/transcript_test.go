@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestTranscriptRecordsSession(t *testing.T) {
+	ds, q := clusteredDataset(t, 300, 40, 6, 41)
+	tr, obs := NewTranscript(true)
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+		Support: 30, GridSize: 16, MaxMajorIterations: 2, AxisParallel: true,
+		Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Views) != res.ViewsShown {
+		t.Fatalf("transcript has %d views, session showed %d", len(tr.Views), res.ViewsShown)
+	}
+	if tr.Iterations != res.Iterations {
+		t.Errorf("transcript iterations %d, session %d", tr.Iterations, res.Iterations)
+	}
+	answered := 0
+	for _, v := range tr.Views {
+		if !v.Skipped {
+			answered++
+			if v.Tau <= 0 {
+				t.Errorf("answered view without τ: %+v", v)
+			}
+			if v.PickedCount != len(v.PickedIDs) {
+				t.Errorf("picked count %d vs ids %d", v.PickedCount, len(v.PickedIDs))
+			}
+		}
+	}
+	if answered != res.ViewsAnswered {
+		t.Errorf("transcript answered %d, session %d", answered, res.ViewsAnswered)
+	}
+}
+
+func TestTranscriptJSONRoundTrip(t *testing.T) {
+	ds, q := clusteredDataset(t, 200, 30, 4, 42)
+	tr, obs := NewTranscript(false)
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+		Support: 20, GridSize: 16, MaxMajorIterations: 1, AxisParallel: true, Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTranscript(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Views) != len(tr.Views) {
+		t.Fatalf("round trip views %d, want %d", len(back.Views), len(tr.Views))
+	}
+	for i := range back.Views {
+		a, b := back.Views[i], tr.Views[i]
+		if a.Major != b.Major || a.Minor != b.Minor || a.Skipped != b.Skipped ||
+			a.Tau != b.Tau || a.PickedCount != b.PickedCount || a.DataSize != b.DataSize {
+			t.Fatalf("view %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	// Without keepPickedIDs, no IDs are stored.
+	for _, v := range back.Views {
+		if len(v.PickedIDs) != 0 {
+			t.Error("picked IDs stored despite keepPickedIDs=false")
+		}
+	}
+	// File round trip.
+	path := filepath.Join(t.TempDir(), "tr.json")
+	if err := tr.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranscriptReplayReproducesSession(t *testing.T) {
+	ds, q := clusteredDataset(t, 400, 50, 6, 43)
+	tr, obs := NewTranscript(false)
+	cfg := Config{Support: 30, GridSize: 16, MaxMajorIterations: 2, AxisParallel: true}
+	cfgRec := cfg
+	cfgRec.Observer = obs
+	s1, err := NewSession(ds, q, alwaysTauUser(0.3), cfgRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewSession(ds, q, &ReplayUser{Transcript: tr}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Neighbors) != len(res2.Neighbors) {
+		t.Fatalf("replay produced %d neighbors, original %d", len(res2.Neighbors), len(res1.Neighbors))
+	}
+	for i := range res1.Neighbors {
+		if res1.Neighbors[i] != res2.Neighbors[i] {
+			t.Fatalf("replay diverged at rank %d: %+v vs %+v",
+				i, res2.Neighbors[i], res1.Neighbors[i])
+		}
+	}
+	if res1.Diagnosis != res2.Diagnosis {
+		t.Errorf("diagnosis differs: %+v vs %+v", res2.Diagnosis, res1.Diagnosis)
+	}
+}

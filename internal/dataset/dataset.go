@@ -1,0 +1,415 @@
+// Package dataset provides the tabular data container shared by every
+// component of the interactive nearest-neighbor system: N points in d
+// dimensions with optional integer labels and attribute names, plus CSV
+// persistence, normalization, and index-preserving subsetting.
+//
+// Points keep a stable ID (their row index in the original dataset) across
+// subsetting and re-projection, because the interactive search repeatedly
+// removes never-picked points (Figure 2 of the paper) while preference
+// counts and meaningfulness probabilities must stay attached to the
+// original rows.
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"innsearch/internal/linalg"
+)
+
+// ErrEmpty indicates a dataset with no points where at least one is needed.
+var ErrEmpty = errors.New("dataset: empty dataset")
+
+// ErrBadShape indicates rows of inconsistent dimensionality.
+var ErrBadShape = errors.New("dataset: inconsistent row dimensionality")
+
+// Dataset is an immutable-by-convention collection of d-dimensional
+// points. Labels is either nil (unlabeled) or has one entry per point.
+type Dataset struct {
+	points *linalg.Matrix
+	ids    []int    // original row IDs, parallel to rows of points
+	labels []int    // optional, parallel to rows; nil if unlabeled
+	names  []string // optional attribute names; nil if unnamed
+}
+
+// New builds a dataset from rows. All rows must share the same
+// dimensionality; labels, when non-nil, must have one entry per row.
+func New(rows [][]float64, labels []int) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, ErrEmpty
+	}
+	vecs := make([]linalg.Vector, len(rows))
+	d := len(rows[0])
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("%w: row %d has %d dims, want %d", ErrBadShape, i, len(r), d)
+		}
+		vecs[i] = linalg.Vector(r).Clone()
+	}
+	m, err := linalg.MatrixFromRows(vecs)
+	if err != nil {
+		return nil, err
+	}
+	if labels != nil && len(labels) != len(rows) {
+		return nil, fmt.Errorf("%w: %d labels for %d rows", ErrBadShape, len(labels), len(rows))
+	}
+	ids := make([]int, len(rows))
+	for i := range ids {
+		ids[i] = i
+	}
+	var lab []int
+	if labels != nil {
+		lab = append([]int(nil), labels...)
+	}
+	return &Dataset{points: m, ids: ids, labels: lab}, nil
+}
+
+// FromMatrix wraps an existing matrix (taking ownership) with fresh
+// sequential IDs and no labels.
+func FromMatrix(m *linalg.Matrix) (*Dataset, error) {
+	if m.Rows == 0 {
+		return nil, ErrEmpty
+	}
+	ids := make([]int, m.Rows)
+	for i := range ids {
+		ids[i] = i
+	}
+	return &Dataset{points: m, ids: ids}, nil
+}
+
+// N returns the number of points.
+func (d *Dataset) N() int { return d.points.Rows }
+
+// Dim returns the dimensionality.
+func (d *Dataset) Dim() int { return d.points.Cols }
+
+// Point returns the i-th point (sharing storage; callers must not mutate).
+func (d *Dataset) Point(i int) linalg.Vector { return d.points.Row(i) }
+
+// PointCopy returns a copy of the i-th point.
+func (d *Dataset) PointCopy(i int) linalg.Vector { return d.points.RowCopy(i) }
+
+// ID returns the original row ID of the i-th point of this (possibly
+// subsetted, possibly re-projected) dataset.
+func (d *Dataset) ID(i int) int { return d.ids[i] }
+
+// IDs returns a copy of all original row IDs.
+func (d *Dataset) IDs() []int { return append([]int(nil), d.ids...) }
+
+// Labeled reports whether the dataset carries labels.
+func (d *Dataset) Labeled() bool { return d.labels != nil }
+
+// Label returns the label of the i-th point. It panics if the dataset is
+// unlabeled.
+func (d *Dataset) Label(i int) int {
+	if d.labels == nil {
+		panic("dataset: Label on unlabeled dataset")
+	}
+	return d.labels[i]
+}
+
+// SetAttrNames attaches attribute names (must match Dim).
+func (d *Dataset) SetAttrNames(names []string) error {
+	if len(names) != d.Dim() {
+		return fmt.Errorf("%w: %d names for %d dims", ErrBadShape, len(names), d.Dim())
+	}
+	d.names = append([]string(nil), names...)
+	return nil
+}
+
+// AttrName returns the name of attribute j, or a synthesized "attr<j>".
+func (d *Dataset) AttrName(j int) string {
+	if d.names != nil {
+		return d.names[j]
+	}
+	return fmt.Sprintf("attr%d", j)
+}
+
+// Matrix returns the underlying point matrix (shared storage).
+func (d *Dataset) Matrix() *linalg.Matrix { return d.points }
+
+// Subset returns a new dataset containing the rows at the given positions
+// (positions into this dataset, not original IDs). IDs and labels follow.
+func (d *Dataset) Subset(positions []int) (*Dataset, error) {
+	if len(positions) == 0 {
+		return nil, ErrEmpty
+	}
+	out := linalg.NewMatrix(len(positions), d.Dim())
+	ids := make([]int, len(positions))
+	var labels []int
+	if d.labels != nil {
+		labels = make([]int, len(positions))
+	}
+	for k, p := range positions {
+		if p < 0 || p >= d.N() {
+			return nil, fmt.Errorf("dataset: subset position %d out of range [0,%d)", p, d.N())
+		}
+		copy(out.Data[k*d.Dim():(k+1)*d.Dim()], d.points.Row(p))
+		ids[k] = d.ids[p]
+		if labels != nil {
+			labels[k] = d.labels[p]
+		}
+	}
+	return &Dataset{points: out, ids: ids, labels: labels, names: d.names}, nil
+}
+
+// ProjectInto returns a new dataset whose rows are the coordinates of this
+// dataset's points in the given subspace; IDs and labels are preserved.
+// This realizes the paper's D_new = Proj(D_c, E_new).
+func (d *Dataset) ProjectInto(s *linalg.Subspace) (*Dataset, error) {
+	m, err := s.ProjectRows(d.points)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		points: m,
+		ids:    append([]int(nil), d.ids...),
+		labels: append([]int(nil), d.labels...),
+	}, nil
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	return &Dataset{
+		points: d.points.Clone(),
+		ids:    append([]int(nil), d.ids...),
+		labels: append([]int(nil), d.labels...),
+		names:  append([]string(nil), d.names...),
+	}
+}
+
+// Column returns a copy of attribute j across all points.
+func (d *Dataset) Column(j int) []float64 { return d.points.Col(j) }
+
+// Bounds returns per-dimension [min, max] over all points.
+func (d *Dataset) Bounds() (lo, hi linalg.Vector) {
+	dim := d.Dim()
+	lo = make(linalg.Vector, dim)
+	hi = make(linalg.Vector, dim)
+	for j := 0; j < dim; j++ {
+		lo[j] = math.Inf(1)
+		hi[j] = math.Inf(-1)
+	}
+	for i := 0; i < d.N(); i++ {
+		row := d.Point(i)
+		for j, x := range row {
+			if x < lo[j] {
+				lo[j] = x
+			}
+			if x > hi[j] {
+				hi[j] = x
+			}
+		}
+	}
+	return lo, hi
+}
+
+// NormalizeMinMax rescales every attribute to [0, 1] in place and returns
+// the transform applied, so queries can be mapped consistently. Constant
+// attributes are shifted to 0 and left with unit scale.
+func (d *Dataset) NormalizeMinMax() *AffineTransform {
+	lo, hi := d.Bounds()
+	dim := d.Dim()
+	tr := &AffineTransform{Offset: make([]float64, dim), Scale: make([]float64, dim)}
+	for j := 0; j < dim; j++ {
+		tr.Offset[j] = lo[j]
+		if span := hi[j] - lo[j]; span > 0 {
+			tr.Scale[j] = 1 / span
+		} else {
+			tr.Scale[j] = 1
+		}
+	}
+	d.applyTransform(tr)
+	return tr
+}
+
+// NormalizeZScore standardizes every attribute to zero mean and unit
+// variance in place and returns the transform. Constant attributes are
+// centered and left with unit scale.
+func (d *Dataset) NormalizeZScore() *AffineTransform {
+	dim := d.Dim()
+	tr := &AffineTransform{Offset: make([]float64, dim), Scale: make([]float64, dim)}
+	mean := d.points.Mean()
+	for j := 0; j < dim; j++ {
+		v := d.points.VarianceAlong(linalg.Basis(dim, j))
+		// VarianceAlong centers internally; recover raw second moment
+		// variance of the column.
+		tr.Offset[j] = mean[j]
+		if sd := math.Sqrt(v); sd > 0 {
+			tr.Scale[j] = 1 / sd
+		} else {
+			tr.Scale[j] = 1
+		}
+	}
+	d.applyTransform(tr)
+	return tr
+}
+
+func (d *Dataset) applyTransform(tr *AffineTransform) {
+	for i := 0; i < d.N(); i++ {
+		row := d.points.Row(i)
+		tr.Apply(row)
+	}
+}
+
+// AffineTransform maps x ↦ (x − Offset) ⊙ Scale per dimension.
+type AffineTransform struct {
+	Offset []float64
+	Scale  []float64
+}
+
+// Apply transforms v in place.
+func (t *AffineTransform) Apply(v []float64) {
+	if len(v) != len(t.Offset) {
+		panic(fmt.Sprintf("dataset: transform dim %d applied to %d", len(t.Offset), len(v)))
+	}
+	for j := range v {
+		v[j] = (v[j] - t.Offset[j]) * t.Scale[j]
+	}
+}
+
+// Applied returns a transformed copy of v.
+func (t *AffineTransform) Applied(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	t.Apply(out)
+	return out
+}
+
+// WriteCSV writes the dataset as CSV: a header with attribute names (plus
+// "label" when labeled) followed by one row per point.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	dim := d.Dim()
+	header := make([]string, 0, dim+1)
+	for j := 0; j < dim; j++ {
+		header = append(header, d.AttrName(j))
+	}
+	if d.Labeled() {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, 0, dim+1)
+	for i := 0; i < d.N(); i++ {
+		rec = rec[:0]
+		for _, x := range d.Point(i) {
+			rec = append(rec, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if d.Labeled() {
+			rec = append(rec, strconv.Itoa(d.labels[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the dataset to the named file.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := d.WriteCSV(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. A trailing "label" column
+// in the header is parsed as integer labels.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: parse csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("%w: need header plus at least one row", ErrEmpty)
+	}
+	header := records[0]
+	hasLabel := len(header) > 0 && header[len(header)-1] == "label"
+	dim := len(header)
+	if hasLabel {
+		dim--
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: no attribute columns", ErrBadShape)
+	}
+	rows := make([][]float64, 0, len(records)-1)
+	var labels []int
+	if hasLabel {
+		labels = make([]int, 0, len(records)-1)
+	}
+	for li, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("%w: line %d has %d fields, want %d", ErrBadShape, li+2, len(rec), len(header))
+		}
+		row := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			row[j], err = strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", li+2, j, err)
+			}
+		}
+		rows = append(rows, row)
+		if hasLabel {
+			lab, err := strconv.Atoi(rec[dim])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d label: %w", li+2, err)
+			}
+			labels = append(labels, lab)
+		}
+	}
+	ds, err := New(rows, labels)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.SetAttrNames(header[:dim]); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// LoadCSV reads a dataset from the named file.
+func LoadCSV(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(bufio.NewReader(f))
+}
+
+// WithoutRow returns a new dataset excluding position i — the holdout
+// operation classification protocols use. IDs and labels of the remaining
+// rows are preserved.
+func (d *Dataset) WithoutRow(i int) (*Dataset, error) {
+	if i < 0 || i >= d.N() {
+		return nil, fmt.Errorf("dataset: holdout position %d out of range [0,%d)", i, d.N())
+	}
+	if d.N() == 1 {
+		return nil, ErrEmpty
+	}
+	keep := make([]int, 0, d.N()-1)
+	for p := 0; p < d.N(); p++ {
+		if p != i {
+			keep = append(keep, p)
+		}
+	}
+	return d.Subset(keep)
+}

@@ -1,0 +1,311 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"innsearch/internal/linalg"
+)
+
+func mustNew(t *testing.T, rows [][]float64, labels []int) *Dataset {
+	t.Helper()
+	d, err := New(rows, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewBasics(t *testing.T) {
+	d := mustNew(t, [][]float64{{1, 2}, {3, 4}, {5, 6}}, []int{0, 1, 0})
+	if d.N() != 3 || d.Dim() != 2 {
+		t.Fatalf("shape %dx%d", d.N(), d.Dim())
+	}
+	if !d.Point(1).ApproxEqual(linalg.Vector{3, 4}, 0) {
+		t.Errorf("Point(1) = %v", d.Point(1))
+	}
+	if d.ID(2) != 2 {
+		t.Errorf("ID(2) = %d", d.ID(2))
+	}
+	if !d.Labeled() || d.Label(1) != 1 {
+		t.Error("labels wrong")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := New([][]float64{{1}, {1, 2}}, nil); !errors.Is(err, ErrBadShape) {
+		t.Errorf("ragged: %v", err)
+	}
+	if _, err := New([][]float64{{1}}, []int{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("label count: %v", err)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	rows := [][]float64{{1, 2}}
+	d := mustNew(t, rows, nil)
+	rows[0][0] = 99
+	if d.Point(0)[0] != 1 {
+		t.Error("dataset shares storage with input rows")
+	}
+}
+
+func TestUnlabeledLabelPanics(t *testing.T) {
+	d := mustNew(t, [][]float64{{1}}, nil)
+	if d.Labeled() {
+		t.Fatal("should be unlabeled")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Label(0)
+}
+
+func TestSubset(t *testing.T) {
+	d := mustNew(t, [][]float64{{0}, {1}, {2}, {3}}, []int{10, 11, 12, 13})
+	s, err := d.Subset([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 2 || s.Point(0)[0] != 3 || s.ID(0) != 3 || s.Label(1) != 11 {
+		t.Fatalf("subset wrong: %v ids=%v", s.Point(0), s.IDs())
+	}
+	// Subset of subset keeps original IDs.
+	ss, err := s.Subset([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.ID(0) != 1 {
+		t.Errorf("nested subset ID = %d", ss.ID(0))
+	}
+	if _, err := d.Subset(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty subset: %v", err)
+	}
+	if _, err := d.Subset([]int{7}); err == nil {
+		t.Error("out-of-range subset should fail")
+	}
+}
+
+func TestProjectInto(t *testing.T) {
+	d := mustNew(t, [][]float64{{1, 2, 3}, {4, 5, 6}}, []int{7, 8})
+	sub, err := linalg.AxisSubspace(3, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.ProjectInto(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 2 || !p.Point(1).ApproxEqual(linalg.Vector{6, 4}, 0) {
+		t.Fatalf("projected = %v", p.Point(1))
+	}
+	if p.ID(1) != 1 || p.Label(0) != 7 {
+		t.Error("IDs/labels not preserved across projection")
+	}
+	bad, _ := linalg.AxisSubspace(5, []int{0})
+	if _, err := d.ProjectInto(bad); err == nil {
+		t.Error("ambient mismatch should fail")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := mustNew(t, [][]float64{{1, -5}, {3, 7}, {2, 0}}, nil)
+	lo, hi := d.Bounds()
+	if !lo.ApproxEqual(linalg.Vector{1, -5}, 0) || !hi.ApproxEqual(linalg.Vector{3, 7}, 0) {
+		t.Errorf("bounds = %v %v", lo, hi)
+	}
+}
+
+func TestNormalizeMinMax(t *testing.T) {
+	d := mustNew(t, [][]float64{{0, 5, 1}, {10, 5, 3}}, nil)
+	tr := d.NormalizeMinMax()
+	lo, hi := d.Bounds()
+	if !lo.ApproxEqual(linalg.Vector{0, 0, 0}, 1e-12) {
+		t.Errorf("lo = %v", lo)
+	}
+	// Constant column stays 0; others reach 1.
+	if math.Abs(hi[0]-1) > 1e-12 || hi[1] != 0 || math.Abs(hi[2]-1) > 1e-12 {
+		t.Errorf("hi = %v", hi)
+	}
+	// Transform applies consistently to a query.
+	q := tr.Applied([]float64{5, 5, 2})
+	if !linalg.Vector(q).ApproxEqual(linalg.Vector{0.5, 0, 0.5}, 1e-12) {
+		t.Errorf("query transform = %v", q)
+	}
+}
+
+func TestNormalizeZScore(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{r.NormFloat64()*5 + 10, 42} // second column constant
+	}
+	d := mustNew(t, rows, nil)
+	d.NormalizeZScore()
+	col := d.Column(0)
+	var mean, sq float64
+	for _, x := range col {
+		mean += x
+	}
+	mean /= float64(len(col))
+	for _, x := range col {
+		sq += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(sq / float64(len(col)))
+	if math.Abs(mean) > 1e-10 || math.Abs(sd-1) > 1e-10 {
+		t.Errorf("standardized mean=%v sd=%v", mean, sd)
+	}
+	for _, x := range d.Column(1) {
+		if x != 0 {
+			t.Fatalf("constant column should center to 0, got %v", x)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := mustNew(t, [][]float64{{1.5, -2}, {0.25, 1e-7}}, []int{3, -1})
+	if err := d.SetAttrNames([]string{"alpha", "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 2 || back.Dim() != 2 || !back.Labeled() {
+		t.Fatalf("round trip shape wrong: %d %d", back.N(), back.Dim())
+	}
+	for i := 0; i < 2; i++ {
+		if !back.Point(i).ApproxEqual(d.Point(i), 0) {
+			t.Errorf("row %d = %v, want %v", i, back.Point(i), d.Point(i))
+		}
+		if back.Label(i) != d.Label(i) {
+			t.Errorf("label %d = %d", i, back.Label(i))
+		}
+	}
+	if back.AttrName(0) != "alpha" {
+		t.Errorf("attr name = %q", back.AttrName(0))
+	}
+}
+
+func TestCSVUnlabeledRoundTripFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	d := mustNew(t, [][]float64{{1, 2, 3}}, nil)
+	if err := d.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Labeled() || back.Dim() != 3 {
+		t.Fatalf("unlabeled round trip: labeled=%v dim=%d", back.Labeled(), back.Dim())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"header only", "a,b\n"},
+		{"bad float", "a,b\n1,x\n"},
+		{"bad label", "a,label\n1,notanint\n"},
+		{"label only", "label\n1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(bytes.NewBufferString(tc.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestAttrNameFallback(t *testing.T) {
+	d := mustNew(t, [][]float64{{1, 2}}, nil)
+	if d.AttrName(1) != "attr1" {
+		t.Errorf("fallback name = %q", d.AttrName(1))
+	}
+	if err := d.SetAttrNames([]string{"only-one"}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("SetAttrNames wrong count: %v", err)
+	}
+}
+
+func TestPropertyCSVRoundTripPreservesValues(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n, dim := 1+rr.Intn(20), 1+rr.Intn(6)
+		rows := make([][]float64, n)
+		labels := make([]int, n)
+		for i := range rows {
+			rows[i] = make([]float64, dim)
+			for j := range rows[i] {
+				rows[i][j] = rr.NormFloat64() * math.Pow(10, float64(rr.Intn(7)-3))
+			}
+			labels[i] = rr.Intn(5)
+		}
+		d, err := New(rows, labels)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !back.Point(i).ApproxEqual(d.Point(i), 0) || back.Label(i) != labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := mustNew(t, [][]float64{{1, 2}}, []int{5})
+	c := d.Clone()
+	c.Matrix().Set(0, 0, 99)
+	if d.Point(0)[0] != 1 {
+		t.Error("Clone shares point storage")
+	}
+}
+
+func TestWithoutRow(t *testing.T) {
+	d := mustNew(t, [][]float64{{0}, {1}, {2}}, []int{10, 11, 12})
+	rest, err := d.WithoutRow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.N() != 2 || rest.ID(0) != 0 || rest.ID(1) != 2 || rest.Label(1) != 12 {
+		t.Fatalf("holdout wrong: ids=%v", rest.IDs())
+	}
+	if _, err := d.WithoutRow(5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	single := mustNew(t, [][]float64{{1}}, nil)
+	if _, err := single.WithoutRow(0); !errors.Is(err, ErrEmpty) {
+		t.Errorf("single-row holdout: %v", err)
+	}
+}

@@ -1,0 +1,527 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"innsearch/internal/core"
+	"innsearch/internal/feedback"
+	"innsearch/internal/igrid"
+	"innsearch/internal/knn"
+	"innsearch/internal/metric"
+	"innsearch/internal/proclus"
+	"innsearch/internal/projnn"
+	"innsearch/internal/stats"
+	"innsearch/internal/synth"
+	"innsearch/internal/user"
+)
+
+// ablationSession runs oracle sessions over a batch of queries with the
+// given session options and returns mean precision and recall of the
+// natural neighbor sets.
+func ablationSession(pd *synth.ProjectedData, queries []int, mutate func(*core.Config), cfg Config) (prec, rec float64, err error) {
+	precs := make([]float64, len(queries))
+	recs := make([]float64, len(queries))
+	err = forEach(len(queries), func(qi int) error {
+		qp := queries[qi]
+		clusterID := pd.Data.Label(qp)
+		members := pd.Members(clusterID)
+		relevant := make([]int, len(members))
+		for i, m := range members {
+			relevant[i] = pd.Data.ID(m)
+		}
+		sc := core.Config{
+			Support:            pd.Data.N() / 200,
+			GridSize:           cfg.GridSize,
+			MaxMajorIterations: cfg.MaxIterations,
+		}
+		if mutate != nil {
+			mutate(&sc)
+		}
+		sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(qp), user.NewOracle(relevant), sc)
+		if err != nil {
+			return err
+		}
+		res, err := sess.Run()
+		if err != nil {
+			return err
+		}
+		nat := res.NaturalNeighbors()
+		got := make([]int, len(nat))
+		for i, nb := range nat {
+			got[i] = nb.ID
+		}
+		r := stats.EvalRetrieval(got, relevant)
+		precs[qi] = r.Precision()
+		recs[qi] = r.Recall()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var psum, rsum float64
+	for i := range precs {
+		psum += precs[i]
+		rsum += recs[i]
+	}
+	k := float64(len(queries))
+	return psum / k, rsum / k, nil
+}
+
+// RunAblationAxisParallel compares axis-parallel against arbitrary
+// projections on both synthetic workloads: axis projections should win on
+// axis-aligned clusters (Case 1) and arbitrary projections on rotated
+// clusters (Case 2).
+func RunAblationAxisParallel(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Ablation: axis-parallel vs arbitrary projections",
+		Caption: "(each workload is best served by the projection family matching its cluster orientation)",
+		Header:  []string{"Data Set", "Mode", "Precision", "Recall"},
+	}
+	for _, spec := range []struct {
+		name string
+		gen  func(int, *rand.Rand) (*synth.ProjectedData, error)
+		off  int64
+	}{
+		{"Synthetic 1", synth.Case1, 31},
+		{"Synthetic 2", synth.Case2, 32},
+	} {
+		rng := rand.New(rand.NewSource(cfg.Seed + spec.off))
+		pd, err := spec.gen(cfg.N, rng)
+		if err != nil {
+			return nil, err
+		}
+		queries := pickQueries(pd, cfg.Queries, rng)
+		for _, mode := range []struct {
+			name string
+			axis bool
+		}{{"axis-parallel", true}, {"arbitrary", false}} {
+			p, r, err := ablationSession(pd, queries, func(c *core.Config) { c.AxisParallel = mode.axis }, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(spec.name, mode.name, pct(p), pct(r))
+		}
+	}
+	return t, nil
+}
+
+// RunAblationGrading tests the graded subspace determination (§2.1):
+// halving the dimensionality step by step against jumping straight to a
+// 2-D pick, crossed with the stage-support floor (StageSupportFactor 1 is
+// the paper's literal pseudocode, 5 is this implementation's stabilized
+// default). Grading should matter most at the paper-faithful setting,
+// where each stage estimates variance ratios from few points.
+func RunAblationGrading(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 33))
+	pd, err := synth.Case2(cfg.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	queries := pickQueries(pd, cfg.Queries, rng)
+	t := &Table{
+		Title:   "Ablation: graded subspace determination vs direct 2-D pick",
+		Caption: "(Synthetic 2; gradual refinement of Figure 3 vs one-step selection, × stage-support floor)",
+		Header:  []string{"Strategy", "Stage support", "Precision", "Recall"},
+	}
+	for _, stage := range []struct {
+		name   string
+		factor int
+	}{{"paper (s only)", 1}, {"stabilized (5·dim)", 5}} {
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"graded (paper)", false}, {"direct 2-D", true}} {
+			p, r, err := ablationSession(pd, queries, func(c *core.Config) {
+				c.DisableGrading = mode.disable
+				c.StageSupportFactor = stage.factor
+			}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(mode.name, stage.name, pct(p), pct(r))
+		}
+	}
+	return t, nil
+}
+
+// RunAblationMode compares the three projection-family modes — axis,
+// arbitrary, and the auto mode that picks the better family per view —
+// on both synthetic workloads. Auto should track the best fixed mode on
+// each.
+func RunAblationMode(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Ablation: projection mode (axis / arbitrary / auto)",
+		Caption: "(auto lets the user referee the family contest on the first view of each sweep)",
+		Header:  []string{"Data Set", "Mode", "Precision", "Recall"},
+	}
+	for _, spec := range []struct {
+		name string
+		gen  func(int, *rand.Rand) (*synth.ProjectedData, error)
+		off  int64
+	}{
+		{"Synthetic 1", synth.Case1, 38},
+		{"Synthetic 2", synth.Case2, 39},
+	} {
+		rng := rand.New(rand.NewSource(cfg.Seed + spec.off))
+		pd, err := spec.gen(cfg.N, rng)
+		if err != nil {
+			return nil, err
+		}
+		queries := pickQueries(pd, cfg.Queries, rng)
+		for _, mode := range []struct {
+			name string
+			m    core.ProjectionMode
+		}{{"axis", core.ModeAxis}, {"arbitrary", core.ModeArbitrary}, {"auto", core.ModeAuto}} {
+			p, r, err := ablationSession(pd, queries, func(c *core.Config) { c.Mode = mode.m }, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(spec.name, mode.name, pct(p), pct(r))
+		}
+	}
+	return t, nil
+}
+
+// RunAblationWeighting tests the optional per-projection importance
+// weights wᵢ of §2.3: uniform weights against weights proportional to
+// each view's discrimination score.
+func RunAblationWeighting(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 40))
+	pd, err := synth.Case1(cfg.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	queries := pickQueries(pd, cfg.Queries, rng)
+	t := &Table{
+		Title:   "Ablation: per-projection importance weights w_i (§2.3)",
+		Caption: "(Synthetic 1, axis-parallel; uniform w_i=1 vs w_i = view discrimination)",
+		Header:  []string{"Weighting", "Precision", "Recall"},
+	}
+	for _, weighted := range []bool{false, true} {
+		var psum, rsum float64
+		for _, qp := range queries {
+			clusterID := pd.Data.Label(qp)
+			members := pd.Members(clusterID)
+			relevant := make([]int, len(members))
+			for i, m := range members {
+				relevant[i] = pd.Data.ID(m)
+			}
+			var u core.User = user.NewOracle(relevant)
+			if weighted {
+				u = &user.QualityWeighted{Base: u}
+			}
+			sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(qp), u, core.Config{
+				Support:            pd.Data.N() / 200,
+				AxisParallel:       true,
+				GridSize:           cfg.GridSize,
+				MaxMajorIterations: cfg.MaxIterations,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sess.Run()
+			if err != nil {
+				return nil, err
+			}
+			nat := res.NaturalNeighbors()
+			got := make([]int, len(nat))
+			for i, nb := range nat {
+				got[i] = nb.ID
+			}
+			r := stats.EvalRetrieval(got, relevant)
+			psum += r.Precision()
+			rsum += r.Recall()
+		}
+		k := float64(len(queries))
+		name := "uniform (w=1)"
+		if weighted {
+			name = "discrimination-weighted"
+		}
+		t.AddRow(name, pct(psum/k), pct(rsum/k))
+	}
+	return t, nil
+}
+
+// RunAblationSupport sweeps the support parameter s (§2).
+func RunAblationSupport(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 34))
+	pd, err := synth.Case1(cfg.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	queries := pickQueries(pd, cfg.Queries, rng)
+	t := &Table{
+		Title:   "Ablation: support parameter sweep",
+		Caption: "(Synthetic 1, axis-parallel; support as a fraction of N)",
+		Header:  []string{"Support", "Precision", "Recall"},
+	}
+	for _, frac := range []float64{0.002, 0.005, 0.01, 0.02, 0.05} {
+		s := int(frac * float64(cfg.N))
+		p, r, err := ablationSession(pd, queries, func(c *core.Config) {
+			c.AxisParallel = true
+			c.Support = s
+		}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.1f%% (%d)", 100*frac, s), pct(p), pct(r))
+	}
+	return t, nil
+}
+
+// RunAblationGrid sweeps the density-grid resolution and bandwidth scale
+// (§2.2): the profile fidelity knobs.
+func RunAblationGrid(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 35))
+	pd, err := synth.Case1(cfg.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	queries := pickQueries(pd, cfg.Queries, rng)
+	t := &Table{
+		Title:   "Ablation: density grid resolution and kernel bandwidth",
+		Caption: "(Synthetic 1, axis-parallel)",
+		Header:  []string{"Grid p", "Bandwidth ×", "Precision", "Recall"},
+	}
+	for _, p := range []int{16, 32, 64} {
+		for _, bw := range []float64{0.5, 1, 2} {
+			pr, rc, err := ablationSession(pd, queries, func(c *core.Config) {
+				c.AxisParallel = true
+				c.GridSize = p
+				c.BandwidthScale = bw
+			}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("%.1f", bw), pct(pr), pct(rc))
+		}
+	}
+	return t, nil
+}
+
+// RunAblationNoise measures robustness to a sloppy user: the oracle
+// wrapped in random skips and separator jitter.
+func RunAblationNoise(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 36))
+	pd, err := synth.Case1(cfg.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	queries := pickQueries(pd, cfg.Queries, rng)
+	t := &Table{
+		Title:   "Ablation: robustness to user sloppiness",
+		Caption: "(Synthetic 1, axis-parallel; oracle wrapped in random skips and τ jitter)",
+		Header:  []string{"Skip prob", "τ jitter", "Precision", "Recall"},
+	}
+	for _, noise := range []struct{ skip, jitter float64 }{
+		{0, 0}, {0.2, 0.2}, {0.4, 0.4},
+	} {
+		var psum, rsum float64
+		for qi, qp := range queries {
+			clusterID := pd.Data.Label(qp)
+			members := pd.Members(clusterID)
+			relevant := make([]int, len(members))
+			for i, m := range members {
+				relevant[i] = pd.Data.ID(m)
+			}
+			var u core.User = user.NewOracle(relevant)
+			if noise.skip > 0 || noise.jitter > 0 {
+				u = &user.Noisy{
+					Base:      u,
+					SkipProb:  noise.skip,
+					TauJitter: noise.jitter,
+					Rng:       rand.New(rand.NewSource(cfg.Seed + int64(qi))),
+				}
+			}
+			sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(qp), u, core.Config{
+				Support:            pd.Data.N() / 200,
+				AxisParallel:       true,
+				GridSize:           cfg.GridSize,
+				MaxMajorIterations: cfg.MaxIterations,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sess.Run()
+			if err != nil {
+				return nil, err
+			}
+			nat := res.NaturalNeighbors()
+			got := make([]int, len(nat))
+			for i, nb := range nat {
+				got[i] = nb.ID
+			}
+			r := stats.EvalRetrieval(got, relevant)
+			psum += r.Precision()
+			rsum += r.Recall()
+		}
+		k := float64(len(queries))
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*noise.skip), fmt.Sprintf("%.0f%%", 100*noise.jitter),
+			pct(psum/k), pct(rsum/k))
+	}
+	return t, nil
+}
+
+// RunAblationAutomated compares the interactive system against the fully
+// automated alternatives: full-dimensional L2 k-NN and the single-best-
+// projection search of projnn. The retrieved set size k for the automated
+// methods equals the true cluster size, which favors them; the
+// interactive system determines its own natural size.
+func RunAblationAutomated(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 37))
+	pd, err := synth.Case1(cfg.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	queries := pickQueries(pd, cfg.Queries, rng)
+	t := &Table{
+		Title:   "Ablation: interactive system vs automated baselines",
+		Caption: "(Synthetic 1; baselines get k = true cluster size, and relevance feedback additionally gets exact per-item relevance labels every round — far stronger supervision than density views. The interactive system alone determines its own k and diagnoses meaninglessness.)",
+		Header:  []string{"Method", "Precision", "Recall"},
+	}
+
+	// Interactive.
+	ip, ir, err := ablationSession(pd, queries, func(c *core.Config) { c.AxisParallel = true }, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("interactive (oracle user)", pct(ip), pct(ir))
+
+	// Automated single-projection (projnn) and full-dimensional L2.
+	var pp, prr, lp, lr float64
+	for _, qp := range queries {
+		clusterID := pd.Data.Label(qp)
+		members := pd.Members(clusterID)
+		relevant := make([]int, len(members))
+		for i, m := range members {
+			relevant[i] = pd.Data.ID(m)
+		}
+		query := pd.Data.PointCopy(qp)
+		k := len(relevant)
+
+		res, err := projnn.Search(pd.Data, query, projnn.Config{K: k, AxisParallel: true})
+		if err != nil {
+			return nil, err
+		}
+		got := make([]int, len(res.Neighbors))
+		for i, nb := range res.Neighbors {
+			got[i] = nb.ID
+		}
+		r := stats.EvalRetrieval(got, relevant)
+		pp += r.Precision()
+		prr += r.Recall()
+
+		nbrs, err := knn.Search(pd.Data, query, k, metric.Euclidean{})
+		if err != nil {
+			return nil, err
+		}
+		got = got[:0]
+		for _, nb := range nbrs {
+			got = append(got, nb.ID)
+		}
+		r = stats.EvalRetrieval(got, relevant)
+		lp += r.Precision()
+		lr += r.Recall()
+	}
+	// Relevance feedback ([22, 28]-style: Rocchio + inverse-spread
+	// reweighting), judged by the same ground truth the oracle user sees.
+	var fp, fr float64
+	for _, qp := range queries {
+		clusterID := pd.Data.Label(qp)
+		members := pd.Members(clusterID)
+		relSet := make(map[int]bool, len(members))
+		relevant := make([]int, len(members))
+		for i, m := range members {
+			relevant[i] = pd.Data.ID(m)
+			relSet[pd.Data.ID(m)] = true
+		}
+		res, err := feedback.Run(pd.Data, pd.Data.PointCopy(qp),
+			func(id int) bool { return relSet[id] },
+			feedback.Config{K: len(relevant), Rounds: 3})
+		if err != nil {
+			return nil, err
+		}
+		got := make([]int, len(res.Neighbors))
+		for i, nb := range res.Neighbors {
+			got[i] = nb.ID
+		}
+		r := stats.EvalRetrieval(got, relevant)
+		fp += r.Precision()
+		fr += r.Recall()
+	}
+
+	// IGrid-style data-driven proximity ([6]): equi-depth banding with
+	// similarity only over shared bands.
+	gidx, err := igrid.Build(pd.Data, pd.Data.Dim(), 2)
+	if err != nil {
+		return nil, err
+	}
+	var gp, gr float64
+	for _, qp := range queries {
+		clusterID := pd.Data.Label(qp)
+		members := pd.Members(clusterID)
+		relevant := make([]int, len(members))
+		for i, m := range members {
+			relevant[i] = pd.Data.ID(m)
+		}
+		nbrs, err := gidx.Search(pd.Data.PointCopy(qp), len(relevant))
+		if err != nil {
+			return nil, err
+		}
+		got := make([]int, len(nbrs))
+		for i, nb := range nbrs {
+			got[i] = nb.ID
+		}
+		r := stats.EvalRetrieval(got, relevant)
+		gp += r.Precision()
+		gr += r.Recall()
+	}
+
+	// Projected clustering ([1]-style PROCLUS): cluster once, then answer
+	// each query with its cluster's members.
+	prc, err := proclus.Run(pd.Data, proclus.Config{
+		K:       len(pd.Sizes),
+		AvgDims: 6,
+		Rng:     rand.New(rand.NewSource(cfg.Seed + 41)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cp, cr float64
+	for _, qp := range queries {
+		clusterID := pd.Data.Label(qp)
+		members := pd.Members(clusterID)
+		relevant := make([]int, len(members))
+		for i, m := range members {
+			relevant[i] = pd.Data.ID(m)
+		}
+		cl, err := prc.QueryCluster(pd.Data, pd.Data.PointCopy(qp))
+		if err != nil {
+			return nil, err
+		}
+		got := make([]int, len(cl.Members))
+		for i, m := range cl.Members {
+			got[i] = pd.Data.ID(m)
+		}
+		r := stats.EvalRetrieval(got, relevant)
+		cp += r.Precision()
+		cr += r.Recall()
+	}
+
+	q := float64(len(queries))
+	t.AddRow("projected NN (1 projection)", pct(pp/q), pct(prr/q))
+	t.AddRow("relevance feedback (Rocchio)", pct(fp/q), pct(fr/q))
+	t.AddRow("IGrid proximity", pct(gp/q), pct(gr/q))
+	t.AddRow("projected clustering (PROCLUS)", pct(cp/q), pct(cr/q))
+	t.AddRow("full-dimensional L2 k-NN", pct(lp/q), pct(lr/q))
+	return t, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"innsearch/internal/core"
+)
+
+// CalibrationResult validates the §3 null model empirically.
+type CalibrationResult struct {
+	Table *Table
+	// FalsePositiveRate is the observed fraction of null points whose
+	// meaningfulness probability exceeds each tested threshold; the
+	// model predicts it equals the two-sided normal tail 1 − threshold
+	// (for the upper side only, since negative deviations clamp to 0).
+	FalsePositiveRate map[float64]float64
+}
+
+// RunNullCalibration draws preference counts from the §3 null model
+// itself — every projection picks nᵢ points uniformly at random — and
+// checks that QuantifyMeaningfulness assigns high probabilities at the
+// rate the normal approximation predicts. If the implementation's
+// statistic were mis-normalized, the observed tail rates would diverge
+// from the predicted ones and every "meaningful" verdict in the other
+// experiments would be suspect.
+func RunNullCalibration(cfg Config) (*CalibrationResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 51))
+
+	n := cfg.N
+	if n > 3000 {
+		n = 3000
+	}
+	const views = 10
+	counts := make([]float64, n)
+	picks := make([]core.PickStats, views)
+	for v := 0; v < views; v++ {
+		ni := n/10 + rng.Intn(n/5)
+		picks[v] = core.PickStats{Picked: ni, Weight: 1}
+		for _, idx := range rng.Perm(n)[:ni] {
+			counts[idx]++
+		}
+	}
+	probs := core.QuantifyMeaningfulness(counts, n, picks)
+
+	thresholds := []float64{0.5, 0.8, 0.9, 0.95, 0.99}
+	res := &CalibrationResult{FalsePositiveRate: map[float64]float64{}}
+	t := &Table{
+		Title:   "Null-model calibration of the meaningfulness statistic (§3)",
+		Caption: fmt.Sprintf("(random picks over N=%d points, %d views; P(j) > p should occur at about the normal upper-tail rate (1−p)/2)", n, views),
+		Header:  []string{"Threshold p", "Predicted rate", "Observed rate"},
+	}
+	for _, th := range thresholds {
+		// P(j) > th ⇔ M(j) > Φ⁻¹((1+th)/2): the upper-tail probability
+		// of that quantile under the null is (1−th)/2.
+		predicted := (1 - th) / 2
+		over := 0
+		for _, p := range probs {
+			if p > th {
+				over++
+			}
+		}
+		observed := float64(over) / float64(n)
+		res.FalsePositiveRate[th] = observed
+		t.AddRow(fmt.Sprintf("%.2f", th), fmt.Sprintf("%.4f", predicted), fmt.Sprintf("%.4f", observed))
+	}
+	res.Table = t
+	return res, nil
+}

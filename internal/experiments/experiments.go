@@ -1,0 +1,151 @@
+// Package experiments contains one runner per table and figure of the
+// paper's empirical section (§4), plus the ablations called out in
+// DESIGN.md. Each runner builds its workload from an explicit seed,
+// executes the system, and returns a formatted Table of the same rows or
+// series the paper reports; figure runners additionally write PNG/SVG
+// artifacts when an output directory is configured.
+//
+// The runners are shared by cmd/experiments (the reproduction driver) and
+// the repository-root benchmark suite.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config parameterizes a reproduction run. Zero values take the defaults
+// that match the paper's setup.
+type Config struct {
+	// Seed drives every random choice; runs with equal seeds are
+	// identical.
+	Seed int64
+	// N is the synthetic dataset size (default 5000, the paper's value).
+	N int
+	// Queries is the number of query points per dataset (default 10,
+	// the paper's value).
+	Queries int
+	// GridSize is the density grid resolution (default 48).
+	GridSize int
+	// MaxIterations caps major iterations per session (default 3).
+	MaxIterations int
+	// OutDir, when non-empty, receives the figure artifacts (PNG/SVG).
+	OutDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 20020612 // ICDE 2002
+	}
+	if c.N == 0 {
+		c.N = 5000
+	}
+	if c.Queries == 0 {
+		c.Queries = 10
+	}
+	if c.GridSize == 0 {
+		c.GridSize = 48
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 3
+	}
+	return c
+}
+
+// Table is a formatted experiment result: a titled grid of cells with a
+// caption relating it to the paper.
+type Table struct {
+	Title   string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString(t.Title + "\n")
+	if t.Caption != "" {
+		sb.WriteString(t.Caption + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table for logs and docs.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		return fmt.Sprintf("Table<%s>: %v", t.Title, err)
+	}
+	return sb.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// MarshalJSON renders the table as a structured object so downstream
+// tooling can consume experiment results without parsing aligned text.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	type row map[string]string
+	rows := make([]row, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		m := row{}
+		for i, cell := range r {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(t.Header) {
+				key = t.Header[i]
+			}
+			m[key] = cell
+		}
+		rows = append(rows, m)
+	}
+	return json.Marshal(struct {
+		Title   string   `json:"title"`
+		Caption string   `json:"caption,omitempty"`
+		Header  []string `json:"header"`
+		Rows    []row    `json:"rows"`
+	}{t.Title, t.Caption, t.Header, rows})
+}

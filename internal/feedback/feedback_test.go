@@ -1,0 +1,180 @@
+package feedback
+
+import (
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/knn"
+	"innsearch/internal/metric"
+	"innsearch/internal/synth"
+)
+
+// plantedDS builds data with a cluster in the first 3 of d dims.
+func plantedDS(t *testing.T, n, clusterN, d int, seed int64) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			if i < clusterN && j < 3 {
+				row[j] = 50 + r.NormFloat64()
+			} else {
+				row[j] = r.Float64() * 100
+			}
+		}
+		rows[i] = row
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRunValidation(t *testing.T) {
+	ds := plantedDS(t, 50, 10, 5, 1)
+	judge := func(int) bool { return true }
+	if _, err := Run(ds, make([]float64, 5), judge, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(ds, make([]float64, 3), judge, Config{K: 5}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := Run(ds, make([]float64, 5), nil, Config{K: 5}); err == nil {
+		t.Error("nil judge accepted")
+	}
+	if _, err := Run(nil, make([]float64, 5), judge, Config{K: 5}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Run(ds, make([]float64, 5), judge, Config{K: 5, Rounds: -1}); err == nil {
+		t.Error("negative rounds accepted")
+	}
+}
+
+func TestFeedbackImprovesOverPlainKNN(t *testing.T) {
+	ds := plantedDS(t, 1500, 80, 16, 2)
+	query := ds.PointCopy(0)
+	judge := func(id int) bool { return id < 80 }
+	const k = 60
+
+	plain, err := knn.Search(ds, query, k, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainHits := 0
+	for _, nb := range plain {
+		if judge(nb.ID) {
+			plainHits++
+		}
+	}
+
+	res, err := Run(ds, query, judge, Config{K: k, Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbHits := 0
+	for _, nb := range res.Neighbors {
+		if judge(nb.ID) {
+			fbHits++
+		}
+	}
+	t.Logf("plain %d/%d, feedback %d/%d (relevant seen %d)", plainHits, k, fbHits, k, res.RelevantSeen)
+	if fbHits <= plainHits {
+		t.Errorf("feedback %d hits did not beat plain %d", fbHits, plainHits)
+	}
+	// The learned weights must emphasize the informative dims 0–2.
+	wInfo := (res.Weights[0] + res.Weights[1] + res.Weights[2]) / 3
+	var wNoise float64
+	for j := 3; j < len(res.Weights); j++ {
+		wNoise += res.Weights[j]
+	}
+	wNoise /= float64(len(res.Weights) - 3)
+	if wInfo <= wNoise {
+		t.Errorf("informative weight %v not above noise weight %v", wInfo, wNoise)
+	}
+}
+
+func TestFeedbackWithoutRelevantStops(t *testing.T) {
+	ds := plantedDS(t, 200, 10, 6, 3)
+	res, err := Run(ds, ds.PointCopy(150), func(int) bool { return false }, Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelevantSeen != 0 {
+		t.Errorf("relevant seen = %d", res.RelevantSeen)
+	}
+	if len(res.Neighbors) != 10 {
+		t.Errorf("neighbors = %d", len(res.Neighbors))
+	}
+	for _, w := range res.Weights {
+		if w != 1 {
+			t.Errorf("weights changed without feedback: %v", res.Weights)
+			break
+		}
+	}
+}
+
+func TestFeedbackNoRelevantEqualsPlainKNN(t *testing.T) {
+	// When the judge never marks anything relevant, the loop learns
+	// nothing and the answer must equal plain k-NN.
+	ds := plantedDS(t, 300, 30, 8, 4)
+	query := ds.PointCopy(5)
+	res, err := Run(ds, query, func(int) bool { return false }, Config{K: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := knn.Search(ds, query, 15, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Neighbors[i].Pos != want[i].Pos {
+			t.Fatalf("no-feedback run differs from plain k-NN at rank %d", i)
+		}
+	}
+}
+
+func TestFeedbackDisableReweight(t *testing.T) {
+	ds := plantedDS(t, 400, 40, 10, 5)
+	judge := func(id int) bool { return id < 40 }
+	res, err := Run(ds, ds.PointCopy(0), judge, Config{K: 30, Rounds: 2, DisableReweight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Weights {
+		if w != 1 {
+			t.Fatal("weights changed with reweighting disabled")
+		}
+	}
+}
+
+func TestFeedbackOnCase1VsInteractiveRegime(t *testing.T) {
+	// Not a strict comparison (that lives in the experiments package) —
+	// just assert the baseline is functional on the paper's workload.
+	rng := rand.New(rand.NewSource(6))
+	pd, err := synth.Case1(1200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := pd.Members(0)
+	rel := map[int]bool{}
+	for _, m := range members {
+		rel[pd.Data.ID(m)] = true
+	}
+	res, err := Run(pd.Data, pd.Data.PointCopy(members[0]), func(id int) bool { return rel[id] },
+		Config{K: len(members), Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, nb := range res.Neighbors {
+		if rel[nb.ID] {
+			hits++
+		}
+	}
+	if hits*3 < len(members) {
+		t.Errorf("feedback recovered only %d of %d", hits, len(members))
+	}
+}

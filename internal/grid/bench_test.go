@@ -1,0 +1,81 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+)
+
+func benchGrid(b *testing.B, p int) *kde.Grid {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	m := linalg.NewMatrix(5000, 2)
+	for i := 0; i < 2500; i++ {
+		m.Set(i, 0, r.NormFloat64())
+		m.Set(i, 1, r.NormFloat64())
+	}
+	for i := 2500; i < 5000; i++ {
+		m.Set(i, 0, 10+r.NormFloat64())
+		m.Set(i, 1, 10+r.NormFloat64())
+	}
+	g, err := kde.Estimate2D(m, kde.Options{GridSize: p})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkFindRegion48(b *testing.B) {
+	g := benchGrid(b, 48)
+	tau := 0.2 * g.MaxDensity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindRegion(g, 0, 0, tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindRegion96(b *testing.B) {
+	g := benchGrid(b, 96)
+	tau := 0.2 * g.MaxDensity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindRegion(g, 0, 0, tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComponentCount48(b *testing.B) {
+	g := benchGrid(b, 48)
+	tau := 0.2 * g.MaxDensity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComponentCount(g, tau)
+	}
+}
+
+func BenchmarkPolygonSelect(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = r.NormFloat64(), r.NormFloat64()
+	}
+	lines := []Line{
+		{X1: 1, Y1: -9, X2: 1, Y2: 9},
+		{X1: -1, Y1: -9, X2: -1, Y2: 9},
+		{X1: -9, Y1: 1, X2: 9, Y2: 1},
+		{X1: -9, Y1: -1, X2: 9, Y2: -1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PolygonSelect(xs, ys, 0, 0, lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

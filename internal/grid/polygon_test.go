@@ -1,0 +1,138 @@
+package grid
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolygonSelectSingleLine(t *testing.T) {
+	xs := []float64{-1, 1, 2, -3}
+	ys := []float64{0, 0, 5, -5}
+	// Vertical line x = 0; query on the negative side.
+	lines := []Line{{X1: 0, Y1: -10, X2: 0, Y2: 10}}
+	got, err := PolygonSelect(xs, ys, -5, 0, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("selected %v, want %v", got, want)
+	}
+}
+
+func TestPolygonSelectBox(t *testing.T) {
+	// Four lines forming a unit box around the query at the origin.
+	lines := []Line{
+		{X1: 1, Y1: -9, X2: 1, Y2: 9},   // x = 1
+		{X1: -1, Y1: -9, X2: -1, Y2: 9}, // x = −1
+		{X1: -9, Y1: 1, X2: 9, Y2: 1},   // y = 1
+		{X1: -9, Y1: -1, X2: 9, Y2: -1}, // y = −1
+	}
+	xs := []float64{0, 0.5, -0.5, 2, 0, -2}
+	ys := []float64{0, 0.5, -0.9, 0, 3, -3}
+	got, err := PolygonSelect(xs, ys, 0, 0, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("selected %v, want [0 1 2]", got)
+	}
+}
+
+func TestPolygonSelectNoLines(t *testing.T) {
+	got, err := PolygonSelect([]float64{1, 2}, []float64{3, 4}, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("no-lines selection = %v", got)
+	}
+}
+
+func TestPolygonSelectOnLineIsInside(t *testing.T) {
+	lines := []Line{{X1: 0, Y1: -1, X2: 0, Y2: 1}}
+	got, err := PolygonSelect([]float64{0}, []float64{5}, -1, 0, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Error("point on the separating line should be inside")
+	}
+}
+
+func TestPolygonSelectQueryOnLineIgnoresIt(t *testing.T) {
+	// The query sits exactly on the line: the line separates nothing.
+	lines := []Line{{X1: 0, Y1: -1, X2: 0, Y2: 1}}
+	got, err := PolygonSelect([]float64{-3, 3}, []float64{0, 0}, 0, 0, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("query-on-line selection = %v, want both points", got)
+	}
+}
+
+func TestPolygonSelectErrors(t *testing.T) {
+	if _, err := PolygonSelect([]float64{1}, []float64{1, 2}, 0, 0, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := []Line{{X1: 1, Y1: 1, X2: 1, Y2: 1}}
+	if _, err := PolygonSelect([]float64{1}, []float64{1}, 0, 0, bad); !errors.Is(err, ErrDegenerateLine) {
+		t.Errorf("degenerate line: %v", err)
+	}
+}
+
+func TestPropertyPolygonQueryAlwaysSelected(t *testing.T) {
+	// The query's own location must always be inside its region.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		qx, qy := rr.NormFloat64(), rr.NormFloat64()
+		lines := make([]Line, 1+rr.Intn(4))
+		for i := range lines {
+			lines[i] = Line{
+				X1: rr.NormFloat64()*3 + 1, Y1: rr.NormFloat64() * 3,
+				X2: rr.NormFloat64() * 3, Y2: rr.NormFloat64()*3 + 1,
+			}
+		}
+		got, err := PolygonSelect([]float64{qx}, []float64{qy}, qx, qy, lines)
+		return err == nil && len(got) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPolygonMonotoneInLines(t *testing.T) {
+	// Adding a line can only shrink the selection.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 5 + rr.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i], ys[i] = rr.NormFloat64()*5, rr.NormFloat64()*5
+		}
+		var lines []Line
+		prev := n + 1
+		for step := 0; step < 3; step++ {
+			lines = append(lines, Line{
+				X1: rr.NormFloat64()*4 + 2, Y1: rr.NormFloat64() * 4,
+				X2: rr.NormFloat64() * 4, Y2: rr.NormFloat64()*4 + 2,
+			})
+			got, err := PolygonSelect(xs, ys, 0, 0, lines)
+			if err != nil {
+				return false
+			}
+			if len(got) > prev {
+				return false
+			}
+			prev = len(got)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

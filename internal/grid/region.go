@@ -1,0 +1,207 @@
+// Package grid implements the density-connectivity machinery of §2.3 of
+// the paper: given a kernel density grid and a noise threshold τ, it
+// computes R(τ, Q) — the set of elementary grid rectangles connected to
+// the rectangle containing the query point through adjacent rectangles
+// having at least three corners with density above τ (Definition 2.2) —
+// and classifies data points by membership in that region.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"innsearch/internal/kde"
+)
+
+// ErrQueryOutsideGrid is returned when the query point does not fall on
+// the density grid.
+var ErrQueryOutsideGrid = errors.New("grid: query point outside density grid")
+
+// Region is the set of elementary rectangles R(τ, Q) for one density grid.
+type Region struct {
+	Grid *kde.Grid
+	Tau  float64
+	// member[cy*(P-1)+cx] reports whether cell (cx, cy) belongs to the
+	// region.
+	member []bool
+	// QueryCX, QueryCY locate the rectangle containing the query point.
+	QueryCX, QueryCY int
+	// Cells is the number of member rectangles (0 when even the query's
+	// own rectangle fails the corner test).
+	Cells int
+}
+
+// FindRegion computes R(τ, Q) by breadth-first search from the rectangle
+// containing (qx, qy) over side-adjacent rectangles satisfying the
+// ≥3-corners-above-τ rule. Definition 2.2 requires every rectangle on the
+// connecting path — including the query's own — to satisfy the rule, so
+// when the query rectangle fails the region is empty.
+func FindRegion(g *kde.Grid, qx, qy, tau float64) (*Region, error) {
+	if math.IsNaN(tau) {
+		return nil, fmt.Errorf("grid: NaN noise threshold")
+	}
+	cx, cy, ok := g.CellOf(qx, qy)
+	if !ok {
+		return nil, fmt.Errorf("%w: (%v, %v)", ErrQueryOutsideGrid, qx, qy)
+	}
+	side := g.P - 1
+	r := &Region{
+		Grid:    g,
+		Tau:     tau,
+		member:  make([]bool, side*side),
+		QueryCX: cx,
+		QueryCY: cy,
+	}
+	if !cellQualifies(g, cx, cy, tau) {
+		return r, nil
+	}
+	// BFS over side-adjacent qualifying rectangles.
+	type cell struct{ x, y int }
+	queue := []cell{{cx, cy}}
+	r.member[cy*side+cx] = true
+	r.Cells = 1
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, nb := range [4]cell{{c.x - 1, c.y}, {c.x + 1, c.y}, {c.x, c.y - 1}, {c.x, c.y + 1}} {
+			if nb.x < 0 || nb.y < 0 || nb.x >= side || nb.y >= side {
+				continue
+			}
+			idx := nb.y*side + nb.x
+			if r.member[idx] || !cellQualifies(g, nb.x, nb.y, tau) {
+				continue
+			}
+			r.member[idx] = true
+			r.Cells++
+			queue = append(queue, nb)
+		}
+	}
+	return r, nil
+}
+
+// cellQualifies reports whether at least three of the four corners of the
+// elementary rectangle (cx, cy) have density strictly above tau. With
+// τ = 0 every rectangle qualifies (Gaussian kernels are everywhere
+// positive), matching the paper's "τ = 0 includes all points".
+func cellQualifies(g *kde.Grid, cx, cy int, tau float64) bool {
+	if tau <= 0 {
+		// Gaussian density is positive everywhere in exact arithmetic;
+		// far tails underflow to 0 in floating point, so τ ≤ 0 admits
+		// every rectangle explicitly.
+		return true
+	}
+	above := 0
+	if g.At(cx, cy) > tau {
+		above++
+	}
+	if g.At(cx+1, cy) > tau {
+		above++
+	}
+	if g.At(cx, cy+1) > tau {
+		above++
+	}
+	if g.At(cx+1, cy+1) > tau {
+		above++
+	}
+	return above >= 3
+}
+
+// ContainsCell reports whether rectangle (cx, cy) belongs to the region.
+func (r *Region) ContainsCell(cx, cy int) bool {
+	side := r.Grid.P - 1
+	if cx < 0 || cy < 0 || cx >= side || cy >= side {
+		return false
+	}
+	return r.member[cy*side+cx]
+}
+
+// ContainsPoint reports whether the 2-D point (x, y) falls inside a member
+// rectangle.
+func (r *Region) ContainsPoint(x, y float64) bool {
+	cx, cy, ok := r.Grid.CellOf(x, y)
+	if !ok {
+		return false
+	}
+	return r.ContainsCell(cx, cy)
+}
+
+// Empty reports whether the region has no member rectangles.
+func (r *Region) Empty() bool { return r.Cells == 0 }
+
+// Area returns the total area covered by the member rectangles.
+func (r *Region) Area() float64 {
+	return float64(r.Cells) * r.Grid.StepX() * r.Grid.StepY()
+}
+
+// Mass returns the approximate probability mass inside the region,
+// integrating the mean corner density over each member rectangle.
+func (r *Region) Mass() float64 {
+	side := r.Grid.P - 1
+	cell := r.Grid.StepX() * r.Grid.StepY()
+	var mass float64
+	for cy := 0; cy < side; cy++ {
+		for cx := 0; cx < side; cx++ {
+			if !r.member[cy*side+cx] {
+				continue
+			}
+			avg := (r.Grid.At(cx, cy) + r.Grid.At(cx+1, cy) +
+				r.Grid.At(cx, cy+1) + r.Grid.At(cx+1, cy+1)) / 4
+			mass += avg * cell
+		}
+	}
+	return mass
+}
+
+// SelectPoints returns the indices (rows of pts, an n×2 matrix of projected
+// coordinates) of points lying inside the region.
+func (r *Region) SelectPoints(xs, ys []float64) []int {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("grid: SelectPoints length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	var out []int
+	for i := range xs {
+		if r.ContainsPoint(xs[i], ys[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ComponentCount returns the number of connected components of qualifying
+// rectangles over the whole grid at threshold tau (not just the query's
+// component). The paper's density-separated views show several closed
+// contours; this statistic lets automated users and tests reason about
+// how many clusters a threshold separates.
+func ComponentCount(g *kde.Grid, tau float64) int {
+	side := g.P - 1
+	seen := make([]bool, side*side)
+	count := 0
+	type cell struct{ x, y int }
+	for sy := 0; sy < side; sy++ {
+		for sx := 0; sx < side; sx++ {
+			if seen[sy*side+sx] || !cellQualifies(g, sx, sy, tau) {
+				continue
+			}
+			count++
+			queue := []cell{{sx, sy}}
+			seen[sy*side+sx] = true
+			for len(queue) > 0 {
+				c := queue[0]
+				queue = queue[1:]
+				for _, nb := range [4]cell{{c.x - 1, c.y}, {c.x + 1, c.y}, {c.x, c.y - 1}, {c.x, c.y + 1}} {
+					if nb.x < 0 || nb.y < 0 || nb.x >= side || nb.y >= side {
+						continue
+					}
+					idx := nb.y*side + nb.x
+					if seen[idx] || !cellQualifies(g, nb.x, nb.y, tau) {
+						continue
+					}
+					seen[idx] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return count
+}

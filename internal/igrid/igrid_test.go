@@ -1,0 +1,198 @@
+package igrid
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/knn"
+	"innsearch/internal/metric"
+)
+
+func mustDS(t testing.TB, rows [][]float64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds := mustDS(t, [][]float64{{1, 2}, {3, 4}})
+	if _, err := Build(nil, 2, 1); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Build(ds, 0, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("kd=0: %v", err)
+	}
+	if _, err := Build(ds, 2, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("p=0: %v", err)
+	}
+}
+
+func TestSimilaritySelfIsMaximal(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds := mustDS(t, rows)
+	idx, err := Build(ds, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := idx.Similarity(ds.PointCopy(7), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(self-3) > 1e-9 {
+		t.Errorf("self similarity = %v, want dim=3", self)
+	}
+}
+
+func TestSimilarityIgnoresNonSharedBands(t *testing.T) {
+	// Two dims; points placed so bands are predictable with kd=2.
+	rows := [][]float64{{0, 0}, {1, 0}, {10, 0}, {11, 0}, {0, 10}, {1, 10}, {10, 10}, {11, 10}}
+	ds := mustDS(t, rows)
+	idx, err := Build(ds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query at (0.5, 0.2): shares the low band with points 0,1 in both
+	// dims; with point 2 it shares only dim 1.
+	simSame, err := idx.Similarity([]float64{0.5, 0.2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simHalf, err := idx.Similarity([]float64{0.5, 0.2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simSame <= simHalf {
+		t.Errorf("same-band similarity %v not above cross-band %v", simSame, simHalf)
+	}
+}
+
+func TestSearchRecoversSubspaceCluster(t *testing.T) {
+	// A cluster tight in dims 0–2 of 12, noise elsewhere: IGrid should
+	// rank cluster members above random points, beating plain L2.
+	r := rand.New(rand.NewSource(2))
+	n, d, clusterN := 1200, 12, 70
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			if i < clusterN && j < 3 {
+				row[j] = 50 + r.NormFloat64()*0.5
+			} else {
+				row[j] = r.Float64() * 100
+			}
+		}
+		rows[i] = row
+	}
+	ds := mustDS(t, rows)
+	idx, err := Build(ds, d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := ds.PointCopy(0)
+	got, err := idx.Search(query, clusterN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	igridHits := 0
+	for _, nb := range got {
+		if nb.ID < clusterN {
+			igridHits++
+		}
+	}
+	l2, err := knn.Search(ds, query, clusterN, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2Hits := 0
+	for _, nb := range l2 {
+		if nb.ID < clusterN {
+			l2Hits++
+		}
+	}
+	t.Logf("igrid %d/%d, L2 %d/%d", igridHits, clusterN, l2Hits, clusterN)
+	if igridHits <= l2Hits {
+		t.Errorf("IGrid hits %d not above L2 hits %d", igridHits, l2Hits)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds := mustDS(t, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	idx, err := Build(ds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Search([]float64{1, 2}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := idx.Search([]float64{1}, 2); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	got, err := idx.Search([]float64{1, 2}, 99)
+	if err != nil || len(got) != 3 {
+		t.Errorf("clamp: %d, %v", len(got), err)
+	}
+}
+
+func TestConstantAttribute(t *testing.T) {
+	rows := [][]float64{{1, 5}, {2, 5}, {3, 5}}
+	ds := mustDS(t, rows)
+	idx, err := Build(ds, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := idx.Similarity([]float64{1, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical in both dims; constant dim contributes its full unit.
+	if math.Abs(s-2) > 1e-9 {
+		t.Errorf("similarity = %v, want 2", s)
+	}
+}
+
+func TestPropertySimilarityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n, d := 10+rr.Intn(80), 1+rr.Intn(8)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rr.NormFloat64() * 10
+			}
+		}
+		ds, err := dataset.New(rows, nil)
+		if err != nil {
+			return false
+		}
+		idx, err := Build(ds, 1+rr.Intn(6), 0.5+rr.Float64()*3)
+		if err != nil {
+			return false
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rr.NormFloat64() * 10
+		}
+		for i := 0; i < n; i++ {
+			s, err := idx.Similarity(q, i)
+			if err != nil || s < 0 || s > float64(d)+1e-9 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package knn provides exact brute-force k-nearest-neighbor search under
+// arbitrary metrics, plus the full-dimensional k-NN majority-vote
+// classifier the paper uses as the baseline in Table 2. For the data
+// sizes of the paper's evaluation (N ≤ a few thousand) a linear scan with
+// a bounded max-heap is both exact and fast, which keeps baseline quality
+// arguments free of index-approximation confounders.
+package knn
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/metric"
+)
+
+// ErrBadK is returned when k is not positive.
+var ErrBadK = errors.New("knn: k must be positive")
+
+// Neighbor is one search result: the position of the point in the dataset
+// it was searched in, its original ID, and its distance from the query.
+type Neighbor struct {
+	Pos  int
+	ID   int
+	Dist float64
+}
+
+// maxHeap keeps the k closest candidates with the farthest on top.
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Search returns the k nearest neighbors of query in ds under m, ordered
+// by increasing distance (ties broken by position for determinism). When
+// k exceeds the dataset size, all points are returned.
+func Search(ds *dataset.Dataset, query []float64, k int, m metric.Metric) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	if len(query) != ds.Dim() {
+		return nil, fmt.Errorf("knn: query dim %d, dataset dim %d", len(query), ds.Dim())
+	}
+	if k > ds.N() {
+		k = ds.N()
+	}
+	h := make(maxHeap, 0, k+1)
+	for i := 0; i < ds.N(); i++ {
+		d := m.Distance(query, ds.Point(i))
+		if len(h) < k {
+			heap.Push(&h, Neighbor{Pos: i, ID: ds.ID(i), Dist: d})
+		} else if d < h[0].Dist {
+			h[0] = Neighbor{Pos: i, ID: ds.ID(i), Dist: d}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Neighbor(h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Pos < out[b].Pos
+	})
+	return out, nil
+}
+
+// Distances returns the distance from query to every point of ds under m,
+// indexed by position. It is the building block for the contrast
+// diagnostics.
+func Distances(ds *dataset.Dataset, query []float64, m metric.Metric) ([]float64, error) {
+	if len(query) != ds.Dim() {
+		return nil, fmt.Errorf("knn: query dim %d, dataset dim %d", len(query), ds.Dim())
+	}
+	out := make([]float64, ds.N())
+	for i := range out {
+		out[i] = m.Distance(query, ds.Point(i))
+	}
+	return out, nil
+}
+
+// Classify predicts a label for the query by majority vote among its k
+// nearest neighbors under m; ties break toward the smaller label for
+// determinism. The dataset must be labeled.
+func Classify(ds *dataset.Dataset, query []float64, k int, m metric.Metric) (int, error) {
+	if !ds.Labeled() {
+		return 0, errors.New("knn: classify on unlabeled dataset")
+	}
+	nbrs, err := Search(ds, query, k, m)
+	if err != nil {
+		return 0, err
+	}
+	votes := map[int]int{}
+	for _, nb := range nbrs {
+		votes[ds.Label(nb.Pos)]++
+	}
+	best, bestVotes := 0, -1
+	for label, v := range votes {
+		if v > bestVotes || (v == bestVotes && label < best) {
+			best, bestVotes = label, v
+		}
+	}
+	return best, nil
+}
+
+// VoteAmong predicts a label by majority vote over an explicit set of
+// dataset positions (used to classify from an interactive session's
+// result set). Ties break toward the smaller label.
+func VoteAmong(ds *dataset.Dataset, positions []int) (int, error) {
+	if !ds.Labeled() {
+		return 0, errors.New("knn: vote on unlabeled dataset")
+	}
+	if len(positions) == 0 {
+		return 0, errors.New("knn: vote over empty set")
+	}
+	votes := map[int]int{}
+	for _, p := range positions {
+		votes[ds.Label(p)]++
+	}
+	best, bestVotes := 0, -1
+	for label, v := range votes {
+		if v > bestVotes || (v == bestVotes && label < best) {
+			best, bestVotes = label, v
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,232 @@
+package knn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/metric"
+)
+
+func lineDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.New([][]float64{{0}, {1}, {2}, {3}, {10}}, []int{0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSearchBasic(t *testing.T) {
+	ds := lineDataset(t)
+	nbrs, err := Search(ds, []float64{1.2}, 2, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 || nbrs[0].Pos != 1 || nbrs[1].Pos != 2 {
+		t.Fatalf("neighbors = %+v", nbrs)
+	}
+	if math.Abs(nbrs[0].Dist-0.2) > 1e-12 {
+		t.Errorf("dist = %v", nbrs[0].Dist)
+	}
+}
+
+func TestSearchKClamped(t *testing.T) {
+	ds := lineDataset(t)
+	nbrs, err := Search(ds, []float64{0}, 99, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 5 {
+		t.Fatalf("len %d", len(nbrs))
+	}
+	// Sorted ascending by distance.
+	if !sort.SliceIsSorted(nbrs, func(a, b int) bool { return nbrs[a].Dist < nbrs[b].Dist }) {
+		t.Error("results not sorted")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ds := lineDataset(t)
+	if _, err := Search(ds, []float64{0}, 0, metric.Euclidean{}); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := Search(ds, []float64{0, 0}, 1, metric.Euclidean{}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestSearchTieDeterminism(t *testing.T) {
+	ds, err := dataset.New([][]float64{{1}, {-1}, {1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := Search(ds, []float64{0}, 3, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All at distance 1: ties break by position.
+	if nbrs[0].Pos != 0 || nbrs[1].Pos != 1 || nbrs[2].Pos != 2 {
+		t.Errorf("tie order = %+v", nbrs)
+	}
+}
+
+func TestSearchPreservesIDsThroughSubset(t *testing.T) {
+	ds := lineDataset(t)
+	sub, err := ds.Subset([]int{4, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := Search(sub, []float64{9}, 1, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbrs[0].ID != 4 {
+		t.Errorf("ID = %d, want original 4", nbrs[0].ID)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	ds := lineDataset(t)
+	d, err := Distances(ds, []float64{2}, metric.Manhattan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 1, 0, 1, 8}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("d[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+	if _, err := Distances(ds, []float64{1, 2}, metric.Euclidean{}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	ds := lineDataset(t)
+	label, err := Classify(ds, []float64{0.4}, 2, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 0 {
+		t.Errorf("label = %d, want 0", label)
+	}
+	label, err = Classify(ds, []float64{2.6}, 3, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 1 {
+		t.Errorf("label = %d, want 1", label)
+	}
+}
+
+func TestClassifyUnlabeled(t *testing.T) {
+	ds, _ := dataset.New([][]float64{{1}}, nil)
+	if _, err := Classify(ds, []float64{1}, 1, metric.Euclidean{}); err == nil {
+		t.Error("unlabeled classify accepted")
+	}
+}
+
+func TestClassifyTieBreaksTowardSmallerLabel(t *testing.T) {
+	ds, err := dataset.New([][]float64{{0}, {2}}, []int{7, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, err := Classify(ds, []float64{1}, 2, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 3 {
+		t.Errorf("tie label = %d, want 3", label)
+	}
+}
+
+func TestVoteAmong(t *testing.T) {
+	ds := lineDataset(t)
+	label, err := VoteAmong(ds, []int{2, 3, 4})
+	if err != nil || label != 1 {
+		t.Errorf("vote = %d, %v", label, err)
+	}
+	if _, err := VoteAmong(ds, nil); err == nil {
+		t.Error("empty vote accepted")
+	}
+	un, _ := dataset.New([][]float64{{1}}, nil)
+	if _, err := VoteAmong(un, []int{0}); err == nil {
+		t.Error("unlabeled vote accepted")
+	}
+}
+
+func TestPropertySearchMatchesFullSort(t *testing.T) {
+	// Heap-based top-k must agree with sorting all distances.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n, d := 5+rr.Intn(80), 1+rr.Intn(6)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rr.NormFloat64()
+			}
+		}
+		ds, err := dataset.New(rows, nil)
+		if err != nil {
+			return false
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rr.NormFloat64()
+		}
+		k := 1 + rr.Intn(n)
+		got, err := Search(ds, q, k, metric.Euclidean{})
+		if err != nil {
+			return false
+		}
+		dists, _ := Distances(ds, q, metric.Euclidean{})
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if dists[idx[a]] != dists[idx[b]] {
+				return dists[idx[a]] < dists[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		for i := 0; i < k; i++ {
+			if got[i].Pos != idx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSearch5000x20(b *testing.B) {
+	rr := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 5000)
+	for i := range rows {
+		rows[i] = make([]float64, 20)
+		for j := range rows[i] {
+			rows[i][j] = rr.Float64()
+		}
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := rows[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(ds, q, 10, metric.Euclidean{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

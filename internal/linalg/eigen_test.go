@@ -1,0 +1,217 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	res, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i, v := range res.Values {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Errorf("value[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	// Eigenvector for value 1 must be ±e1.
+	v := res.Vectors[0]
+	if math.Abs(math.Abs(v[1])-1) > 1e-10 {
+		t.Errorf("eigvec for λ=1: %v", v)
+	}
+}
+
+func TestSymEigen2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3 with vectors (1,-1)/√2, (1,1)/√2.
+	a, _ := MatrixFromRows([]Vector{{2, 1}, {1, 2}})
+	res, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[0]-1) > 1e-12 || math.Abs(res.Values[1]-3) > 1e-12 {
+		t.Fatalf("values = %v", res.Values)
+	}
+	v0 := res.Vectors[0]
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-10 || math.Abs(v0[0]+v0[1]) > 1e-10 {
+		t.Errorf("eigvec λ=1: %v", v0)
+	}
+}
+
+func TestSymEigenRejectsNonSymmetric(t *testing.T) {
+	a, _ := MatrixFromRows([]Vector{{1, 5}, {0, 1}})
+	if _, err := SymEigen(a); err == nil {
+		t.Fatal("expected ErrNotSymmetric")
+	}
+	if _, err := SymEigen(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square")
+	}
+}
+
+func TestSymEigenEmptyAndOne(t *testing.T) {
+	res, err := SymEigen(NewMatrix(0, 0))
+	if err != nil || len(res.Values) != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+	a := NewMatrix(1, 1)
+	a.Set(0, 0, -7)
+	res, err = SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != -7 || math.Abs(math.Abs(res.Vectors[0][0])-1) > 1e-15 {
+		t.Fatalf("1x1: %v", res)
+	}
+}
+
+func TestSymEigenZeroMatrix(t *testing.T) {
+	res, err := SymEigen(NewMatrix(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values {
+		if v != 0 {
+			t.Errorf("zero matrix eigenvalue %v", v)
+		}
+	}
+	// Vectors must still be orthonormal.
+	for i := range res.Vectors {
+		for j := i; j < len(res.Vectors); j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(res.Vectors[i].Dot(res.Vectors[j])-want) > 1e-12 {
+				t.Errorf("vectors not orthonormal")
+			}
+		}
+	}
+}
+
+// randomSymmetric builds a random symmetric matrix A = BᵀB − shift·I.
+func randomSymmetric(r *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat64()
+	}
+	a, _ := b.T().Mul(b)
+	shift := r.NormFloat64()
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)-shift)
+	}
+	return a
+}
+
+func TestPropertyEigenReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(12)
+		a := randomSymmetric(rr, n)
+		res, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		rec := res.Reconstruct()
+		scale := math.Max(a.MaxAbs(), 1)
+		for i := range a.Data {
+			if math.Abs(a.Data[i]-rec.Data[i]) > 1e-8*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEigenOrthonormalSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(10)
+		res, err := SymEigen(randomSymmetric(rr, n))
+		if err != nil {
+			return false
+		}
+		if !sort.Float64sAreSorted(res.Values) {
+			return false
+		}
+		for i := range res.Vectors {
+			for j := i; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(res.Vectors[i].Dot(res.Vectors[j])-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEigenTraceAndResidual(t *testing.T) {
+	// Trace preservation and A·v = λ·v.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(10)
+		a := randomSymmetric(rr, n)
+		res, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		for _, v := range res.Values {
+			sum += v
+		}
+		if math.Abs(trace-sum) > 1e-8*math.Max(math.Abs(trace), 1) {
+			return false
+		}
+		for k, lam := range res.Values {
+			av, _ := a.MulVec(res.Vectors[k])
+			want := res.Vectors[k].Scale(lam)
+			if !av.ApproxEqual(want, 1e-7*math.Max(a.MaxAbs(), 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymEigenLargeCovariance(t *testing.T) {
+	// Realistic workload: covariance of 200 points in 40 dims.
+	r := rand.New(rand.NewSource(7))
+	rows := make([]Vector, 200)
+	for i := range rows {
+		rows[i] = randomVector(r, 40)
+	}
+	m, _ := MatrixFromRows(rows)
+	cov := m.Covariance()
+	res, err := SymEigen(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values {
+		if v < -1e-8 {
+			t.Errorf("covariance eigenvalue %v < 0", v)
+		}
+	}
+}

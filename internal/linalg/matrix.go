@@ -1,0 +1,245 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// MatrixFromRows builds a matrix whose rows are the given vectors, which
+// must all share the same dimension.
+func MatrixFromRows(rows []Vector) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimensionMismatch, i, len(r), c)
+		}
+		copy(m.Data[i*c:(i+1)*c], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a Vector sharing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// RowCopy returns a copy of row i.
+func (m *Matrix) RowCopy(i int) Vector { return m.Row(i).Clone() }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	v := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		v[i] = m.At(i, j)
+	}
+	return v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bkj := range bk {
+				oi[j] += mik * bkj
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·v for a column vector v.
+func (m *Matrix) MulVec(v Vector) (Vector, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("%w: mulvec %dx%d by %d", ErrDimensionMismatch, m.Rows, m.Cols, len(v))
+	}
+	out := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(v)
+	}
+	return out, nil
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute entry of m (0 for an empty matrix).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, x := range m.Data {
+		if a := math.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// String renders a small matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Matrix %dx%d\n", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&sb, "% .4g ", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Mean returns the column-wise mean of the rows of m.
+func (m *Matrix) Mean() Vector {
+	mean := make(Vector, m.Cols)
+	if m.Rows == 0 {
+		return mean
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			mean[j] += x
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range mean {
+		mean[j] *= inv
+	}
+	return mean
+}
+
+// Covariance returns the sample covariance matrix of the rows of m
+// (normalized by n, the maximum-likelihood estimator, matching the paper's
+// usage where only ratios of variances matter). The matrix has shape
+// Cols×Cols and is exactly symmetric by construction. An empty or
+// single-row input yields the zero matrix.
+func (m *Matrix) Covariance() *Matrix {
+	d := m.Cols
+	cov := NewMatrix(d, d)
+	n := m.Rows
+	if n < 2 {
+		return cov
+	}
+	mean := m.Mean()
+	centered := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := m.Data[i*d : (i+1)*d]
+		for j := range centered {
+			centered[j] = row[j] - mean[j]
+		}
+		for a := 0; a < d; a++ {
+			ca := centered[a]
+			if ca == 0 {
+				continue
+			}
+			rowA := cov.Data[a*d:]
+			for b := a; b < d; b++ {
+				rowA[b] += ca * centered[b]
+			}
+		}
+	}
+	inv := 1 / float64(n)
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.At(a, b) * inv
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov
+}
+
+// VarianceAlong returns the variance of the rows of m when projected onto
+// the (not necessarily unit) direction dir, normalized by n. The direction
+// is normalized internally; a zero direction yields 0.
+func (m *Matrix) VarianceAlong(dir Vector) float64 {
+	if len(dir) != m.Cols {
+		panic("linalg: VarianceAlong dimension mismatch")
+	}
+	u := dir.Clone()
+	if u.Normalize() == 0 || m.Rows < 2 {
+		return 0
+	}
+	var sum, sumSq float64
+	for i := 0; i < m.Rows; i++ {
+		p := Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(u)
+		sum += p
+		sumSq += p * p
+	}
+	n := float64(m.Rows)
+	mean := sum / n
+	v := sumSq/n - mean*mean
+	if v < 0 { // numeric noise
+		v = 0
+	}
+	return v
+}

@@ -1,0 +1,199 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 5)
+	m.Set(1, 1, -2)
+	if m.At(0, 2) != 5 || m.At(1, 1) != -2 || m.At(1, 0) != 0 {
+		t.Fatalf("At/Set wrong: %v", m)
+	}
+	if got := m.Row(0); !got.ApproxEqual(Vector{1, 0, 5}, 0) {
+		t.Errorf("Row = %v", got)
+	}
+	if got := m.Col(1); !got.ApproxEqual(Vector{0, -2}, 0) {
+		t.Errorf("Col = %v", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([]Vector{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("bad matrix: %v", m)
+	}
+	if _, err := MatrixFromRows([]Vector{{1, 2}, {3}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("want ErrDimensionMismatch, got %v", err)
+	}
+	empty, err := MatrixFromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Errorf("empty: %v %v", empty, err)
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m, _ := MatrixFromRows([]Vector{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, _ := MatrixFromRows([]Vector{{1, 2}, {3, 4}})
+	b, _ := MatrixFromRows([]Vector{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := MatrixFromRows([]Vector{{19, 22}, {43, 50}})
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v, want %v", got, want)
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("want mismatch error, got %v", err)
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a, _ := MatrixFromRows([]Vector{{1, 2, 3}, {4, 5, 6}})
+	got, err := a.MulVec(Vector{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(Vector{-2, -2}, 0) {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := a.MulVec(Vector{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("want mismatch error, got %v", err)
+	}
+}
+
+func TestMatrixMean(t *testing.T) {
+	m, _ := MatrixFromRows([]Vector{{1, 10}, {3, 20}, {5, 30}})
+	if got := m.Mean(); !got.ApproxEqual(Vector{3, 20}, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := NewMatrix(0, 2).Mean(); !got.ApproxEqual(Vector{0, 0}, 0) {
+		t.Errorf("empty Mean = %v", got)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Points on a line y = 2x: cov = [[var(x), 2var(x)], [2var(x), 4var(x)]].
+	m, _ := MatrixFromRows([]Vector{{-1, -2}, {0, 0}, {1, 2}})
+	cov := m.Covariance()
+	varX := 2.0 / 3.0 // ML estimator over {-1,0,1}
+	want := [][]float64{{varX, 2 * varX}, {2 * varX, 4 * varX}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(cov.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("cov[%d][%d] = %v, want %v", i, j, cov.At(i, j), want[i][j])
+			}
+		}
+	}
+	if !cov.IsSymmetric(0) {
+		t.Error("covariance not exactly symmetric")
+	}
+}
+
+func TestCovarianceDegenerate(t *testing.T) {
+	for _, rows := range [][]Vector{nil, {{1, 2}}} {
+		m, _ := MatrixFromRows(rows)
+		cov := m.Covariance()
+		if cov.MaxAbs() != 0 {
+			t.Errorf("degenerate covariance should be zero, got %v", cov)
+		}
+	}
+}
+
+func TestVarianceAlong(t *testing.T) {
+	m, _ := MatrixFromRows([]Vector{{-1, 5}, {0, 5}, {1, 5}})
+	// Along x: variance 2/3. Along y (constant): 0.
+	if got := m.VarianceAlong(Vector{1, 0}); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("var along x = %v", got)
+	}
+	if got := m.VarianceAlong(Vector{0, 1}); got != 0 {
+		t.Errorf("var along const = %v", got)
+	}
+	// Direction scaling must not matter.
+	if a, b := m.VarianceAlong(Vector{2, 0}), m.VarianceAlong(Vector{1, 0}); math.Abs(a-b) > 1e-12 {
+		t.Errorf("scale dependence: %v vs %v", a, b)
+	}
+	if got := m.VarianceAlong(Vector{0, 0}); got != 0 {
+		t.Errorf("zero direction = %v", got)
+	}
+}
+
+func TestPropertyCovariancePSD(t *testing.T) {
+	// Covariance matrices must be positive semi-definite: xᵀΣx ≥ 0.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n, d := 2+rr.Intn(40), 1+rr.Intn(8)
+		rows := make([]Vector, n)
+		for i := range rows {
+			rows[i] = randomVector(rr, d)
+		}
+		m, _ := MatrixFromRows(rows)
+		cov := m.Covariance()
+		x := randomVector(rr, d)
+		mx, err := cov.MulVec(x)
+		if err != nil {
+			return false
+		}
+		return x.Dot(mx) >= -1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVarianceAlongMatchesCovQuadraticForm(t *testing.T) {
+	// var(data·u) == uᵀ Σ u for unit u.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n, d := 3+rr.Intn(30), 2+rr.Intn(6)
+		rows := make([]Vector, n)
+		for i := range rows {
+			rows[i] = randomVector(rr, d)
+		}
+		m, _ := MatrixFromRows(rows)
+		u := randomVector(rr, d)
+		if u.Norm() == 0 {
+			return true
+		}
+		u.Normalize()
+		cov := m.Covariance()
+		cu, _ := cov.MulVec(u)
+		quad := u.Dot(cu)
+		direct := m.VarianceAlong(u)
+		return math.Abs(quad-direct) <= 1e-8*(1+math.Abs(quad))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

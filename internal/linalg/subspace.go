@@ -1,0 +1,225 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDegenerateBasis is returned when a set of vectors cannot be
+// orthonormalized because it is (numerically) linearly dependent.
+var ErrDegenerateBasis = errors.New("linalg: degenerate basis")
+
+// Subspace is an l-dimensional linear subspace of R^d represented by an
+// orthonormal basis {e1 … el}. It corresponds directly to the paper's
+// subspace E and supports the projection operator Proj(y, E) = (y·e1 … y·el)
+// and the projected distance Pdist.
+type Subspace struct {
+	ambient int
+	basis   []Vector // orthonormal, each of dimension ambient
+}
+
+// NewSubspace orthonormalizes the given spanning vectors (modified copies;
+// the inputs are not mutated) via modified Gram–Schmidt and returns the
+// resulting subspace. Vectors that are numerically dependent on earlier
+// ones are rejected with ErrDegenerateBasis.
+func NewSubspace(ambient int, span []Vector) (*Subspace, error) {
+	s := &Subspace{ambient: ambient}
+	for i, v := range span {
+		if len(v) != ambient {
+			return nil, fmt.Errorf("%w: span vector %d has dim %d, ambient %d",
+				ErrDimensionMismatch, i, len(v), ambient)
+		}
+		if err := s.append(v); err != nil {
+			return nil, fmt.Errorf("span vector %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// FullSpace returns R^d itself, i.e. the universal subspace U of the paper,
+// with the standard basis.
+func FullSpace(d int) *Subspace {
+	s := &Subspace{ambient: d, basis: make([]Vector, d)}
+	for i := 0; i < d; i++ {
+		s.basis[i] = Basis(d, i)
+	}
+	return s
+}
+
+// AxisSubspace returns the axis-parallel subspace spanned by the given
+// attribute indices of R^d.
+func AxisSubspace(d int, attrs []int) (*Subspace, error) {
+	s := &Subspace{ambient: d}
+	seen := make(map[int]bool, len(attrs))
+	for _, a := range attrs {
+		if a < 0 || a >= d {
+			return nil, fmt.Errorf("linalg: axis %d out of range [0,%d)", a, d)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("%w: repeated axis %d", ErrDegenerateBasis, a)
+		}
+		seen[a] = true
+		s.basis = append(s.basis, Basis(d, a))
+	}
+	return s, nil
+}
+
+// append orthonormalizes v against the current basis and appends it.
+func (s *Subspace) append(v Vector) error {
+	u := v.Clone()
+	orig := u.Norm()
+	if orig == 0 {
+		return fmt.Errorf("%w: zero vector", ErrDegenerateBasis)
+	}
+	// Two passes of modified Gram–Schmidt for numerical robustness.
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range s.basis {
+			u.AXPY(-u.Dot(b), b)
+		}
+	}
+	if u.Norm() < 1e-10*orig {
+		return fmt.Errorf("%w: vector dependent on existing basis", ErrDegenerateBasis)
+	}
+	u.Normalize()
+	s.basis = append(s.basis, u)
+	return nil
+}
+
+// Ambient returns the dimension d of the containing space.
+func (s *Subspace) Ambient() int { return s.ambient }
+
+// Dim returns the dimension l of the subspace.
+func (s *Subspace) Dim() int { return len(s.basis) }
+
+// BasisVector returns the i-th orthonormal basis vector (not a copy;
+// callers must not mutate it).
+func (s *Subspace) BasisVector(i int) Vector { return s.basis[i] }
+
+// Basis returns copies of all basis vectors.
+func (s *Subspace) Basis() []Vector {
+	out := make([]Vector, len(s.basis))
+	for i, b := range s.basis {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// Project returns Proj(y, E) = (y·e1 … y·el): the coordinates of y in the
+// subspace basis. This is the paper's projection operator.
+func (s *Subspace) Project(y Vector) Vector {
+	if len(y) != s.ambient {
+		panic(fmt.Sprintf("linalg: Project dim %d into ambient %d", len(y), s.ambient))
+	}
+	out := make(Vector, len(s.basis))
+	for i, b := range s.basis {
+		out[i] = y.Dot(b)
+	}
+	return out
+}
+
+// ProjectRows projects every row of m (shape n×ambient) into the subspace,
+// returning an n×Dim matrix of subspace coordinates.
+func (s *Subspace) ProjectRows(m *Matrix) (*Matrix, error) {
+	if m.Cols != s.ambient {
+		return nil, fmt.Errorf("%w: rows have dim %d, ambient %d", ErrDimensionMismatch, m.Cols, s.ambient)
+	}
+	out := NewMatrix(m.Rows, len(s.basis))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range s.basis {
+			out.Set(i, j, row.Dot(b))
+		}
+	}
+	return out, nil
+}
+
+// Lift maps subspace coordinates back into ambient space: Σ cᵢ eᵢ.
+func (s *Subspace) Lift(coords Vector) Vector {
+	if len(coords) != len(s.basis) {
+		panic(fmt.Sprintf("linalg: Lift coords dim %d, subspace dim %d", len(coords), len(s.basis)))
+	}
+	out := make(Vector, s.ambient)
+	for i, c := range coords {
+		out.AXPY(c, s.basis[i])
+	}
+	return out
+}
+
+// PDist returns the projected distance Pdist(x1, x2, E): the Euclidean
+// distance between Proj(x1, E) and Proj(x2, E).
+func (s *Subspace) PDist(x1, x2 Vector) float64 {
+	var sum float64
+	diff := x1.Sub(x2)
+	for _, b := range s.basis {
+		p := diff.Dot(b)
+		sum += p * p
+	}
+	return math.Sqrt(sum)
+}
+
+// Complement returns the orthogonal complement of s within the subspace
+// whole (i.e. whole ⊖ s, the paper's E_new = E_c − E_p). Every basis vector
+// of s must lie in whole; the result has dimension whole.Dim() − s.Dim().
+func (s *Subspace) Complement(whole *Subspace) (*Subspace, error) {
+	if whole.ambient != s.ambient {
+		return nil, fmt.Errorf("%w: ambient %d vs %d", ErrDimensionMismatch, whole.ambient, s.ambient)
+	}
+	out := &Subspace{ambient: s.ambient}
+	// Seed with s's basis, then extend with whole's basis; the extension
+	// vectors (those accepted after the seed) form the complement.
+	work := &Subspace{ambient: s.ambient}
+	for _, b := range s.basis {
+		if err := work.append(b); err != nil {
+			return nil, fmt.Errorf("linalg: complement seed: %w", err)
+		}
+	}
+	for _, b := range whole.basis {
+		if err := work.append(b); err != nil {
+			// Dependent on span so far: lies (numerically) inside; skip.
+			continue
+		}
+		out.basis = append(out.basis, work.basis[len(work.basis)-1])
+	}
+	want := whole.Dim() - s.Dim()
+	if out.Dim() != want {
+		return nil, fmt.Errorf("%w: complement dim %d, want %d (subspace not contained in whole?)",
+			ErrDegenerateBasis, out.Dim(), want)
+	}
+	return out, nil
+}
+
+// Contains reports whether v lies in the subspace within tolerance tol,
+// measured as the relative norm of the residual after projection.
+func (s *Subspace) Contains(v Vector, tol float64) bool {
+	if len(v) != s.ambient {
+		return false
+	}
+	n := v.Norm()
+	if n == 0 {
+		return true
+	}
+	res := v.Clone()
+	for _, b := range s.basis {
+		res.AXPY(-res.Dot(b), b)
+	}
+	return res.Norm() <= tol*n
+}
+
+// OrthonormalityError returns the largest deviation |<eᵢ,eⱼ> − δᵢⱼ| over all
+// basis pairs; used by tests to assert basis quality.
+func (s *Subspace) OrthonormalityError() float64 {
+	var mx float64
+	for i := range s.basis {
+		for j := i; j < len(s.basis); j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e := math.Abs(s.basis[i].Dot(s.basis[j]) - want); e > mx {
+				mx = e
+			}
+		}
+	}
+	return mx
+}

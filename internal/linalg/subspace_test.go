@@ -1,0 +1,228 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSubspaceOrthonormalizes(t *testing.T) {
+	s, err := NewSubspace(3, []Vector{{1, 1, 0}, {1, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 || s.Ambient() != 3 {
+		t.Fatalf("dim %d ambient %d", s.Dim(), s.Ambient())
+	}
+	if e := s.OrthonormalityError(); e > 1e-12 {
+		t.Errorf("orthonormality error %v", e)
+	}
+}
+
+func TestNewSubspaceRejectsDependent(t *testing.T) {
+	_, err := NewSubspace(3, []Vector{{1, 0, 0}, {2, 0, 0}})
+	if !errors.Is(err, ErrDegenerateBasis) {
+		t.Errorf("want ErrDegenerateBasis, got %v", err)
+	}
+	_, err = NewSubspace(3, []Vector{{0, 0, 0}})
+	if !errors.Is(err, ErrDegenerateBasis) {
+		t.Errorf("zero vector: want ErrDegenerateBasis, got %v", err)
+	}
+	_, err = NewSubspace(3, []Vector{{1, 0}})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("want ErrDimensionMismatch, got %v", err)
+	}
+}
+
+func TestFullSpace(t *testing.T) {
+	s := FullSpace(4)
+	if s.Dim() != 4 {
+		t.Fatalf("dim %d", s.Dim())
+	}
+	v := Vector{1, 2, 3, 4}
+	if got := s.Project(v); !got.ApproxEqual(v, 0) {
+		t.Errorf("full-space projection changed vector: %v", got)
+	}
+}
+
+func TestAxisSubspace(t *testing.T) {
+	s, err := AxisSubspace(5, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Project(Vector{10, 20, 30, 40, 50})
+	if !got.ApproxEqual(Vector{20, 40}, 0) {
+		t.Errorf("Project = %v", got)
+	}
+	if _, err := AxisSubspace(3, []int{5}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := AxisSubspace(3, []int{1, 1}); !errors.Is(err, ErrDegenerateBasis) {
+		t.Errorf("repeated axis: got %v", err)
+	}
+}
+
+func TestProjectAndLiftRoundTrip(t *testing.T) {
+	s, err := NewSubspace(3, []Vector{{1, 1, 0}, {0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A vector inside the subspace must survive project→lift.
+	in := Vector{2, 2, 5}
+	back := s.Lift(s.Project(in))
+	if !back.ApproxEqual(in, 1e-12) {
+		t.Errorf("round trip %v -> %v", in, back)
+	}
+	// A vector outside loses only its orthogonal part.
+	out := Vector{1, -1, 0} // orthogonal to (1,1,0) and (0,0,1)
+	if got := s.Lift(s.Project(out)); got.Norm() > 1e-12 {
+		t.Errorf("orthogonal vector projected to %v", got)
+	}
+}
+
+func TestProjectRows(t *testing.T) {
+	s, _ := AxisSubspace(3, []int{0, 2})
+	m, _ := MatrixFromRows([]Vector{{1, 2, 3}, {4, 5, 6}})
+	p, err := s.ProjectRows(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows != 2 || p.Cols != 2 || p.At(1, 1) != 6 {
+		t.Fatalf("ProjectRows = %v", p)
+	}
+	if _, err := s.ProjectRows(NewMatrix(2, 5)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("want mismatch, got %v", err)
+	}
+}
+
+func TestPDist(t *testing.T) {
+	s, _ := AxisSubspace(3, []int{0})
+	a := Vector{0, 100, -7}
+	b := Vector{3, -100, 7}
+	if got := s.PDist(a, b); math.Abs(got-3) > 1e-12 {
+		t.Errorf("PDist = %v, want 3", got)
+	}
+	full := FullSpace(3)
+	if got, want := full.PDist(a, b), a.Dist(b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("full PDist = %v, want %v", got, want)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	whole := FullSpace(4)
+	s, _ := NewSubspace(4, []Vector{{1, 1, 0, 0}, {0, 0, 1, 0}})
+	comp, err := s.Complement(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Dim() != 2 {
+		t.Fatalf("complement dim %d", comp.Dim())
+	}
+	// Every complement basis vector must be orthogonal to every s basis vector.
+	for i := 0; i < comp.Dim(); i++ {
+		for j := 0; j < s.Dim(); j++ {
+			if d := math.Abs(comp.BasisVector(i).Dot(s.BasisVector(j))); d > 1e-10 {
+				t.Errorf("complement not orthogonal: %v", d)
+			}
+		}
+	}
+	// s ∪ complement must span whole: any vector reconstructs.
+	v := Vector{1, 2, 3, 4}
+	rec := s.Lift(s.Project(v)).Add(comp.Lift(comp.Project(v)))
+	if !rec.ApproxEqual(v, 1e-10) {
+		t.Errorf("span incomplete: %v", rec)
+	}
+}
+
+func TestComplementWithinSmallerWhole(t *testing.T) {
+	// Complement within a 3-D subspace of R^4.
+	whole, _ := NewSubspace(4, []Vector{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}})
+	s, _ := NewSubspace(4, []Vector{{1, 1, 0, 0}})
+	comp, err := s.Complement(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Dim() != 2 {
+		t.Fatalf("dim %d, want 2", comp.Dim())
+	}
+	for i := 0; i < comp.Dim(); i++ {
+		b := comp.BasisVector(i)
+		if math.Abs(b[3]) > 1e-10 {
+			t.Errorf("complement leaked outside whole: %v", b)
+		}
+		if math.Abs(b.Dot(s.BasisVector(0))) > 1e-10 {
+			t.Errorf("complement not orthogonal to s")
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s, _ := NewSubspace(3, []Vector{{1, 0, 0}, {0, 1, 0}})
+	if !s.Contains(Vector{3, -2, 0}, 1e-10) {
+		t.Error("in-plane vector not contained")
+	}
+	if s.Contains(Vector{0, 0, 1}, 1e-10) {
+		t.Error("orthogonal vector reported contained")
+	}
+	if !s.Contains(Vector{0, 0, 0}, 1e-10) {
+		t.Error("zero vector should be contained")
+	}
+}
+
+func TestPropertyProjectionContraction(t *testing.T) {
+	// ‖Proj(v)‖ ≤ ‖v‖ and PDist ≤ Dist for any subspace.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 2 + rr.Intn(10)
+		l := 1 + rr.Intn(d)
+		span := make([]Vector, l)
+		for i := range span {
+			span[i] = randomVector(rr, d)
+		}
+		s, err := NewSubspace(d, span)
+		if err != nil {
+			return true // dependent random span; skip
+		}
+		a, b := randomVector(rr, d), randomVector(rr, d)
+		if s.Project(a).Norm() > a.Norm()*(1+1e-10) {
+			return false
+		}
+		return s.PDist(a, b) <= a.Dist(b)*(1+1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyComplementDecomposition(t *testing.T) {
+	// v = Proj_s(v) ⊕ Proj_comp(v) and Pythagoras holds.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 2 + rr.Intn(8)
+		l := 1 + rr.Intn(d-1)
+		span := make([]Vector, l)
+		for i := range span {
+			span[i] = randomVector(rr, d)
+		}
+		s, err := NewSubspace(d, span)
+		if err != nil {
+			return true
+		}
+		comp, err := s.Complement(FullSpace(d))
+		if err != nil {
+			return false
+		}
+		v := randomVector(rr, d)
+		rec := s.Lift(s.Project(v)).Add(comp.Lift(comp.Project(v)))
+		if !rec.ApproxEqual(v, 1e-8*(1+v.Norm())) {
+			return false
+		}
+		ps, pc := s.Project(v).Norm(), comp.Project(v).Norm()
+		return math.Abs(ps*ps+pc*pc-v.Dot(v)) <= 1e-7*(1+v.Dot(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want float64
+	}{
+		{"zero", Vector{0, 0}, Vector{1, 2}, 0},
+		{"unit", Vector{1, 0, 0}, Vector{5, 7, 9}, 5},
+		{"general", Vector{1, 2, 3}, Vector{4, 5, 6}, 32},
+		{"negative", Vector{-1, 2}, Vector{3, -4}, -11},
+		{"empty", Vector{}, Vector{}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Dot(tc.b); got != tc.want {
+				t.Errorf("Dot = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVectorDotCheckedMismatch(t *testing.T) {
+	_, err := Vector{1, 2}.DotChecked(Vector{1})
+	if err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestVectorDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{1, 2}.Dot(Vector{1})
+}
+
+func TestVectorNorm(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want float64
+	}{
+		{"zero", Vector{0, 0, 0}, 0},
+		{"axis", Vector{0, -3, 0}, 3},
+		{"pythagorean", Vector{3, 4}, 5},
+		{"tiny", Vector{1e-200, 1e-200}, math.Sqrt2 * 1e-200},
+		{"huge", Vector{3e200, 4e200}, 5e200},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.v.Norm()
+			if math.Abs(got-tc.want) > 1e-9*math.Max(tc.want, 1e-300) {
+				t.Errorf("Norm = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{10, 20, 30}
+	if got := a.Add(b); !got.ApproxEqual(Vector{11, 22, 33}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.ApproxEqual(Vector{9, 18, 27}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(-2); !got.ApproxEqual(Vector{-2, -4, -6}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	c := a.Clone()
+	c.AXPY(2, b)
+	if !c.ApproxEqual(Vector{21, 42, 63}, 0) {
+		t.Errorf("AXPY = %v", c)
+	}
+	// a must be untouched by Clone-based ops.
+	if !a.ApproxEqual(Vector{1, 2, 3}, 0) {
+		t.Errorf("source mutated: %v", a)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	n := v.Normalize()
+	if n != 5 {
+		t.Errorf("Normalize returned %v, want 5", n)
+	}
+	if !v.ApproxEqual(Vector{0.6, 0.8}, 1e-15) {
+		t.Errorf("normalized = %v", v)
+	}
+	z := Vector{0, 0}
+	if z.Normalize() != 0 {
+		t.Error("zero vector should return norm 0")
+	}
+	if !z.ApproxEqual(Vector{0, 0}, 0) {
+		t.Error("zero vector should be unchanged")
+	}
+}
+
+func TestVectorDist(t *testing.T) {
+	a := Vector{1, 1}
+	b := Vector{4, 5}
+	if got := a.Dist(b); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := a.Dist(a); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+}
+
+func TestVectorIsFinite(t *testing.T) {
+	if !(Vector{1, 2, 3}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).IsFinite() {
+		t.Error("NaN not detected")
+	}
+	if (Vector{math.Inf(1)}).IsFinite() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestBasis(t *testing.T) {
+	b := Basis(4, 2)
+	if !b.ApproxEqual(Vector{0, 0, 1, 0}, 0) {
+		t.Errorf("Basis = %v", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	Basis(3, 3)
+}
+
+// randomVector produces a bounded random vector for property tests.
+func randomVector(r *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = r.NormFloat64() * 10
+	}
+	return v
+}
+
+func TestPropertyCauchySchwarz(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(30)
+		a, b := randomVector(r, n), randomVector(r, n)
+		return math.Abs(a.Dot(b)) <= a.Norm()*b.Norm()*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(30)
+		a, b, c := randomVector(rr, n), randomVector(rr, n), randomVector(rr, n)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNormalizeUnit(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		v := randomVector(rr, 1+rr.Intn(20))
+		if v.Norm() == 0 {
+			return true
+		}
+		v.Normalize()
+		return math.Abs(v.Norm()-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package metric defines the distance functions used throughout the
+// system: the Minkowski Lp family (including the fractional p < 1
+// "distance" functions whose behaviour in high dimensions motivates the
+// paper), the Chebyshev L∞ metric, and weighted variants.
+//
+// All distances panic on dimension mismatch, mirroring the convention in
+// internal/linalg; callers work with fixed-dimensionality datasets where a
+// mismatch is a programming error, not an input error.
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric computes a distance between two equal-length float vectors.
+type Metric interface {
+	// Distance returns the distance between a and b.
+	Distance(a, b []float64) float64
+	// Name returns a short human-readable name such as "L2".
+	Name() string
+}
+
+// LP is the Minkowski metric of order P: (Σ|aᵢ−bᵢ|^P)^(1/P). P must be
+// positive; 0 < P < 1 gives the fractional distance functions studied in
+// the high-dimensional meaningfulness literature (they violate the
+// triangle inequality but still rank neighbors).
+type LP struct{ P float64 }
+
+// Distance implements Metric.
+func (m LP) Distance(a, b []float64) float64 {
+	checkDims(a, b)
+	if m.P <= 0 {
+		panic(fmt.Sprintf("metric: non-positive order %v", m.P))
+	}
+	if m.P == 2 {
+		return Euclidean{}.Distance(a, b)
+	}
+	var s float64
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-b[i]), m.P)
+	}
+	return math.Pow(s, 1/m.P)
+}
+
+// Name implements Metric.
+func (m LP) Name() string { return fmt.Sprintf("L%g", m.P) }
+
+// Euclidean is the L2 metric, special-cased for speed since it dominates
+// the system's inner loops.
+type Euclidean struct{}
+
+// Distance implements Metric.
+func (Euclidean) Distance(a, b []float64) float64 {
+	checkDims(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "L2" }
+
+// SquaredEuclidean returns the squared L2 distance; it induces the same
+// neighbor ordering as Euclidean and avoids the square root in ranking
+// loops.
+func SquaredEuclidean(a, b []float64) float64 {
+	checkDims(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Manhattan is the L1 metric.
+type Manhattan struct{}
+
+// Distance implements Metric.
+func (Manhattan) Distance(a, b []float64) float64 {
+	checkDims(a, b)
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Name implements Metric.
+func (Manhattan) Name() string { return "L1" }
+
+// Chebyshev is the L∞ metric.
+type Chebyshev struct{}
+
+// Distance implements Metric.
+func (Chebyshev) Distance(a, b []float64) float64 {
+	checkDims(a, b)
+	var mx float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Name implements Metric.
+func (Chebyshev) Name() string { return "Linf" }
+
+// Weighted scales each coordinate difference by a per-dimension weight
+// before delegating to the base metric. Weights must match the vector
+// dimensionality at call time.
+type Weighted struct {
+	Base    Metric
+	Weights []float64
+}
+
+// Distance implements Metric.
+func (m Weighted) Distance(a, b []float64) float64 {
+	checkDims(a, b)
+	if len(m.Weights) != len(a) {
+		panic(fmt.Sprintf("metric: %d weights for %d dims", len(m.Weights), len(a)))
+	}
+	wa := make([]float64, len(a))
+	wb := make([]float64, len(b))
+	for i := range a {
+		wa[i] = a[i] * m.Weights[i]
+		wb[i] = b[i] * m.Weights[i]
+	}
+	return m.Base.Distance(wa, wb)
+}
+
+// Name implements Metric.
+func (m Weighted) Name() string { return "weighted-" + m.Base.Name() }
+
+func checkDims(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metric: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}

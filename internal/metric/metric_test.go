@@ -1,0 +1,147 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownDistances(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, 2, -2}
+	tests := []struct {
+		m    Metric
+		want float64
+	}{
+		{Euclidean{}, 3},
+		{Manhattan{}, 5},
+		{Chebyshev{}, 2},
+		{LP{P: 2}, 3},
+		{LP{P: 1}, 5},
+		{LP{P: 0.5}, math.Pow(1+math.Sqrt2+math.Sqrt2, 2)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.m.Name(), func(t *testing.T) {
+			if got := tc.m.Distance(a, b); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("%s = %v, want %v", tc.m.Name(), got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSquaredEuclidean(t *testing.T) {
+	a, b := []float64{1, 1}, []float64{4, 5}
+	if got := SquaredEuclidean(a, b); got != 25 {
+		t.Errorf("SquaredEuclidean = %v", got)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	m := Weighted{Base: Euclidean{}, Weights: []float64{1, 0}}
+	got := m.Distance([]float64{0, 100}, []float64{3, -100})
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("weighted = %v, want 3", got)
+	}
+	if m.Name() != "weighted-L2" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"dim mismatch", func() { Euclidean{}.Distance([]float64{1}, []float64{1, 2}) }},
+		{"bad order", func() { LP{P: 0}.Distance([]float64{1}, []float64{2}) }},
+		{"bad weights", func() {
+			Weighted{Base: Euclidean{}, Weights: []float64{1}}.Distance([]float64{1, 2}, []float64{3, 4})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (LP{P: 0.5}).Name() != "L0.5" {
+		t.Errorf("LP name = %q", LP{P: 0.5}.Name())
+	}
+	if (Manhattan{}).Name() != "L1" || (Chebyshev{}).Name() != "Linf" {
+		t.Error("bad metric names")
+	}
+}
+
+func randVec(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+func TestPropertyMetricAxioms(t *testing.T) {
+	metrics := []Metric{Euclidean{}, Manhattan{}, Chebyshev{}, LP{P: 3}}
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(20)
+		a, b, c := randVec(rr, n), randVec(rr, n), randVec(rr, n)
+		for _, m := range metrics {
+			dab, dba := m.Distance(a, b), m.Distance(b, a)
+			if dab < 0 || math.Abs(dab-dba) > 1e-12 {
+				return false
+			}
+			if m.Distance(a, a) > 1e-12 {
+				return false
+			}
+			// Triangle inequality (holds for p ≥ 1).
+			if m.Distance(a, c) > dab+m.Distance(b, c)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLpMonotoneInP(t *testing.T) {
+	// For fixed vectors, Lp norm is non-increasing in p.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(15)
+		a, b := randVec(rr, n), randVec(rr, n)
+		d1 := LP{P: 1}.Distance(a, b)
+		d2 := LP{P: 2}.Distance(a, b)
+		d4 := LP{P: 4}.Distance(a, b)
+		dInf := Chebyshev{}.Distance(a, b)
+		return d1 >= d2-1e-9 && d2 >= d4-1e-9 && d4 >= dInf-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLPMatchesSpecialCases(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(15)
+		a, b := randVec(rr, n), randVec(rr, n)
+		if math.Abs(LP{P: 1}.Distance(a, b)-Manhattan{}.Distance(a, b)) > 1e-10 {
+			return false
+		}
+		return math.Abs(LP{P: 2}.Distance(a, b)-Euclidean{}.Distance(a, b)) <= 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package proclus implements a PROCLUS-style projected clustering
+// algorithm after Aggarwal, Procopiuc, Wolf, Yu & Park (SIGMOD 1999) —
+// reference [1] of the paper and, with [4], the foundation of its premise
+// that sparse high-dimensional data still carries tight clusters in
+// low-dimensional projections. The algorithm is medoid-based: it picks k
+// well-separated medoids, selects for each a small set of dimensions in
+// which its locality is unusually tight, assigns every point to the
+// medoid nearest in that medoid's dimensions, and iteratively replaces
+// the medoids of poor clusters.
+//
+// The experiments use it as the "cluster first, then answer queries from
+// the query's cluster" automated baseline.
+package proclus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"innsearch/internal/dataset"
+)
+
+// Config tunes Run.
+type Config struct {
+	// K is the number of clusters (must be positive).
+	K int
+	// AvgDims is the average number of dimensions per cluster (≥ 2).
+	AvgDims int
+	// Iterations bounds the medoid-improvement loop (default 10).
+	Iterations int
+	// Rng drives sampling; required.
+	Rng *rand.Rand
+}
+
+// Cluster is one projected cluster.
+type Cluster struct {
+	// Medoid is the dataset position of the cluster's medoid.
+	Medoid int
+	// Dims are the cluster's selected dimensions.
+	Dims []int
+	// Members are dataset positions assigned to the cluster.
+	Members []int
+}
+
+// Result is a completed clustering.
+type Result struct {
+	Clusters []Cluster
+	// Assignment[i] is the cluster index of point i (-1 for none; the
+	// algorithm assigns every point).
+	Assignment []int
+}
+
+// Run clusters ds.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if cfg.K <= 0 || cfg.K > ds.N() {
+		return nil, fmt.Errorf("proclus: K=%d outside (0, %d]", cfg.K, ds.N())
+	}
+	if cfg.AvgDims < 2 || cfg.AvgDims > ds.Dim() {
+		return nil, fmt.Errorf("proclus: AvgDims=%d outside [2, %d]", cfg.AvgDims, ds.Dim())
+	}
+	if cfg.Rng == nil {
+		return nil, errors.New("proclus: nil Rng")
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 10
+	}
+
+	medoids := greedyMedoids(ds, cfg.K, cfg.Rng)
+	best := assignAll(ds, medoids, cfg)
+	bestCost := cost(ds, best)
+	for it := 0; it < cfg.Iterations; it++ {
+		// Replace the medoid of the worst (smallest) cluster with a
+		// random point and keep the change if the cost improves.
+		worst := 0
+		for c := range best.Clusters {
+			if len(best.Clusters[c].Members) < len(best.Clusters[worst].Members) {
+				worst = c
+			}
+		}
+		trial := append([]int(nil), medoids...)
+		trial[worst] = cfg.Rng.Intn(ds.N())
+		if duplicated(trial) {
+			continue
+		}
+		cand := assignAll(ds, trial, cfg)
+		if c := cost(ds, cand); c < bestCost {
+			best, bestCost, medoids = cand, c, trial
+		}
+	}
+	return best, nil
+}
+
+// greedyMedoids picks K far-apart seeds: the first at random, each next
+// maximizing its distance to the chosen set.
+func greedyMedoids(ds *dataset.Dataset, k int, rng *rand.Rand) []int {
+	medoids := []int{rng.Intn(ds.N())}
+	for len(medoids) < k {
+		bestPos, bestDist := -1, -1.0
+		for i := 0; i < ds.N(); i++ {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if dm := l2(ds.Point(i), ds.Point(m)); dm < d {
+					d = dm
+				}
+			}
+			if d > bestDist {
+				bestDist, bestPos = d, i
+			}
+		}
+		medoids = append(medoids, bestPos)
+	}
+	return medoids
+}
+
+func duplicated(xs []int) bool {
+	seen := map[int]bool{}
+	for _, x := range xs {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+	}
+	return false
+}
+
+// assignAll selects per-medoid dimensions and assigns every point to the
+// nearest medoid under that medoid's dimensions (Manhattan distance, as
+// in the original algorithm).
+func assignAll(ds *dataset.Dataset, medoids []int, cfg Config) *Result {
+	d := ds.Dim()
+	k := len(medoids)
+
+	// Locality of each medoid: points within its nearest-other-medoid
+	// distance.
+	dimSets := make([][]int, k)
+	type scoredDim struct {
+		medoid, dim int
+		z           float64
+	}
+	var all []scoredDim
+	for mi, m := range medoids {
+		radius := math.Inf(1)
+		for mj, o := range medoids {
+			if mi == mj {
+				continue
+			}
+			if dm := l2(ds.Point(m), ds.Point(o)); dm < radius {
+				radius = dm
+			}
+		}
+		// Average per-dimension deviation over the locality.
+		var local []int
+		for i := 0; i < ds.N(); i++ {
+			if l2(ds.Point(i), ds.Point(m)) <= radius {
+				local = append(local, i)
+			}
+		}
+		if len(local) == 0 {
+			local = []int{m}
+		}
+		avg := make([]float64, d)
+		for _, i := range local {
+			p := ds.Point(i)
+			mp := ds.Point(m)
+			for j := 0; j < d; j++ {
+				avg[j] += math.Abs(p[j] - mp[j])
+			}
+		}
+		var mean, sq float64
+		for j := 0; j < d; j++ {
+			avg[j] /= float64(len(local))
+			mean += avg[j]
+		}
+		mean /= float64(d)
+		for j := 0; j < d; j++ {
+			dv := avg[j] - mean
+			sq += dv * dv
+		}
+		sd := math.Sqrt(sq / float64(d))
+		if sd == 0 {
+			sd = 1
+		}
+		for j := 0; j < d; j++ {
+			all = append(all, scoredDim{medoid: mi, dim: j, z: (avg[j] - mean) / sd})
+		}
+	}
+	// Greedily take the k·AvgDims most negative z-scores, guaranteeing
+	// each medoid at least two dimensions (the original's constraint).
+	sort.Slice(all, func(a, b int) bool { return all[a].z < all[b].z })
+	need := k * cfg.AvgDims
+	taken := 0
+	for _, sdim := range all {
+		if len(dimSets[sdim.medoid]) < 2 {
+			dimSets[sdim.medoid] = append(dimSets[sdim.medoid], sdim.dim)
+			taken++
+		}
+	}
+	for _, sdim := range all {
+		if taken >= need {
+			break
+		}
+		if len(dimSets[sdim.medoid]) >= 2 && contains(dimSets[sdim.medoid], sdim.dim) {
+			continue
+		}
+		if !contains(dimSets[sdim.medoid], sdim.dim) {
+			dimSets[sdim.medoid] = append(dimSets[sdim.medoid], sdim.dim)
+			taken++
+		}
+	}
+	for mi := range dimSets {
+		sort.Ints(dimSets[mi])
+	}
+
+	res := &Result{
+		Clusters:   make([]Cluster, k),
+		Assignment: make([]int, ds.N()),
+	}
+	for mi, m := range medoids {
+		res.Clusters[mi] = Cluster{Medoid: m, Dims: dimSets[mi]}
+	}
+	for i := 0; i < ds.N(); i++ {
+		bestC, bestD := 0, math.Inf(1)
+		for mi, m := range medoids {
+			d := segDist(ds.Point(i), ds.Point(m), dimSets[mi])
+			if d < bestD {
+				bestD, bestC = d, mi
+			}
+		}
+		res.Assignment[i] = bestC
+		res.Clusters[bestC].Members = append(res.Clusters[bestC].Members, i)
+	}
+	return res
+}
+
+// contains reports membership of x in xs.
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// segDist is the per-dimension-normalized Manhattan ("segmental")
+// distance over the selected dims.
+func segDist(a, b []float64, dims []int) float64 {
+	if len(dims) == 0 {
+		return math.Inf(1)
+	}
+	var s float64
+	for _, j := range dims {
+		s += math.Abs(a[j] - b[j])
+	}
+	return s / float64(len(dims))
+}
+
+// cost is the mean segmental distance of points to their cluster medoid.
+func cost(ds *dataset.Dataset, r *Result) float64 {
+	var s float64
+	for i, c := range r.Assignment {
+		cl := r.Clusters[c]
+		s += segDist(ds.Point(i), ds.Point(cl.Medoid), cl.Dims)
+	}
+	return s / float64(ds.N())
+}
+
+func l2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// QueryCluster assigns a query vector to its nearest cluster (by
+// segmental distance to each medoid over that medoid's dims) and returns
+// the cluster — the "cluster first, answer from the cluster" baseline.
+func (r *Result) QueryCluster(ds *dataset.Dataset, query []float64) (*Cluster, error) {
+	if len(query) != ds.Dim() {
+		return nil, fmt.Errorf("proclus: query dim %d, data dim %d", len(query), ds.Dim())
+	}
+	bestC, bestD := -1, math.Inf(1)
+	for ci, c := range r.Clusters {
+		d := segDist(query, ds.Point(c.Medoid), c.Dims)
+		if d < bestD {
+			bestD, bestC = d, ci
+		}
+	}
+	if bestC < 0 {
+		return nil, errors.New("proclus: no clusters")
+	}
+	return &r.Clusters[bestC], nil
+}

@@ -1,0 +1,189 @@
+package proclus
+
+import (
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/synth"
+)
+
+func TestRunValidation(t *testing.T) {
+	ds, err := dataset.New([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Run(nil, Config{K: 1, AvgDims: 2, Rng: rng}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Run(ds, Config{K: 0, AvgDims: 2, Rng: rng}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(ds, Config{K: 2, AvgDims: 1, Rng: rng}); err == nil {
+		t.Error("AvgDims=1 accepted")
+	}
+	if _, err := Run(ds, Config{K: 2, AvgDims: 9, Rng: rng}); err == nil {
+		t.Error("AvgDims > dim accepted")
+	}
+	if _, err := Run(ds, Config{K: 2, AvgDims: 2}); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestRecoverProjectedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pd, err := synth.GenerateProjectedClusters(synth.ProjectedConfig{
+		N: 1200, Dim: 16, Clusters: 3, SubspaceDim: 4,
+		OutlierFrac: 0.02, Domain: 100, Spread: 1.5,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pd.Data, Config{K: 3, AvgDims: 4, Rng: rng, Iterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	// Every point assigned, partition consistent.
+	total := 0
+	for ci, c := range res.Clusters {
+		total += len(c.Members)
+		if len(c.Dims) < 2 {
+			t.Errorf("cluster %d has %d dims", ci, len(c.Dims))
+		}
+		for _, m := range c.Members {
+			if res.Assignment[m] != ci {
+				t.Fatalf("assignment mismatch at %d", m)
+			}
+		}
+	}
+	if total != pd.Data.N() {
+		t.Fatalf("assigned %d of %d", total, pd.Data.N())
+	}
+	// Cluster purity: the dominant true label of each found cluster
+	// should cover most of it.
+	pureTotal := 0
+	for _, c := range res.Clusters {
+		counts := map[int]int{}
+		for _, m := range c.Members {
+			counts[pd.Data.Label(m)]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		pureTotal += best
+	}
+	purity := float64(pureTotal) / float64(pd.Data.N())
+	t.Logf("purity = %.2f", purity)
+	if purity < 0.7 {
+		t.Errorf("purity %.2f too low", purity)
+	}
+}
+
+func TestSelectedDimsMatchTrueSubspaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pd, err := synth.GenerateProjectedClusters(synth.ProjectedConfig{
+		N: 900, Dim: 12, Clusters: 2, SubspaceDim: 3,
+		OutlierFrac: 0.02, Domain: 100, Spread: 1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pd.Data, Config{K: 2, AvgDims: 3, Rng: rng, Iterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each found cluster, its selected dims should overlap the true
+	// dims of its dominant label.
+	matched := 0
+	for _, c := range res.Clusters {
+		counts := map[int]int{}
+		for _, m := range c.Members {
+			counts[pd.Data.Label(m)]++
+		}
+		bestLabel, bestN := -1, 0
+		for l, n := range counts {
+			if n > bestN {
+				bestLabel, bestN = l, n
+			}
+		}
+		if bestLabel < 0 || bestLabel >= len(pd.AxisDims) {
+			continue
+		}
+		trueDims := map[int]bool{}
+		for _, dd := range pd.AxisDims[bestLabel] {
+			trueDims[dd] = true
+		}
+		for _, dd := range c.Dims {
+			if trueDims[dd] {
+				matched++
+			}
+		}
+	}
+	if matched < 3 {
+		t.Errorf("selected dims barely overlap true subspaces: %d matches", matched)
+	}
+}
+
+func TestQueryCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pd, err := synth.GenerateProjectedClusters(synth.ProjectedConfig{
+		N: 800, Dim: 10, Clusters: 2, SubspaceDim: 3,
+		OutlierFrac: 0.02, Domain: 100, Spread: 1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pd.Data, Config{K: 2, AvgDims: 3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPos := pd.Members(0)[0]
+	cl, err := res.QueryCluster(pd.Data, pd.Data.PointCopy(qPos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query's own point should be a member of its assigned cluster.
+	found := false
+	for _, m := range cl.Members {
+		if m == qPos {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("query's own row not in its assigned cluster")
+	}
+	if _, err := res.QueryCluster(pd.Data, []float64{1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	gen := func() *Result {
+		rng := rand.New(rand.NewSource(21))
+		pd, err := synth.GenerateProjectedClusters(synth.ProjectedConfig{
+			N: 400, Dim: 8, Clusters: 2, SubspaceDim: 3,
+			OutlierFrac: 0.02, Domain: 100, Spread: 1,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(pd.Data, Config{K: 2, AvgDims: 3, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := gen(), gen()
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("non-deterministic clustering")
+		}
+	}
+}

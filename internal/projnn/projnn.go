@@ -1,0 +1,95 @@
+// Package projnn implements the fully automated projected
+// nearest-neighbor baseline in the spirit of Hinneburg, Aggarwal & Keim
+// (VLDB 2000), reference [15] of the paper: determine a single
+// discriminating query-centered projection automatically and return the
+// Euclidean nearest neighbors within it. The interactive system's
+// ablations compare against this to quantify the value of the human in
+// the loop and of using many projections instead of one.
+package projnn
+
+import (
+	"errors"
+	"fmt"
+
+	"innsearch/internal/core"
+	"innsearch/internal/dataset"
+	"innsearch/internal/knn"
+	"innsearch/internal/linalg"
+	"innsearch/internal/metric"
+)
+
+// Config tunes the automated projected search.
+type Config struct {
+	// K is the number of neighbors to return (must be positive).
+	K int
+	// Support is the candidate-cluster size for the projection search;
+	// raised to the data dimensionality when smaller.
+	Support int
+	// AxisParallel restricts the projection to original attributes.
+	AxisParallel bool
+	// ProjectionDim is the dimensionality of the single projection the
+	// neighbors are computed in (default 2, the visualizable choice).
+	ProjectionDim int
+}
+
+// Result is the automated baseline's answer.
+type Result struct {
+	// Neighbors are the K nearest points in the chosen projection.
+	Neighbors []knn.Neighbor
+	// Projection is the subspace that was selected.
+	Projection *linalg.Subspace
+	// Discrimination is the projection's variance-ratio score.
+	Discrimination float64
+}
+
+// Search finds one discriminating projection for the query and returns
+// the nearest neighbors within it.
+func Search(ds *dataset.Dataset, query []float64, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, errors.New("projnn: K must be positive")
+	}
+	if ds == nil || ds.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if len(query) != ds.Dim() {
+		return nil, fmt.Errorf("projnn: query dim %d, data dim %d", len(query), ds.Dim())
+	}
+	support := cfg.Support
+	if support < ds.Dim() {
+		support = ds.Dim()
+	}
+	if support > ds.N() {
+		support = ds.N()
+	}
+	pdim := cfg.ProjectionDim
+	if pdim == 0 {
+		pdim = 2
+	}
+	if pdim < 1 || pdim > ds.Dim() {
+		return nil, fmt.Errorf("projnn: projection dim %d outside [1, %d]", pdim, ds.Dim())
+	}
+
+	proj, err := core.FindQueryCenteredProjectionDim(ds, linalg.Vector(query), core.ProjectionSearch{
+		Support:      support,
+		AxisParallel: cfg.AxisParallel,
+		Graded:       true,
+	}, pdim)
+	if err != nil {
+		return nil, fmt.Errorf("projnn: projection search: %w", err)
+	}
+
+	projected, err := ds.ProjectInto(proj)
+	if err != nil {
+		return nil, fmt.Errorf("projnn: project data: %w", err)
+	}
+	qp := proj.Project(linalg.Vector(query))
+	nbrs, err := knn.Search(projected, qp, cfg.K, metric.Euclidean{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Neighbors:      nbrs,
+		Projection:     proj,
+		Discrimination: core.DiscriminationScore(ds, linalg.Vector(query), proj, support),
+	}, nil
+}

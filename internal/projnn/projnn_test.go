@@ -1,0 +1,102 @@
+package projnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/synth"
+)
+
+func TestSearchFindsClusterNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pd, err := synth.Case1(1500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := pd.Members(0)
+	query := pd.Data.PointCopy(members[0])
+	res, err := Search(pd.Data, query, Config{K: 50, Support: 30, AxisParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 50 {
+		t.Fatalf("neighbors = %d", len(res.Neighbors))
+	}
+	if res.Projection.Dim() != 2 {
+		t.Fatalf("projection dim %d", res.Projection.Dim())
+	}
+	// A majority of projected neighbors should be true cluster members —
+	// better than chance (cluster is ~20% of the data) but typically
+	// worse than the interactive multi-projection system.
+	memberSet := map[int]bool{}
+	for _, m := range members {
+		memberSet[pd.Data.ID(m)] = true
+	}
+	hits := 0
+	for _, nb := range res.Neighbors {
+		if memberSet[nb.ID] {
+			hits++
+		}
+	}
+	if hits < 30 {
+		t.Errorf("only %d/50 projected neighbors are cluster members", hits)
+	}
+	if res.Discrimination <= 0 {
+		t.Errorf("discrimination = %v", res.Discrimination)
+	}
+}
+
+func TestSearchWiderProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pd, err := synth.Case1(800, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := pd.Data.PointCopy(pd.Members(1)[0])
+	res, err := Search(pd.Data, query, Config{K: 20, ProjectionDim: 6, AxisParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Projection.Dim() != 6 {
+		t.Fatalf("projection dim %d, want 6", res.Projection.Dim())
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds, _ := dataset.New([][]float64{{1, 2}, {3, 4}, {5, 6}}, nil)
+	if _, err := Search(ds, []float64{0, 0}, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Search(ds, []float64{0}, Config{K: 1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := Search(nil, []float64{0, 0}, Config{K: 1}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Search(ds, []float64{0, 0}, Config{K: 1, ProjectionDim: 9}); err == nil {
+		t.Error("oversized projection accepted")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pd, err := synth.Case1(600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := pd.Data.PointCopy(0)
+	a, err := Search(pd.Data, query, Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(pd.Data, query, Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i].ID != b.Neighbors[i].ID {
+			t.Fatal("non-deterministic results")
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package rtree implements an in-memory R-tree with quadratic splitting
+// (Guttman 1984) and exact best-first k-nearest-neighbor search — the
+// family of hierarchical access methods ([9] X-tree, [18] SR-tree,
+// [21] TV-tree descend from it) whose high-dimensional breakdown
+// motivates the paper. The kNN search is exact for any dimensionality;
+// what degrades is its selectivity: as d grows, minimum distances to
+// bounding rectangles stop pruning anything and the search visits nearly
+// every node, which the motivation experiment quantifies.
+package rtree
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"innsearch/internal/dataset"
+)
+
+// Degree bounds: each node holds in [minEntries, maxEntries] children.
+const (
+	maxEntries = 16
+	minEntries = maxEntries * 2 / 5
+)
+
+// rect is an axis-aligned bounding box.
+type rect struct {
+	lo, hi []float64
+}
+
+func pointRect(p []float64) rect {
+	lo := append([]float64(nil), p...)
+	hi := append([]float64(nil), p...)
+	return rect{lo: lo, hi: hi}
+}
+
+func (r rect) clone() rect {
+	return rect{lo: append([]float64(nil), r.lo...), hi: append([]float64(nil), r.hi...)}
+}
+
+// enlarge grows r in place to cover o.
+func (r *rect) enlarge(o rect) {
+	for j := range r.lo {
+		if o.lo[j] < r.lo[j] {
+			r.lo[j] = o.lo[j]
+		}
+		if o.hi[j] > r.hi[j] {
+			r.hi[j] = o.hi[j]
+		}
+	}
+}
+
+// area returns the rectangle volume (0 for points).
+func (r rect) area() float64 {
+	a := 1.0
+	for j := range r.lo {
+		a *= r.hi[j] - r.lo[j]
+	}
+	return a
+}
+
+// enlargement returns how much r's area would grow to include o.
+func (r rect) enlargement(o rect) float64 {
+	a := 1.0
+	for j := range r.lo {
+		lo, hi := r.lo[j], r.hi[j]
+		if o.lo[j] < lo {
+			lo = o.lo[j]
+		}
+		if o.hi[j] > hi {
+			hi = o.hi[j]
+		}
+		a *= hi - lo
+	}
+	return a - r.area()
+}
+
+// minDist returns the squared L2 distance from q to the rectangle.
+func (r rect) minDist(q []float64) float64 {
+	var s float64
+	for j := range q {
+		switch {
+		case q[j] < r.lo[j]:
+			d := r.lo[j] - q[j]
+			s += d * d
+		case q[j] > r.hi[j]:
+			d := q[j] - r.hi[j]
+			s += d * d
+		}
+	}
+	return s
+}
+
+type node struct {
+	leaf     bool
+	mbr      rect
+	children []*node // internal nodes
+	entries  []int   // leaf nodes: dataset positions
+}
+
+// Tree is an R-tree over a dataset's points.
+type Tree struct {
+	ds    *dataset.Dataset
+	root  *node
+	dim   int
+	size  int
+	nodes int
+}
+
+// Stats reports the work a query did.
+type Stats struct {
+	// NodesVisited counts tree nodes popped from the search frontier.
+	NodesVisited int
+	// TotalNodes is the tree's node count, for computing visit fractions.
+	TotalNodes int
+}
+
+// Build bulk-inserts every point of ds.
+func Build(ds *dataset.Dataset) (*Tree, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	t := &Tree{ds: ds, dim: ds.Dim()}
+	t.root = &node{leaf: true}
+	t.nodes = 1
+	for i := 0; i < ds.N(); i++ {
+		t.insert(i)
+	}
+	return t, nil
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// NodeCount returns the number of tree nodes.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// insert adds dataset position i.
+func (t *Tree) insert(i int) {
+	r := pointRect(t.ds.Point(i))
+	leaf := t.chooseLeaf(t.root, r)
+	leaf.entries = append(leaf.entries, i)
+	if len(leaf.mbr.lo) == 0 {
+		leaf.mbr = r.clone()
+	} else {
+		leaf.mbr.enlarge(r)
+	}
+	t.size++
+	if len(leaf.entries) > maxEntries {
+		t.splitUpward(leaf)
+	} else {
+		t.refreshPath(t.root, leaf, r)
+	}
+}
+
+// chooseLeaf descends to the leaf whose MBR needs least enlargement.
+func (t *Tree) chooseLeaf(n *node, r rect) *node {
+	for !n.leaf {
+		var best *node
+		bestGrow := math.Inf(1)
+		for _, c := range n.children {
+			g := c.mbr.enlargement(r)
+			if g < bestGrow || (g == bestGrow && best != nil && c.mbr.area() < best.mbr.area()) {
+				best, bestGrow = c, g
+			}
+		}
+		n = best
+	}
+	return n
+}
+
+// refreshPath enlarges every MBR from root down to target to cover r.
+func (t *Tree) refreshPath(n, target *node, r rect) bool {
+	if n == target {
+		return true
+	}
+	if n.leaf {
+		return false
+	}
+	for _, c := range n.children {
+		if t.refreshPath(c, target, r) {
+			if len(n.mbr.lo) == 0 {
+				n.mbr = r.clone()
+			} else {
+				n.mbr.enlarge(r)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// splitUpward splits an overflowing node, propagating to the root.
+func (t *Tree) splitUpward(n *node) {
+	path := t.pathTo(t.root, n)
+	for level := len(path) - 1; level >= 0; level-- {
+		cur := path[level]
+		if (cur.leaf && len(cur.entries) <= maxEntries) ||
+			(!cur.leaf && len(cur.children) <= maxEntries) {
+			t.recomputeMBR(cur)
+			continue
+		}
+		a, b := t.split(cur)
+		t.nodes++ // one node became two
+		if level == 0 {
+			newRoot := &node{leaf: false, children: []*node{a, b}}
+			t.recomputeMBR(newRoot)
+			t.root = newRoot
+			t.nodes++
+		} else {
+			parent := path[level-1]
+			// Replace cur with a and b.
+			for ci, c := range parent.children {
+				if c == cur {
+					parent.children[ci] = a
+					break
+				}
+			}
+			parent.children = append(parent.children, b)
+		}
+	}
+	// MBRs along the path may be stale after splits.
+	t.recomputeAll(t.root)
+}
+
+// pathTo returns the chain of nodes from root to target inclusive.
+func (t *Tree) pathTo(n, target *node) []*node {
+	if n == target {
+		return []*node{n}
+	}
+	if n.leaf {
+		return nil
+	}
+	for _, c := range n.children {
+		if sub := t.pathTo(c, target); sub != nil {
+			return append([]*node{n}, sub...)
+		}
+	}
+	return nil
+}
+
+// split performs Guttman's quadratic split on an overflowing node.
+func (t *Tree) split(n *node) (*node, *node) {
+	if n.leaf {
+		groups := quadraticSplit(len(n.entries), func(i int) rect { return pointRect(t.ds.Point(n.entries[i])) })
+		a := &node{leaf: true}
+		b := &node{leaf: true}
+		for _, i := range groups[0] {
+			a.entries = append(a.entries, n.entries[i])
+		}
+		for _, i := range groups[1] {
+			b.entries = append(b.entries, n.entries[i])
+		}
+		t.recomputeMBR(a)
+		t.recomputeMBR(b)
+		return a, b
+	}
+	groups := quadraticSplit(len(n.children), func(i int) rect { return n.children[i].mbr })
+	a := &node{leaf: false}
+	b := &node{leaf: false}
+	for _, i := range groups[0] {
+		a.children = append(a.children, n.children[i])
+	}
+	for _, i := range groups[1] {
+		b.children = append(b.children, n.children[i])
+	}
+	t.recomputeMBR(a)
+	t.recomputeMBR(b)
+	return a, b
+}
+
+// quadraticSplit partitions indices 0..n-1 into two groups per Guttman.
+func quadraticSplit(n int, rectOf func(int) rect) [2][]int {
+	// Pick the pair wasting the most area as seeds.
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			combined := rectOf(i).clone()
+			combined.enlarge(rectOf(j))
+			waste := combined.area() - rectOf(i).area() - rectOf(j).area()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	groups := [2][]int{{seedA}, {seedB}}
+	mbrs := [2]rect{rectOf(seedA).clone(), rectOf(seedB).clone()}
+	for i := 0; i < n; i++ {
+		if i == seedA || i == seedB {
+			continue
+		}
+		remaining := n - len(groups[0]) - len(groups[1])
+		// Force assignment when a group must take the rest to reach the
+		// minimum fill.
+		switch {
+		case len(groups[0])+remaining <= minEntries:
+			groups[0] = append(groups[0], i)
+			mbrs[0].enlarge(rectOf(i))
+			continue
+		case len(groups[1])+remaining <= minEntries:
+			groups[1] = append(groups[1], i)
+			mbrs[1].enlarge(rectOf(i))
+			continue
+		}
+		g := 0
+		if mbrs[1].enlargement(rectOf(i)) < mbrs[0].enlargement(rectOf(i)) {
+			g = 1
+		}
+		groups[g] = append(groups[g], i)
+		mbrs[g].enlarge(rectOf(i))
+	}
+	return groups
+}
+
+// recomputeMBR rebuilds a node's MBR from its contents.
+func (t *Tree) recomputeMBR(n *node) {
+	n.mbr = rect{}
+	first := true
+	grow := func(r rect) {
+		if first {
+			n.mbr = r.clone()
+			first = false
+		} else {
+			n.mbr.enlarge(r)
+		}
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			grow(pointRect(t.ds.Point(e)))
+		}
+	} else {
+		for _, c := range n.children {
+			grow(c.mbr)
+		}
+	}
+}
+
+func (t *Tree) recomputeAll(n *node) {
+	if !n.leaf {
+		for _, c := range n.children {
+			t.recomputeAll(c)
+		}
+	}
+	t.recomputeMBR(n)
+}
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	Pos  int
+	ID   int
+	Dist float64
+}
+
+// frontier orders search items by ascending minimum distance.
+type frontierItem struct {
+	n       *node
+	pos     int // dataset position when n == nil
+	minDist float64
+}
+type frontier []frontierItem
+
+func (f frontier) Len() int            { return len(f) }
+func (f frontier) Less(i, j int) bool  { return f[i].minDist < f[j].minDist }
+func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x interface{}) { *f = append(*f, x.(frontierItem)) }
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	x := old[n-1]
+	*f = old[:n-1]
+	return x
+}
+
+// Search returns the exact k nearest neighbors of query under L2, using
+// best-first traversal (Hjaltason–Samet): the frontier pops nodes and
+// points by ascending minimum distance, so the first k points popped are
+// the answer.
+func (t *Tree) Search(query []float64, k int) ([]Neighbor, Stats, error) {
+	if len(query) != t.dim {
+		return nil, Stats{}, fmt.Errorf("rtree: query dim %d, index dim %d", len(query), t.dim)
+	}
+	if k <= 0 {
+		return nil, Stats{}, errors.New("rtree: k must be positive")
+	}
+	if k > t.size {
+		k = t.size
+	}
+	st := Stats{TotalNodes: t.nodes}
+	f := frontier{{n: t.root, minDist: t.root.mbr.minDist(query)}}
+	heap.Init(&f)
+	var out []Neighbor
+	for len(f) > 0 && len(out) < k {
+		item := heap.Pop(&f).(frontierItem)
+		if item.n == nil {
+			out = append(out, Neighbor{
+				Pos:  item.pos,
+				ID:   t.ds.ID(item.pos),
+				Dist: math.Sqrt(item.minDist),
+			})
+			continue
+		}
+		st.NodesVisited++
+		if item.n.leaf {
+			for _, e := range item.n.entries {
+				heap.Push(&f, frontierItem{n: nil, pos: e, minDist: sqDist(query, t.ds.Point(e))})
+			}
+		} else {
+			for _, c := range item.n.children {
+				heap.Push(&f, frontierItem{n: c, minDist: c.mbr.minDist(query)})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Pos < out[b].Pos
+	})
+	return out, st, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

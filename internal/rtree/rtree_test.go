@@ -1,0 +1,208 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/knn"
+	"innsearch/internal/metric"
+)
+
+func uniformDS(t testing.TB, n, d int, seed int64) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = r.Float64() * 100
+		}
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	ds := uniformDS(t, 1000, 4, 1)
+	tr, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 1000 {
+		t.Errorf("size = %d", tr.Size())
+	}
+	// With maxEntries=16, 1000 points need at least 63 leaves.
+	if tr.NodeCount() < 63 {
+		t.Errorf("nodes = %d, implausibly few", tr.NodeCount())
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	ds := uniformDS(t, 800, 6, 2)
+	tr, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := ds.PointCopy(11)
+	got, st, err := tr.Search(query, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := knn.Search(ds, query, 15, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Pos != want[i].Pos {
+			t.Fatalf("rank %d: rtree %d (%.4f), brute %d (%.4f)",
+				i, got[i].Pos, got[i].Dist, want[i].Pos, want[i].Dist)
+		}
+	}
+	if st.NodesVisited >= st.TotalNodes {
+		t.Errorf("no pruning at d=6: visited %d of %d", st.NodesVisited, st.TotalNodes)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds := uniformDS(t, 30, 3, 3)
+	tr, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Search([]float64{1}, 3); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, _, err := tr.Search(make([]float64, 3), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	got, _, err := tr.Search(make([]float64, 3), 99)
+	if err != nil || len(got) != 30 {
+		t.Errorf("clamp: %d, %v", len(got), err)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = []float64{7, 7}
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tr.Search([]float64{7, 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0].Dist != 0 {
+		t.Errorf("duplicate search = %+v", got)
+	}
+}
+
+func TestPruningDegradesWithDimensionality(t *testing.T) {
+	// The classic breakdown: the fraction of nodes visited approaches 1
+	// as dimensionality grows on uniform data.
+	fracAt := func(d int) float64 {
+		ds := uniformDS(t, 2000, d, 4)
+		tr, err := Build(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := tr.Search(ds.PointCopy(0), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(st.NodesVisited) / float64(st.TotalNodes)
+	}
+	low := fracAt(2)
+	high := fracAt(30)
+	if high <= 2*low {
+		t.Errorf("node-visit fraction did not blow up: d=2 → %.3f, d=30 → %.3f", low, high)
+	}
+}
+
+func TestPropertyRTreeExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 20 + rr.Intn(200)
+		d := 1 + rr.Intn(8)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rr.NormFloat64() * 10
+			}
+		}
+		ds, err := dataset.New(rows, nil)
+		if err != nil {
+			return false
+		}
+		tr, err := Build(ds)
+		if err != nil {
+			return false
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rr.NormFloat64() * 10
+		}
+		k := 1 + rr.Intn(n)
+		got, _, err := tr.Search(q, k)
+		if err != nil {
+			return false
+		}
+		want, err := knn.Search(ds, q, k, metric.Euclidean{})
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			const eps = 1e-9
+			if diff := got[i].Dist - want[i].Dist; diff > eps || diff < -eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRTreeBuild5000x20(b *testing.B) {
+	ds := uniformDS(b, 5000, 20, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTreeSearch5000x20(b *testing.B) {
+	ds := uniformDS(b, 5000, 20, 6)
+	tr, err := Build(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ds.PointCopy(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package stats provides the statistical primitives the interactive
+// nearest-neighbor system depends on: the standard normal distribution
+// (used by the meaningfulness quantification of §3 of the paper), moment
+// estimators, order statistics, and retrieval-quality metrics
+// (precision/recall/F1 and classification accuracy for the paper's
+// Tables 1 and 2).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// NormalCDF returns Φ(x), the cumulative distribution function of the
+// standard normal distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalPDF returns the standard normal density at x.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p ∈ (0, 1). It uses the Acklam
+// rational approximation refined by one Halley step, accurate to around
+// 1e-15 over the full open interval. It returns ±Inf at p ∈ {0, 1} and
+// NaN outside [0, 1].
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the population (maximum-likelihood, divide-by-n)
+// variance of xs, matching the covariance convention in internal/linalg.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the q-quantile (q ∈ [0,1]) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// MinMax returns the smallest and largest elements of xs.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Retrieval summarizes a retrieved set against a relevant (ground-truth)
+// set, as used in the paper's Table 1.
+type Retrieval struct {
+	Retrieved int // |returned|
+	Relevant  int // |ground truth|
+	Hits      int // |returned ∩ ground truth|
+}
+
+// EvalRetrieval computes the overlap statistics between a returned set of
+// item IDs and the relevant set. Duplicate IDs in either slice are
+// counted once, so Precision and Recall stay within [0, 1].
+func EvalRetrieval(returned, relevant []int) Retrieval {
+	rel := make(map[int]bool, len(relevant))
+	for _, id := range relevant {
+		rel[id] = true
+	}
+	var r Retrieval
+	r.Relevant = len(rel)
+	seen := make(map[int]bool, len(returned))
+	for _, id := range returned {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		r.Retrieved++
+		if rel[id] {
+			r.Hits++
+		}
+	}
+	return r
+}
+
+// Precision returns Hits/Retrieved, or 0 when nothing was retrieved.
+func (r Retrieval) Precision() float64 {
+	if r.Retrieved == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Retrieved)
+}
+
+// Recall returns Hits/Relevant, or 0 when the relevant set is empty.
+func (r Retrieval) Recall() float64 {
+	if r.Relevant == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Relevant)
+}
+
+// F1 returns the harmonic mean of precision and recall (0 when both are 0).
+func (r Retrieval) F1() float64 { return r.FBeta(1) }
+
+// FBeta returns the F_β score, which weights recall β times as heavily as
+// precision (β > 1 leans toward recall, β < 1 toward precision). It is 0
+// when both precision and recall are 0, and NaN for β ≤ 0.
+func (r Retrieval) FBeta(beta float64) float64 {
+	if beta <= 0 {
+		return math.NaN()
+	}
+	p, rc := r.Precision(), r.Recall()
+	b2 := beta * beta
+	den := b2*p + rc
+	if den == 0 {
+		return 0
+	}
+	return (1 + b2) * p * rc / den
+}
+
+// Accuracy returns the fraction of correct predictions. The slices must
+// have equal length; an empty input yields 0.
+func Accuracy(predicted, actual []int) float64 {
+	if len(predicted) != len(actual) || len(predicted) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range predicted {
+		if predicted[i] == actual[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(predicted))
+}
+
+// ArgsortDesc returns the indices that sort xs in descending order. Ties
+// break by ascending index so the result is deterministic.
+func ArgsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}
+
+// ArgsortAsc returns the indices that sort xs in ascending order, with
+// ties broken by ascending index.
+func ArgsortAsc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// TopK returns the indices of the k largest values of xs in descending
+// value order. k is clamped to len(xs).
+func TopK(xs []float64, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return ArgsortDesc(xs)[:k]
+}
+
+// Overlap returns |a ∩ b| / max(|a|, |b|) treating the int slices as sets;
+// it is the termination statistic comparing top-s sets across successive
+// major iterations (§3). Two empty sets overlap fully (1).
+func Overlap(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	inter := 0
+	seen := make(map[int]bool, len(b))
+	for _, x := range b {
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		if set[x] {
+			inter++
+		}
+	}
+	den := len(set)
+	if len(seen) > den {
+		den = len(seen)
+	}
+	return float64(inter) / float64(den)
+}
+
+// KendallTau returns Kendall's τ rank correlation between two equal-length
+// value slices: the normalized difference of concordant and discordant
+// pairs, in [−1, 1]. Tied pairs in either slice are excluded from the
+// denominator (τ_b without the full tie correction — adequate for the
+// continuous distance vectors this system compares). It returns 0 for
+// slices shorter than 2 and NaN-free output for any finite input.
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: kendall length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, nil
+	}
+	var concordant, discordant int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 || db == 0:
+				// tie: contributes to neither
+			case (da > 0) == (db > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	total := concordant + discordant
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(concordant-discordant) / float64(total), nil
+}

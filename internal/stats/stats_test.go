@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnown(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-6, 9.865876450376946e-10},
+	}
+	for _, tc := range tests {
+		if got := NormalCDF(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := NormalPDF(0); math.Abs(got-1/math.Sqrt(2*math.Pi)) > 1e-15 {
+		t.Errorf("NormalPDF(0) = %v", got)
+	}
+	if NormalPDF(3) >= NormalPDF(0) {
+		t.Error("density should decrease away from 0")
+	}
+	if math.Abs(NormalPDF(2)-NormalPDF(-2)) > 1e-16 {
+		t.Error("density should be symmetric")
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be ∓Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) || !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Error("out-of-range p should return NaN")
+	}
+	if got := NormalQuantile(0.5); math.Abs(got) > 1e-14 {
+		t.Errorf("median = %v", got)
+	}
+	if got := NormalQuantile(0.975); math.Abs(got-1.959963984540054) > 1e-10 {
+		t.Errorf("q(0.975) = %v", got)
+	}
+}
+
+func TestPropertyQuantileCDFInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		p := rr.Float64()*0.9998 + 0.0001
+		x := NormalQuantile(p)
+		return math.Abs(NormalCDF(x)-p) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoments(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil || v != 4 {
+		t.Fatalf("Variance = %v, %v", v, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || sd != 2 {
+		t.Fatalf("StdDev = %v, %v", sd, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) err = %v", err)
+	}
+	if _, err := Variance(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Variance(nil) err = %v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, tc := range tests {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Input must not be mutated (sorted).
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("expected range error")
+	}
+	one, err := Quantile([]float64{42}, 0.7)
+	if err != nil || one != 42 {
+		t.Errorf("single-element quantile = %v, %v", one, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v %v %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetrievalMetrics(t *testing.T) {
+	r := EvalRetrieval([]int{1, 2, 3, 4}, []int{3, 4, 5})
+	if r.Hits != 2 || r.Retrieved != 4 || r.Relevant != 3 {
+		t.Fatalf("retrieval = %+v", r)
+	}
+	if got := r.Precision(); got != 0.5 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := r.Recall(); math.Abs(got-2.0/3.0) > 1e-15 {
+		t.Errorf("recall = %v", got)
+	}
+	wantF1 := 2 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0/3.0)
+	if got := r.F1(); math.Abs(got-wantF1) > 1e-15 {
+		t.Errorf("f1 = %v", got)
+	}
+	empty := EvalRetrieval(nil, nil)
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty retrieval should score 0 everywhere")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3.0) > 1e-15 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Error("mismatched lengths should yield 0")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty should yield 0")
+	}
+}
+
+func TestArgsortAndTopK(t *testing.T) {
+	xs := []float64{0.3, 0.9, 0.1, 0.9}
+	desc := ArgsortDesc(xs)
+	if desc[0] != 1 || desc[1] != 3 { // stable: ties by index
+		t.Errorf("ArgsortDesc = %v", desc)
+	}
+	asc := ArgsortAsc(xs)
+	if asc[0] != 2 || asc[3] != 3 {
+		t.Errorf("ArgsortAsc = %v", asc)
+	}
+	top := TopK(xs, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 3 {
+		t.Errorf("TopK = %v", top)
+	}
+	if got := TopK(xs, 99); len(got) != 4 {
+		t.Errorf("TopK clamp = %v", got)
+	}
+	if TopK(xs, 0) != nil {
+		t.Error("TopK(0) should be nil")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []int
+		want float64
+	}{
+		{"identical", []int{1, 2, 3}, []int{3, 2, 1}, 1},
+		{"disjoint", []int{1, 2}, []int{3, 4}, 0},
+		{"partial", []int{1, 2, 3, 4}, []int{3, 4, 5, 6}, 0.5},
+		{"unequal sizes", []int{1}, []int{1, 2, 3, 4}, 0.25},
+		{"both empty", nil, nil, 1},
+		{"one empty", []int{1}, nil, 0},
+		{"duplicates", []int{1, 1, 2}, []int{1, 2, 2}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Overlap(tc.a, tc.b); math.Abs(got-tc.want) > 1e-15 {
+				t.Errorf("Overlap = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPropertyOverlapSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := make([]int, rr.Intn(20))
+		b := make([]int, rr.Intn(20))
+		for i := range a {
+			a[i] = rr.Intn(10)
+		}
+		for i := range b {
+			b[i] = rr.Intn(10)
+		}
+		o1, o2 := Overlap(a, b), Overlap(b, a)
+		return o1 == o2 && o1 >= 0 && o1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPrecisionRecallBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		returned := make([]int, rr.Intn(30))
+		relevant := make([]int, rr.Intn(30))
+		for i := range returned {
+			returned[i] = rr.Intn(15)
+		}
+		for i := range relevant {
+			relevant[i] = rr.Intn(15)
+		}
+		r := EvalRetrieval(returned, relevant)
+		p, rc, f1 := r.Precision(), r.Recall(), r.F1()
+		return p >= 0 && p <= 1 && rc >= 0 && f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical order", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{"reversed", []float64{1, 2, 3}, []float64{3, 2, 1}, -1},
+		{"short", []float64{1}, []float64{2}, 0},
+		{"all tied", []float64{5, 5, 5}, []float64{1, 2, 3}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := KendallTau(tc.a, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-15 {
+				t.Errorf("tau = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if _, err := KendallTau([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPropertyKendallTauBoundsAndSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rr.NormFloat64(), rr.NormFloat64()
+		}
+		t1, err1 := KendallTau(a, b)
+		t2, err2 := KendallTau(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		self, err := KendallTau(a, a)
+		if err != nil || self != 1 {
+			return false
+		}
+		return t1 == t2 && t1 >= -1 && t1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

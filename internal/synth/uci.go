@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"innsearch/internal/dataset"
+)
+
+// UCISurrogateConfig describes a labeled dataset whose classes live in
+// low-dimensional subspaces of a noisy high-dimensional space. It stands
+// in for the UCI data sets used in the paper's Table 2, which are not
+// available in this offline environment; the surrogates match the
+// originals' row counts, dimensionalities and class counts, and preserve
+// the property Table 2 depends on (class structure concentrated in
+// subspaces so that full-dimensional L2 is partially blinded by noise
+// attributes while subspace-aware search is not).
+type UCISurrogateConfig struct {
+	Name         string
+	N            int
+	Dim          int
+	Classes      int
+	ClassDims    int     // informative attributes per class
+	Spread       float64 // σ of a class inside its informative attributes
+	Domain       float64
+	LabelNoise   float64   // fraction of points whose geometry ignores their label
+	ClassWeights []float64 // optional relative class sizes; uniform when nil
+	// ModesPerClass is the number of Gaussian modes each class is drawn
+	// from (default 1). More modes make classes geometrically harder.
+	ModesPerClass int
+	// AnchorLo and AnchorHi bound the class-mode centers as fractions of
+	// the domain (defaults 0.05 and 0.95). A narrow band makes classes
+	// close together per attribute, which blinds full-dimensional L2
+	// while leaving tight blobs resolvable in low-dimensional views.
+	AnchorLo, AnchorHi float64
+}
+
+// Validate reports the first configuration error, if any.
+func (c UCISurrogateConfig) Validate() error {
+	switch {
+	case c.N <= 0 || c.Dim <= 0 || c.Classes <= 0:
+		return fmt.Errorf("synth: invalid surrogate shape N=%d Dim=%d Classes=%d", c.N, c.Dim, c.Classes)
+	case c.ClassDims <= 0 || c.ClassDims > c.Dim:
+		return fmt.Errorf("synth: ClassDims %d outside (0, %d]", c.ClassDims, c.Dim)
+	case c.Spread <= 0 || c.Domain <= 0:
+		return fmt.Errorf("synth: Spread and Domain must be positive")
+	case c.LabelNoise < 0 || c.LabelNoise >= 1:
+		return fmt.Errorf("synth: LabelNoise %v outside [0, 1)", c.LabelNoise)
+	case c.ClassWeights != nil && len(c.ClassWeights) != c.Classes:
+		return fmt.Errorf("synth: %d weights for %d classes", len(c.ClassWeights), c.Classes)
+	case c.ModesPerClass < 0:
+		return fmt.Errorf("synth: ModesPerClass %d negative", c.ModesPerClass)
+	case c.AnchorLo < 0 || c.AnchorHi > 1 || (c.AnchorHi != 0 && c.AnchorLo >= c.AnchorHi):
+		return fmt.Errorf("synth: anchor band [%v, %v] invalid", c.AnchorLo, c.AnchorHi)
+	}
+	return nil
+}
+
+// GenerateUCISurrogate produces the labeled dataset described by cfg.
+// Each class owns a random set of ClassDims informative attributes where
+// its members cluster tightly (possibly around several per-class modes);
+// every other attribute is uniform noise.
+func GenerateUCISurrogate(cfg UCISurrogateConfig, rng *rand.Rand) (*dataset.Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sizes := classSizes(cfg)
+
+	rows := make([][]float64, 0, cfg.N)
+	labels := make([]int, 0, cfg.N)
+	for class := 0; class < cfg.Classes; class++ {
+		dims := rng.Perm(cfg.Dim)[:cfg.ClassDims]
+		informative := make([]bool, cfg.Dim)
+		for _, j := range dims {
+			informative[j] = true
+		}
+		modes := cfg.ModesPerClass
+		if modes == 0 {
+			modes = 1
+		}
+		lo, hi := cfg.AnchorLo, cfg.AnchorHi
+		if hi == 0 {
+			lo, hi = 0.05, 0.95
+		}
+		centers := make([][]float64, modes)
+		for m := range centers {
+			c := make([]float64, cfg.Dim)
+			for j := range c {
+				c[j] = cfg.Domain * (lo + (hi-lo)*rng.Float64())
+			}
+			centers[m] = c
+		}
+		for i := 0; i < sizes[class]; i++ {
+			p := make([]float64, cfg.Dim)
+			noisy := rng.Float64() < cfg.LabelNoise
+			center := centers[rng.Intn(modes)]
+			for j := 0; j < cfg.Dim; j++ {
+				if informative[j] && !noisy {
+					p[j] = center[j] + rng.NormFloat64()*cfg.Spread
+				} else {
+					p[j] = rng.Float64() * cfg.Domain
+				}
+			}
+			rows = append(rows, p)
+			labels = append(labels, class)
+		}
+	}
+	return dataset.New(rows, labels)
+}
+
+func classSizes(cfg UCISurrogateConfig) []int {
+	weights := cfg.ClassWeights
+	if weights == nil {
+		weights = make([]float64, cfg.Classes)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	sizes := make([]int, cfg.Classes)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(cfg.N) * weights[i] / total)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		assigned += sizes[i]
+	}
+	largest := 0
+	for i := range sizes {
+		if sizes[i] > sizes[largest] {
+			largest = i
+		}
+	}
+	sizes[largest] += cfg.N - assigned
+	return sizes
+}
+
+// IonosphereLike returns a surrogate for the UCI ionosphere data set:
+// 351 radar returns in 34 dimensions, 2 classes ("good" ≈ 64%, "bad").
+func IonosphereLike(rng *rand.Rand) (*dataset.Dataset, error) {
+	return GenerateUCISurrogate(UCISurrogateConfig{
+		Name:          "ionosphere-like",
+		N:             351,
+		Dim:           34,
+		Classes:       2,
+		ClassDims:     8,
+		Spread:        3.5,
+		Domain:        100,
+		LabelNoise:    0.30,
+		AnchorLo:      0.25,
+		AnchorHi:      0.75,
+		ClassWeights:  []float64{0.64, 0.36},
+		ModesPerClass: 2,
+	}, rng)
+}
+
+// SegmentationLike returns a surrogate for the UCI image segmentation
+// data set: 2310 instances in 19 dimensions, 7 balanced classes.
+func SegmentationLike(rng *rand.Rand) (*dataset.Dataset, error) {
+	return GenerateUCISurrogate(UCISurrogateConfig{
+		Name:       "segmentation-like",
+		N:          2310,
+		Dim:        19,
+		Classes:    7,
+		ClassDims:  5,
+		Spread:     2.5,
+		AnchorLo:   0.30,
+		AnchorHi:   0.70,
+		Domain:     100,
+		LabelNoise: 0.20,
+	}, rng)
+}

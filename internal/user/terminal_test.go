@@ -1,0 +1,132 @@
+package user
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"innsearch/internal/core"
+)
+
+func terminalOver(input string) (*Terminal, *bytes.Buffer) {
+	out := &bytes.Buffer{}
+	return &Terminal{In: strings.NewReader(input), Out: out, Width: 32, Height: 10}, out
+}
+
+func TestTerminalAcceptDefault(t *testing.T) {
+	p, _ := makeProfile(t, 300, 60, true, 30)
+	term, out := terminalOver("a\n")
+	d := term.SeparateCluster(p, previewFor(p))
+	if d.Skip {
+		t.Fatal("accept produced a skip")
+	}
+	if d.Tau <= 0 || d.Tau >= p.QueryDensity {
+		t.Errorf("tau = %v (query density %v)", d.Tau, p.QueryDensity)
+	}
+	if !strings.Contains(out.String(), "separator at") {
+		t.Error("selection preview not printed")
+	}
+}
+
+func TestTerminalAdjustThenAccept(t *testing.T) {
+	p, _ := makeProfile(t, 300, 60, true, 31)
+	term, _ := terminalOver("0.8\na\n")
+	d := term.SeparateCluster(p, previewFor(p))
+	if d.Skip {
+		t.Fatal("skip")
+	}
+	want := 0.8 * p.QueryDensity
+	if d.Tau != want {
+		t.Errorf("tau = %v, want %v", d.Tau, want)
+	}
+}
+
+func TestTerminalSkip(t *testing.T) {
+	p, _ := makeProfile(t, 200, 40, true, 32)
+	term, _ := terminalOver("s\n")
+	if d := term.SeparateCluster(p, previewFor(p)); !d.Skip {
+		t.Error("skip command ignored")
+	}
+}
+
+func TestTerminalEOFSkips(t *testing.T) {
+	p, _ := makeProfile(t, 200, 40, true, 33)
+	term, _ := terminalOver("")
+	if d := term.SeparateCluster(p, previewFor(p)); !d.Skip {
+		t.Error("EOF should skip")
+	}
+}
+
+func TestTerminalInvalidInputReprompts(t *testing.T) {
+	p, _ := makeProfile(t, 200, 40, true, 34)
+	term, out := terminalOver("bogus\n2.5\na\n")
+	d := term.SeparateCluster(p, previewFor(p))
+	if d.Skip {
+		t.Fatal("skip")
+	}
+	if !strings.Contains(out.String(), "enter a fraction") {
+		t.Error("no reprompt message for invalid input")
+	}
+}
+
+func TestTerminalMarginals(t *testing.T) {
+	p, _ := makeProfile(t, 200, 40, true, 35)
+	term, out := terminalOver("h\na\n")
+	if d := term.SeparateCluster(p, previewFor(p)); d.Skip {
+		t.Fatal("skip")
+	}
+	if !strings.Contains(out.String(), "x marginal") || !strings.Contains(out.String(), "y marginal") {
+		t.Error("marginals not printed")
+	}
+}
+
+func TestTerminalPolygonFlow(t *testing.T) {
+	p, _ := makeProfile(t, 200, 40, true, 36)
+	term, out := terminalOver("l 0,-100,0,100\nl bad\nl 1,2,3\na\n")
+	d := term.SeparateCluster(p, previewFor(p))
+	if d.Skip {
+		t.Fatal("skip")
+	}
+	if len(d.Lines) != 1 {
+		t.Fatalf("lines = %d, want 1 (malformed ones rejected)", len(d.Lines))
+	}
+	if !strings.Contains(out.String(), "polygonal region holds") {
+		t.Error("polygonal preview not printed")
+	}
+	if !strings.Contains(out.String(), "bad coordinate") && !strings.Contains(out.String(), "expected x1,y1,x2,y2") {
+		t.Error("malformed line not reported")
+	}
+}
+
+func TestTerminalClearLines(t *testing.T) {
+	p, _ := makeProfile(t, 200, 40, true, 37)
+	term, _ := terminalOver("l 0,-100,0,100\nc\na\n")
+	d := term.SeparateCluster(p, previewFor(p))
+	if d.Skip || len(d.Lines) != 0 {
+		t.Errorf("after clear, decision = %+v", d)
+	}
+	if d.Tau <= 0 {
+		t.Error("cleared lines should fall back to the density separator")
+	}
+}
+
+func TestTerminalDrivesFullSession(t *testing.T) {
+	// Feed a full session's worth of commands through the terminal user.
+	p, ds := makeProfile(t, 100, 20, true, 38)
+	_ = p
+	script := strings.Repeat("a\n", 20)
+	term, _ := terminalOver(script)
+	sess, err := core.NewSession(ds, []float64{5, 5}, term, core.Config{
+		Support: 10, GridSize: 16, MaxMajorIterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViewsShown == 0 {
+		t.Error("terminal session showed no views")
+	}
+}

@@ -1,0 +1,234 @@
+// Package vafile implements the vector-approximation file of Weber,
+// Schek & Blott (VLDB 1998) — reference [27] of the paper and the
+// representative "fast but metric-bound" high-dimensional access method
+// its motivation addresses. Each point is compressed to a few bits per
+// dimension; a k-NN query scans the small approximation file computing
+// lower/upper distance bounds and only fetches the exact vectors of
+// candidates whose lower bound beats the current k-th upper bound.
+//
+// The index is exact (it returns the true L2 nearest neighbors) and fast,
+// which is precisely the paper's point: speed does not make the answer
+// meaningful. The experiments use it to show that the fraction of
+// approximations surviving the filter grows with dimensionality — the
+// curse hits the index, not just the scan.
+package vafile
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"innsearch/internal/dataset"
+)
+
+// ErrBadBits is returned for unusable per-dimension bit widths.
+var ErrBadBits = errors.New("vafile: bits per dimension must be in [1, 16]")
+
+// Index is a VA-file over a dataset.
+type Index struct {
+	ds   *dataset.Dataset
+	bits int
+	// bounds[j] holds the 2^bits+1 partition boundaries of dimension j.
+	bounds [][]float64
+	// cells[i*dim+j] is the cell index of point i in dimension j.
+	cells []uint16
+	dim   int
+}
+
+// Stats reports the work a query did.
+type Stats struct {
+	// Scanned is the number of approximations examined (always N).
+	Scanned int
+	// Refined is the number of exact vectors fetched — the candidates
+	// whose lower bound beat the running k-th upper bound.
+	Refined int
+}
+
+// Build constructs the index with the given bits per dimension, using
+// equally spaced partition boundaries over each dimension's range (the
+// original paper's default).
+func Build(ds *dataset.Dataset, bits int) (*Index, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("%w: %d", ErrBadBits, bits)
+	}
+	d := ds.Dim()
+	cellsPerDim := 1 << bits
+	idx := &Index{ds: ds, bits: bits, dim: d}
+	idx.bounds = make([][]float64, d)
+	lo, hi := ds.Bounds()
+	for j := 0; j < d; j++ {
+		b := make([]float64, cellsPerDim+1)
+		span := hi[j] - lo[j]
+		if span == 0 {
+			span = 1 // constant attribute: all points share cell 0
+		}
+		for c := 0; c <= cellsPerDim; c++ {
+			b[c] = lo[j] + span*float64(c)/float64(cellsPerDim)
+		}
+		idx.bounds[j] = b
+	}
+	idx.cells = make([]uint16, ds.N()*d)
+	for i := 0; i < ds.N(); i++ {
+		p := ds.Point(i)
+		for j := 0; j < d; j++ {
+			idx.cells[i*d+j] = idx.cellOf(j, p[j])
+		}
+	}
+	return idx, nil
+}
+
+// cellOf locates the cell of value x in dimension j.
+func (idx *Index) cellOf(j int, x float64) uint16 {
+	b := idx.bounds[j]
+	// Binary search for the rightmost boundary ≤ x.
+	c := sort.SearchFloat64s(b, x)
+	if c > 0 && (c >= len(b) || b[c] != x) {
+		c--
+	}
+	if c >= len(b)-1 {
+		c = len(b) - 2
+	}
+	return uint16(c)
+}
+
+// N returns the number of indexed points.
+func (idx *Index) N() int { return idx.ds.N() }
+
+// Bits returns the per-dimension approximation width.
+func (idx *Index) Bits() int { return idx.bits }
+
+// Neighbor is one k-NN result.
+type Neighbor struct {
+	Pos  int
+	ID   int
+	Dist float64
+}
+
+// resultHeap keeps the k best candidates with the worst on top.
+type resultHeap []Neighbor
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Search returns the exact k nearest neighbors of query under L2,
+// two-phase: scan approximations accumulating candidates whose lower
+// bound beats the running k-th smallest upper bound, then refine
+// candidates in ascending lower-bound order.
+func (idx *Index) Search(query []float64, k int) ([]Neighbor, Stats, error) {
+	if len(query) != idx.dim {
+		return nil, Stats{}, fmt.Errorf("vafile: query dim %d, index dim %d", len(query), idx.dim)
+	}
+	if k <= 0 {
+		return nil, Stats{}, errors.New("vafile: k must be positive")
+	}
+	n := idx.ds.N()
+	if k > n {
+		k = n
+	}
+
+	// Phase 1: bounds from approximations.
+	type cand struct {
+		pos   int
+		lower float64
+	}
+	cands := make([]cand, 0, n)
+	// Track the k-th smallest upper bound seen so far.
+	upperHeap := make(resultHeap, 0, k+1)
+	lowers := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lb, ub := idx.boundsFor(i, query)
+		lowers[i] = lb
+		if len(upperHeap) < k {
+			heap.Push(&upperHeap, Neighbor{Pos: i, Dist: ub})
+		} else if ub < upperHeap[0].Dist {
+			upperHeap[0] = Neighbor{Pos: i, Dist: ub}
+			heap.Fix(&upperHeap, 0)
+		}
+	}
+	kthUpper := upperHeap[0].Dist
+	for i := 0; i < n; i++ {
+		if lowers[i] <= kthUpper {
+			cands = append(cands, cand{pos: i, lower: lowers[i]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].lower != cands[b].lower {
+			return cands[a].lower < cands[b].lower
+		}
+		return cands[a].pos < cands[b].pos
+	})
+
+	// Phase 2: refine in lower-bound order with early termination.
+	best := make(resultHeap, 0, k+1)
+	refined := 0
+	for _, c := range cands {
+		if len(best) == k && c.lower > best[0].Dist {
+			break // no remaining candidate can improve the answer
+		}
+		refined++
+		d := l2(query, idx.ds.Point(c.pos))
+		if len(best) < k {
+			heap.Push(&best, Neighbor{Pos: c.pos, ID: idx.ds.ID(c.pos), Dist: d})
+		} else if d < best[0].Dist {
+			best[0] = Neighbor{Pos: c.pos, ID: idx.ds.ID(c.pos), Dist: d}
+			heap.Fix(&best, 0)
+		}
+	}
+	out := []Neighbor(best)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Pos < out[b].Pos
+	})
+	return out, Stats{Scanned: n, Refined: refined}, nil
+}
+
+// boundsFor computes the squared-distance-free L2 lower and upper bounds
+// between query and the approximation cell of point i.
+func (idx *Index) boundsFor(i int, query []float64) (lower, upper float64) {
+	var lo2, hi2 float64
+	base := i * idx.dim
+	for j := 0; j < idx.dim; j++ {
+		c := int(idx.cells[base+j])
+		cellLo := idx.bounds[j][c]
+		cellHi := idx.bounds[j][c+1]
+		q := query[j]
+		// Lower bound: distance from q to the cell interval.
+		var dl float64
+		switch {
+		case q < cellLo:
+			dl = cellLo - q
+		case q > cellHi:
+			dl = q - cellHi
+		}
+		lo2 += dl * dl
+		// Upper bound: distance from q to the farthest cell corner.
+		dh := math.Max(math.Abs(q-cellLo), math.Abs(q-cellHi))
+		hi2 += dh * dh
+	}
+	return math.Sqrt(lo2), math.Sqrt(hi2)
+}
+
+func l2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

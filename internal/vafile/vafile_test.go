@@ -1,0 +1,211 @@
+package vafile
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/knn"
+	"innsearch/internal/metric"
+)
+
+func uniformDS(t testing.TB, n, d int, seed int64) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = r.Float64() * 100
+		}
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds := uniformDS(t, 10, 3, 1)
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Build(ds, 0); !errors.Is(err, ErrBadBits) {
+		t.Errorf("bits=0: %v", err)
+	}
+	if _, err := Build(ds, 17); !errors.Is(err, ErrBadBits) {
+		t.Errorf("bits=17: %v", err)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	ds := uniformDS(t, 500, 8, 2)
+	idx, err := Build(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := ds.PointCopy(7)
+	got, stats, err := idx.Search(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := knn.Search(ds, query, 10, metric.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Pos != want[i].Pos {
+			t.Fatalf("rank %d: VA-file %d, brute force %d", i, got[i].Pos, want[i].Pos)
+		}
+	}
+	if stats.Refined >= ds.N() {
+		t.Errorf("no pruning: refined %d of %d", stats.Refined, ds.N())
+	}
+	if stats.Scanned != ds.N() {
+		t.Errorf("scanned %d, want %d", stats.Scanned, ds.N())
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds := uniformDS(t, 20, 4, 3)
+	idx, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := idx.Search([]float64{1}, 3); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, _, err := idx.Search(make([]float64, 4), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k > N clamps.
+	got, _, err := idx.Search(make([]float64, 4), 99)
+	if err != nil || len(got) != 20 {
+		t.Errorf("clamped search: %d, %v", len(got), err)
+	}
+}
+
+func TestConstantAttribute(t *testing.T) {
+	rows := [][]float64{{1, 5}, {2, 5}, {3, 5}}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := idx.Search([]float64{2.1, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Pos != 1 {
+		t.Errorf("nearest = %d, want 1", got[0].Pos)
+	}
+}
+
+func TestPruningImprovesWithBits(t *testing.T) {
+	ds := uniformDS(t, 2000, 10, 4)
+	query := ds.PointCopy(0)
+	prev := ds.N() + 1
+	for _, bits := range []int{2, 4, 8} {
+		idx, err := Build(ds, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := idx.Search(query, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Refined > prev {
+			t.Errorf("bits=%d refined %d > previous %d", bits, stats.Refined, prev)
+		}
+		prev = stats.Refined
+	}
+}
+
+func TestCurseOfDimensionalityOnFilter(t *testing.T) {
+	// The fraction of candidates surviving the filter grows with
+	// dimensionality — the motivation statistic.
+	fracAt := func(d int) float64 {
+		ds := uniformDS(t, 1500, d, 5)
+		idx, err := Build(ds, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := idx.Search(ds.PointCopy(0), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(stats.Refined) / float64(stats.Scanned)
+	}
+	low := fracAt(4)
+	high := fracAt(50)
+	if high <= low {
+		t.Errorf("refine fraction did not grow with dimension: %v → %v", low, high)
+	}
+}
+
+func TestPropertyVAFileExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 20 + rr.Intn(150)
+		d := 1 + rr.Intn(10)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rr.NormFloat64() * 10
+			}
+		}
+		ds, err := dataset.New(rows, nil)
+		if err != nil {
+			return false
+		}
+		idx, err := Build(ds, 1+rr.Intn(8))
+		if err != nil {
+			return false
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rr.NormFloat64() * 10
+		}
+		k := 1 + rr.Intn(n)
+		got, _, err := idx.Search(q, k)
+		if err != nil {
+			return false
+		}
+		want, err := knn.Search(ds, q, k, metric.Euclidean{})
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			// Positions may differ on exact ties; distances must match.
+			if got[i].Dist != want[i].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkVAFileSearch5000x20(b *testing.B) {
+	ds := uniformDS(b, 5000, 20, 6)
+	idx, err := Build(ds, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ds.PointCopy(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := idx.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"innsearch/internal/kde"
+)
+
+// SurfaceOptions tunes WriteSurfaceSVG.
+type SurfaceOptions struct {
+	// Width, Height of the SVG canvas (default 640×480).
+	Width, Height int
+	// Title caption.
+	Title string
+	// MarkQuery drops a vertical marker at the query position.
+	MarkQuery      bool
+	QueryX, QueryY float64
+	// Tau, when positive, draws the density-separator plane as a
+	// horizontal reference line on the front axis and highlights the
+	// surface cells above it.
+	Tau float64
+}
+
+// WriteSurfaceSVG renders the density grid as an isometric 3-D surface —
+// the style of the paper's Figures 9–13. Rows are drawn back to front as
+// filled ridgeline polygons (a painter's algorithm), which reads like the
+// original MATLAB mesh plots while staying a plain SVG.
+func WriteSurfaceSVG(w io.Writer, g *kde.Grid, opts SurfaceOptions) error {
+	if g == nil {
+		return ErrNilGrid
+	}
+	cw, ch := opts.Width, opts.Height
+	if cw == 0 {
+		cw = 640
+	}
+	if ch == 0 {
+		ch = 480
+	}
+	if cw < 120 || ch < 120 {
+		return fmt.Errorf("viz: surface canvas %dx%d too small", cw, ch)
+	}
+	peak := g.MaxDensity()
+	if peak <= 0 {
+		peak = 1
+	}
+
+	// Isometric projection: grid (ix, iy) with height z maps to
+	//   px = marginX + ix·sx + iy·shear
+	//   py = baseY − iy·sy − z·zScale
+	const margin = 40.0
+	shearTotal := 0.35 * float64(cw-2*int(margin))
+	plotW := float64(cw) - 2*margin - shearTotal
+	plotH := 0.35 * (float64(ch) - 2*margin)
+	zScale := 0.55 * (float64(ch) - 2*margin)
+	sx := plotW / float64(g.P-1)
+	sy := plotH / float64(g.P-1)
+	shear := shearTotal / float64(g.P-1)
+	baseY := float64(ch) - margin
+
+	px := func(ix, iy int) float64 {
+		return margin + float64(ix)*sx + float64(iy)*shear
+	}
+	py := func(iy int, z float64) float64 {
+		return baseY - float64(iy)*sy - z/peak*zScale
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", cw, ch, cw, ch)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="20" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+			cw/2-len(opts.Title)*3, svgEscape(opts.Title))
+	}
+
+	// Back-to-front ridgelines.
+	for iy := g.P - 1; iy >= 0; iy-- {
+		var path strings.Builder
+		fmt.Fprintf(&path, "M %.2f %.2f ", px(0, iy), py(iy, 0))
+		for ix := 0; ix < g.P; ix++ {
+			fmt.Fprintf(&path, "L %.2f %.2f ", px(ix, iy), py(iy, g.At(ix, iy)))
+		}
+		fmt.Fprintf(&path, "L %.2f %.2f Z", px(g.P-1, iy), py(iy, 0))
+		stroke := "#335"
+		if opts.Tau > 0 && rowAbove(g, iy, opts.Tau) {
+			stroke = "#c22"
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="white" fill-opacity="0.92" stroke="%s" stroke-width="0.8"/>`+"\n",
+			path.String(), stroke)
+	}
+
+	// Separator plane reference on the front edge.
+	if opts.Tau > 0 && opts.Tau < peak {
+		zy := py(0, opts.Tau)
+		fmt.Fprintf(&sb, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#c22" stroke-dasharray="5,4"/>`+"\n",
+			margin, zy, margin+plotW, zy)
+		fmt.Fprintf(&sb, `<text x="%.2f" y="%.2f" font-family="sans-serif" font-size="11" fill="#c22">τ</text>`+"\n",
+			margin+plotW+4, zy+4)
+	}
+
+	// Query marker: vertical line from the base to the surface height.
+	if opts.MarkQuery {
+		fx := (opts.QueryX - g.MinX) / (g.MaxX - g.MinX)
+		fy := (opts.QueryY - g.MinY) / (g.MaxY - g.MinY)
+		ix := int(math.Round(fx * float64(g.P-1)))
+		iy := int(math.Round(fy * float64(g.P-1)))
+		if ix >= 0 && ix < g.P && iy >= 0 && iy < g.P {
+			x := px(ix, iy)
+			fmt.Fprintf(&sb, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="red" stroke-width="1.6"/>`+"\n",
+				x, py(iy, 0), x, py(iy, g.At(ix, iy)))
+			fmt.Fprintf(&sb, `<text x="%.2f" y="%.2f" font-family="sans-serif" font-size="11" fill="red">Query</text>`+"\n",
+				x+4, py(iy, g.At(ix, iy))-4)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// rowAbove reports whether any node of row iy exceeds tau.
+func rowAbove(g *kde.Grid, iy int, tau float64) bool {
+	for ix := 0; ix < g.P; ix++ {
+		if g.At(ix, iy) > tau {
+			return true
+		}
+	}
+	return false
+}
+
+// SaveSurfaceSVG writes the surface plot to the named file.
+func SaveSurfaceSVG(path string, g *kde.Grid, opts SurfaceOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	defer f.Close()
+	if err := WriteSurfaceSVG(f, g, opts); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,340 @@
+// Package viz renders the system's visual profiles: ASCII density maps
+// for the interactive terminal session, PNG heatmaps (with query marker
+// and τ-contour overlay) for the figure reproductions, and SVG lateral
+// scatter plots in the style of the paper's Figure 1. Everything is
+// standard library only (image/png and hand-written SVG).
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"innsearch/internal/kde"
+)
+
+// ErrNilGrid is returned when a renderer receives a nil density grid.
+var ErrNilGrid = errors.New("viz: nil density grid")
+
+// asciiRamp orders characters by visual weight for terminal heatmaps.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCIIOptions tunes ASCIIHeatmap.
+type ASCIIOptions struct {
+	// Width and Height are the character-cell dimensions (default 64×28).
+	Width, Height int
+	// Tau, when positive, overlays the density separator: cells right at
+	// the threshold print 'T'.
+	Tau float64
+	// QueryX, QueryY mark the query point with 'Q' when MarkQuery is set.
+	MarkQuery      bool
+	QueryX, QueryY float64
+	// ShowScale appends a line describing the density range.
+	ShowScale bool
+}
+
+// ASCIIHeatmap renders the density grid as terminal text. The vertical
+// axis is flipped so larger y is at the top, matching mathematical plots.
+func ASCIIHeatmap(g *kde.Grid, opts ASCIIOptions) (string, error) {
+	if g == nil {
+		return "", ErrNilGrid
+	}
+	w, h := opts.Width, opts.Height
+	if w == 0 {
+		w = 64
+	}
+	if h == 0 {
+		h = 28
+	}
+	if w < 8 || h < 4 {
+		return "", fmt.Errorf("viz: ascii canvas %dx%d too small", w, h)
+	}
+	peak := g.MaxDensity()
+	var sb strings.Builder
+	for row := 0; row < h; row++ {
+		y := g.MaxY - (g.MaxY-g.MinY)*float64(row)/float64(h-1)
+		for col := 0; col < w; col++ {
+			x := g.MinX + (g.MaxX-g.MinX)*float64(col)/float64(w-1)
+			d := g.InterpAt(x, y)
+			ch := rampChar(d, peak)
+			if opts.Tau > 0 && nearLevel(d, opts.Tau, peak) {
+				ch = 'T'
+			}
+			if opts.MarkQuery && markHere(x, y, opts.QueryX, opts.QueryY, g, w, h) {
+				ch = 'Q'
+			}
+			sb.WriteByte(ch)
+		}
+		sb.WriteByte('\n')
+	}
+	if opts.ShowScale {
+		fmt.Fprintf(&sb, "x∈[%.3g, %.3g] y∈[%.3g, %.3g] peak density %.4g",
+			g.MinX, g.MaxX, g.MinY, g.MaxY, peak)
+		if opts.Tau > 0 {
+			fmt.Fprintf(&sb, "  τ=%.4g (T marks the separator contour)", opts.Tau)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+func rampChar(d, peak float64) byte {
+	if peak <= 0 {
+		return asciiRamp[0]
+	}
+	idx := int(d / peak * float64(len(asciiRamp)))
+	if idx >= len(asciiRamp) {
+		idx = len(asciiRamp) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return asciiRamp[idx]
+}
+
+// nearLevel reports whether d is within a thin band around the level.
+func nearLevel(d, level, peak float64) bool {
+	band := 0.02 * peak
+	if band <= 0 {
+		return false
+	}
+	return math.Abs(d-level) < band
+}
+
+// markHere reports whether the character cell at (x, y) is the closest
+// cell to the query position.
+func markHere(x, y, qx, qy float64, g *kde.Grid, w, h int) bool {
+	cellW := (g.MaxX - g.MinX) / float64(w-1)
+	cellH := (g.MaxY - g.MinY) / float64(h-1)
+	return math.Abs(x-qx) <= cellW/2 && math.Abs(y-qy) <= cellH/2
+}
+
+// HeatmapOptions tunes PNG rendering.
+type HeatmapOptions struct {
+	// Scale is the pixel size of one density-grid cell (default 8).
+	Scale int
+	// Tau, when positive, draws the separator contour in white.
+	Tau float64
+	// MarkQuery draws a crosshair at the query position.
+	MarkQuery      bool
+	QueryX, QueryY float64
+}
+
+// WriteHeatmapPNG renders the density grid to PNG: dark blue (low) through
+// yellow (high), optional contour and query crosshair.
+func WriteHeatmapPNG(w io.Writer, g *kde.Grid, opts HeatmapOptions) error {
+	if g == nil {
+		return ErrNilGrid
+	}
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 8
+	}
+	if scale < 1 {
+		return fmt.Errorf("viz: scale %d < 1", scale)
+	}
+	side := (g.P - 1) * scale
+	img := image.NewRGBA(image.Rect(0, 0, side, side))
+	peak := g.MaxDensity()
+	for py := 0; py < side; py++ {
+		// Flip vertically: image row 0 is the max-y edge.
+		y := g.MaxY - (g.MaxY-g.MinY)*float64(py)/float64(side-1)
+		for px := 0; px < side; px++ {
+			x := g.MinX + (g.MaxX-g.MinX)*float64(px)/float64(side-1)
+			d := g.InterpAt(x, y)
+			c := heatColor(d, peak)
+			if opts.Tau > 0 && nearLevel(d, opts.Tau, peak) {
+				c = color.RGBA{255, 255, 255, 255}
+			}
+			img.Set(px, py, c)
+		}
+	}
+	if opts.MarkQuery {
+		drawCrosshair(img, g, opts.QueryX, opts.QueryY, side)
+	}
+	return png.Encode(w, img)
+}
+
+// SaveHeatmapPNG writes the heatmap to the named file.
+func SaveHeatmapPNG(path string, g *kde.Grid, opts HeatmapOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	defer f.Close()
+	if err := WriteHeatmapPNG(f, g, opts); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func heatColor(d, peak float64) color.RGBA {
+	if peak <= 0 {
+		return color.RGBA{10, 10, 40, 255}
+	}
+	t := d / peak
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// Dark blue → purple → orange → yellow.
+	r := uint8(255 * math.Min(1, 0.1+1.5*t))
+	gg := uint8(255 * math.Max(0, 1.4*t-0.4))
+	b := uint8(255 * math.Max(0, 0.45-0.8*t+0.35*t*t))
+	if t < 0.02 {
+		return color.RGBA{10, 10, 40, 255}
+	}
+	return color.RGBA{r, gg, b, 255}
+}
+
+func drawCrosshair(img *image.RGBA, g *kde.Grid, qx, qy float64, side int) {
+	fx := (qx - g.MinX) / (g.MaxX - g.MinX)
+	fy := (g.MaxY - qy) / (g.MaxY - g.MinY)
+	cx := int(fx * float64(side-1))
+	cy := int(fy * float64(side-1))
+	red := color.RGBA{255, 30, 30, 255}
+	for d := -6; d <= 6; d++ {
+		for _, p := range [2][2]int{{cx + d, cy}, {cx, cy + d}} {
+			if p[0] >= 0 && p[0] < side && p[1] >= 0 && p[1] < side {
+				img.Set(p[0], p[1], red)
+			}
+		}
+	}
+}
+
+// ScatterOptions tunes SVG scatter plots.
+type ScatterOptions struct {
+	// Width and Height are the SVG canvas size in pixels (default 480).
+	Width, Height int
+	// Title is an optional caption.
+	Title string
+	// QueryX, QueryY mark the query point with a red star when MarkQuery
+	// is set.
+	MarkQuery      bool
+	QueryX, QueryY float64
+}
+
+// WriteScatterSVG renders a lateral density plot — a scatter of sampled
+// points (à la Figure 1 of the paper) — as a standalone SVG document.
+func WriteScatterSVG(w io.Writer, pts [][2]float64, opts ScatterOptions) error {
+	cw, ch := opts.Width, opts.Height
+	if cw == 0 {
+		cw = 480
+	}
+	if ch == 0 {
+		ch = 480
+	}
+	if cw < 64 || ch < 64 {
+		return fmt.Errorf("viz: svg canvas %dx%d too small", cw, ch)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	if opts.MarkQuery {
+		minX = math.Min(minX, opts.QueryX)
+		maxX = math.Max(maxX, opts.QueryX)
+		minY = math.Min(minY, opts.QueryY)
+		maxY = math.Max(maxY, opts.QueryY)
+	}
+	if len(pts) == 0 && !opts.MarkQuery {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	const margin = 24.0
+	px := func(x float64) float64 {
+		return margin + (x-minX)/(maxX-minX)*(float64(cw)-2*margin)
+	}
+	py := func(y float64) float64 {
+		return float64(ch) - margin - (y-minY)/(maxY-minY)*(float64(ch)-2*margin)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", cw, ch, cw, ch)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="16" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			cw/2-len(opts.Title)*3, svgEscape(opts.Title))
+	}
+	fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#888"/>`+"\n",
+		margin, margin, float64(cw)-2*margin, float64(ch)-2*margin)
+	for _, p := range pts {
+		fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="2" fill="#3366cc" fill-opacity="0.7"/>`+"\n",
+			px(p[0]), py(p[1]))
+	}
+	if opts.MarkQuery {
+		x, y := px(opts.QueryX), py(opts.QueryY)
+		fmt.Fprintf(&sb, `<path d="M %.2f %.2f l 6 0 l -6 0 l 0 6 l 0 -12 l 0 6 l -6 0 l 12 0 l -6 0 l -4 -4 l 8 8 l -8 0 l 8 -8" stroke="red" stroke-width="2" fill="none"/>`+"\n", x, y)
+		fmt.Fprintf(&sb, `<text x="%.2f" y="%.2f" font-family="sans-serif" font-size="11" fill="red">Query</text>`+"\n", x+8, y-6)
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// SaveScatterSVG writes the scatter plot to the named file.
+func SaveScatterSVG(path string, pts [][2]float64, opts ScatterOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	defer f.Close()
+	if err := WriteScatterSVG(f, pts, opts); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SurfaceStats summarizes a density profile quantitatively, so figure
+// reproductions can be checked without eyes: the peak density, the mean
+// density over the grid, their ratio (sharpness), and the query point's
+// standing.
+type SurfaceStats struct {
+	Peak, Mean, Sharpness    float64
+	QueryDensity, QueryRatio float64
+}
+
+// Surface computes SurfaceStats for a grid and query location.
+func Surface(g *kde.Grid, qx, qy float64) (SurfaceStats, error) {
+	if g == nil {
+		return SurfaceStats{}, ErrNilGrid
+	}
+	var sum float64
+	for _, d := range g.Density {
+		sum += d
+	}
+	st := SurfaceStats{
+		Peak:         g.MaxDensity(),
+		Mean:         sum / float64(len(g.Density)),
+		QueryDensity: g.InterpAt(qx, qy),
+	}
+	if st.Mean > 0 {
+		st.Sharpness = st.Peak / st.Mean
+	}
+	if st.Peak > 0 {
+		st.QueryRatio = st.QueryDensity / st.Peak
+	}
+	return st, nil
+}

@@ -1,0 +1,225 @@
+package viz
+
+import (
+	"bytes"
+	"errors"
+	"image/png"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+)
+
+func clusterGrid(t *testing.T, seed int64) *kde.Grid {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(300, 2)
+	for i := 0; i < 300; i++ {
+		m.Set(i, 0, 5+r.NormFloat64())
+		m.Set(i, 1, -2+r.NormFloat64())
+	}
+	g, err := kde.Estimate2D(m, kde.Options{GridSize: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestASCIIHeatmap(t *testing.T) {
+	g := clusterGrid(t, 1)
+	out, err := ASCIIHeatmap(g, ASCIIOptions{Width: 40, Height: 16, ShowScale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 17 { // 16 rows + scale line
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i := 0; i < 16; i++ {
+		if len(lines[i]) != 40 {
+			t.Fatalf("row %d has %d chars", i, len(lines[i]))
+		}
+	}
+	// Dense characters must appear near the peak.
+	if !strings.ContainsAny(out, "#%@") {
+		t.Error("no dense characters in heatmap of a tight cluster")
+	}
+	if !strings.Contains(lines[16], "peak density") {
+		t.Errorf("scale line = %q", lines[16])
+	}
+}
+
+func TestASCIIHeatmapQueryAndTau(t *testing.T) {
+	g := clusterGrid(t, 2)
+	out, err := ASCIIHeatmap(g, ASCIIOptions{
+		Width: 48, Height: 20,
+		MarkQuery: true, QueryX: 5, QueryY: -2,
+		Tau: 0.4 * g.MaxDensity(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Q") {
+		t.Error("query marker missing")
+	}
+	if !strings.Contains(out, "T") {
+		t.Error("separator contour missing")
+	}
+}
+
+func TestASCIIHeatmapErrors(t *testing.T) {
+	if _, err := ASCIIHeatmap(nil, ASCIIOptions{}); !errors.Is(err, ErrNilGrid) {
+		t.Errorf("nil grid: %v", err)
+	}
+	g := clusterGrid(t, 3)
+	if _, err := ASCIIHeatmap(g, ASCIIOptions{Width: 2, Height: 2}); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}
+
+func TestWriteHeatmapPNG(t *testing.T) {
+	g := clusterGrid(t, 4)
+	var buf bytes.Buffer
+	err := WriteHeatmapPNG(&buf, g, HeatmapOptions{
+		Scale: 4, MarkQuery: true, QueryX: 5, QueryY: -2, Tau: 0.3 * g.MaxDensity(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("invalid png: %v", err)
+	}
+	wantSide := (g.P - 1) * 4
+	if img.Bounds().Dx() != wantSide || img.Bounds().Dy() != wantSide {
+		t.Errorf("image %v, want %dx%d", img.Bounds(), wantSide, wantSide)
+	}
+}
+
+func TestSaveHeatmapPNG(t *testing.T) {
+	g := clusterGrid(t, 5)
+	path := filepath.Join(t.TempDir(), "heat.png")
+	if err := SaveHeatmapPNG(path, g, HeatmapOptions{Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteHeatmapPNGErrors(t *testing.T) {
+	if err := WriteHeatmapPNG(&bytes.Buffer{}, nil, HeatmapOptions{}); !errors.Is(err, ErrNilGrid) {
+		t.Errorf("nil grid: %v", err)
+	}
+	g := clusterGrid(t, 6)
+	if err := WriteHeatmapPNG(&bytes.Buffer{}, g, HeatmapOptions{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestWriteScatterSVG(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 1}, {0.5, 0.7}}
+	var buf bytes.Buffer
+	err := WriteScatterSVG(&buf, pts, ScatterOptions{
+		Title: "A <test> plot", MarkQuery: true, QueryX: 0.5, QueryY: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<circle") != 3 {
+		t.Errorf("circles = %d", strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, "&lt;test&gt;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "Query") {
+		t.Error("query marker missing")
+	}
+}
+
+func TestWriteScatterSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteScatterSVG(&buf, nil, ScatterOptions{}); err != nil {
+		t.Fatalf("empty scatter: %v", err)
+	}
+	if err := WriteScatterSVG(&buf, nil, ScatterOptions{Width: 10, Height: 10}); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}
+
+func TestSaveScatterSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scatter.svg")
+	if err := SaveScatterSVG(path, [][2]float64{{1, 2}}, ScatterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurfaceStats(t *testing.T) {
+	g := clusterGrid(t, 7)
+	st, err := Surface(g, 5, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Peak <= 0 || st.Mean <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A single tight cluster on a padded grid is sharp.
+	if st.Sharpness < 3 {
+		t.Errorf("sharpness = %v, want sharp", st.Sharpness)
+	}
+	// The query is at the cluster center.
+	if st.QueryRatio < 0.5 {
+		t.Errorf("query ratio = %v", st.QueryRatio)
+	}
+	if _, err := Surface(nil, 0, 0); !errors.Is(err, ErrNilGrid) {
+		t.Errorf("nil grid: %v", err)
+	}
+}
+
+func TestWriteSurfaceSVG(t *testing.T) {
+	g := clusterGrid(t, 20)
+	var buf bytes.Buffer
+	err := WriteSurfaceSVG(&buf, g, SurfaceOptions{
+		Title: "surface", MarkQuery: true, QueryX: 5, QueryY: -2,
+		Tau: 0.4 * g.MaxDensity(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// One ridgeline path per grid row.
+	if got := strings.Count(svg, "<path"); got != g.P {
+		t.Errorf("paths = %d, want %d", got, g.P)
+	}
+	if !strings.Contains(svg, "Query") {
+		t.Error("query marker missing")
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("separator plane missing")
+	}
+}
+
+func TestWriteSurfaceSVGErrors(t *testing.T) {
+	if err := WriteSurfaceSVG(&bytes.Buffer{}, nil, SurfaceOptions{}); !errors.Is(err, ErrNilGrid) {
+		t.Errorf("nil grid: %v", err)
+	}
+	g := clusterGrid(t, 21)
+	if err := WriteSurfaceSVG(&bytes.Buffer{}, g, SurfaceOptions{Width: 50, Height: 50}); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}
+
+func TestSaveSurfaceSVG(t *testing.T) {
+	g := clusterGrid(t, 22)
+	path := filepath.Join(t.TempDir(), "surface.svg")
+	if err := SaveSurfaceSVG(path, g, SurfaceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
