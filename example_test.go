@@ -33,8 +33,8 @@ func buildExampleData() (*innsearch.Dataset, []float64) {
 func ExampleNewSession() {
 	ds, query := buildExampleData()
 	sess, err := innsearch.NewSession(ds, query, innsearch.NewHeuristicUser(), innsearch.Config{
-		Support:      40,
-		AxisParallel: true,
+		Support: 40,
+		Mode:    innsearch.ModeAxis,
 	})
 	if err != nil {
 		fmt.Println(err)
@@ -84,7 +84,7 @@ func ExampleUserFunc() {
 		return innsearch.Decision{Tau: 0.5 * p.QueryDensity}
 	})
 	sess, err := innsearch.NewSession(ds, query, u, innsearch.Config{
-		Support: 40, AxisParallel: true, MaxMajorIterations: 2,
+		Support: 40, Mode: innsearch.ModeAxis, MaxMajorIterations: 2,
 	})
 	if err != nil {
 		fmt.Println(err)

@@ -44,7 +44,7 @@ func main() {
 
 	// Session 1: record.
 	transcript, obs := innsearch.NewTranscript(false)
-	cfg := innsearch.Config{Support: 90, AxisParallel: true}
+	cfg := innsearch.Config{Support: 90, Mode: innsearch.ModeAxis}
 	cfgRec := cfg
 	cfgRec.Observer = obs
 	sess, err := innsearch.NewSession(ds, query, innsearch.NewHeuristicUser(), cfgRec)

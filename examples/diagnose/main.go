@@ -57,7 +57,7 @@ func main() {
 	fmt.Println("\n== interactive sessions ==")
 	run := func(name string, ds *innsearch.Dataset, query []float64) {
 		sess, err := innsearch.NewSession(ds, query, innsearch.NewHeuristicUser(), innsearch.Config{
-			AxisParallel: true,
+			Mode: innsearch.ModeAxis,
 		})
 		if err != nil {
 			log.Fatal(err)

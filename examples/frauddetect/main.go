@@ -54,8 +54,8 @@ func main() {
 		ds.N(), ds.Dim(), flagged)
 
 	sess, err := innsearch.NewSession(ds, query, innsearch.NewHeuristicUser(), innsearch.Config{
-		Support:      ringSize,
-		AxisParallel: true, // feature-level views keep the evidence interpretable
+		Support: ringSize,
+		Mode:    innsearch.ModeAxis, // feature-level views keep the evidence interpretable
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -63,8 +63,8 @@ func main() {
 		relevant[i] = library.ID(m)
 	}
 	sess, err := innsearch.NewSession(library, query, innsearch.NewOracleUser(relevant), innsearch.Config{
-		Support:      k,
-		AxisParallel: true,
+		Support: k,
+		Mode:    innsearch.ModeAxis,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -44,8 +44,8 @@ func main() {
 	query := append([]float64(nil), rows[0]...)
 
 	sess, err := innsearch.NewSession(ds, query, innsearch.NewHeuristicUser(), innsearch.Config{
-		Support:      30,
-		AxisParallel: true,
+		Support: 30,
+		Mode:    innsearch.ModeAxis,
 	})
 	if err != nil {
 		log.Fatal(err)

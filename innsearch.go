@@ -38,6 +38,8 @@
 package innsearch
 
 import (
+	"context"
+
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
 	"innsearch/internal/grid"
@@ -57,8 +59,14 @@ type Config = core.Config
 type DiagnosisConfig = core.DiagnosisConfig
 
 // Session drives the iterative interactive search of the paper's
-// Figure 2.
+// Figure 2. Run/Step have RunContext/StepContext variants that honor
+// cancellation, and Config.Workers parallelizes the numeric hot paths
+// with bit-identical output at any worker count.
 type Session = core.Session
+
+// SessionBatch runs many independent sessions over the same dataset
+// concurrently; build one with NewSessionBatch or use SearchBatch.
+type SessionBatch = core.SessionBatch
 
 // Result is a completed session: ranked neighbors, per-point
 // meaningfulness probabilities, and the meaningfulness diagnosis.
@@ -143,6 +151,24 @@ func LoadCSV(path string) (*Dataset, error) {
 // the query point over ds, with u supplying the human decisions.
 func NewSession(ds *Dataset, query []float64, u User, cfg Config) (*Session, error) {
 	return core.NewSession(ds, query, u, cfg)
+}
+
+// NewSessionBatch prepares one session per query (queries[i] answered by
+// users[i]) over a shared dataset. cfg.Workers bounds how many sessions
+// run at once; the sessions themselves run serially so results are
+// identical to running each query alone. Per-query construction errors
+// are deferred to RunContext rather than failing the batch.
+func NewSessionBatch(ds *Dataset, queries [][]float64, users []User, cfg Config) (*SessionBatch, error) {
+	return core.NewSessionBatch(ds, queries, users, cfg)
+}
+
+// SearchBatch builds and runs a session batch in one call, returning a
+// result and an error per query (index-aligned; exactly one of the two is
+// non-nil for each query). The final error reports batch-level validation
+// failures only. Canceling ctx stops in-flight sessions at their next
+// checkpoint; queries never started report ctx.Err().
+func SearchBatch(ctx context.Context, ds *Dataset, queries [][]float64, users []User, cfg Config) ([]*Result, []error, error) {
+	return core.SearchBatch(ctx, ds, queries, users, cfg)
 }
 
 // Diagnose runs the steep-drop analysis over per-point meaningfulness

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"innsearch/internal/dataset"
@@ -67,11 +68,18 @@ func (p *VisualProfile) Region(tau float64) (*grid.Region, error) {
 // R(τ, Q) at the given threshold, i.e. the user preference set a
 // threshold would produce.
 func (p *VisualProfile) SelectAt(tau float64) ([]int, error) {
+	return p.SelectAtContext(context.Background(), 1, tau)
+}
+
+// SelectAtContext is SelectAt with cooperative cancellation and a worker
+// count (≤ 0 means GOMAXPROCS) for the per-point membership pass. The
+// selection is identical at any worker count.
+func (p *VisualProfile) SelectAtContext(ctx context.Context, workers int, tau float64) ([]int, error) {
 	reg, err := p.Region(tau)
 	if err != nil {
 		return nil, err
 	}
-	return reg.SelectPoints(p.Points.Col(0), p.Points.Col(1)), nil
+	return reg.SelectPointsContext(ctx, workers, p.Points.Col(0), p.Points.Col(1))
 }
 
 // Decision is the user's answer to one visual profile: either skip the
@@ -118,12 +126,19 @@ func (f UserFunc) SeparateCluster(p *VisualProfile, preview func(tau float64) *g
 // the kernel density on a p×p grid (Figure 5), and assembles the visual
 // profile shown to the user.
 func BuildProfile(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options) (*VisualProfile, error) {
+	return BuildProfileContext(context.Background(), ds, q, proj, support, opts)
+}
+
+// BuildProfileContext is BuildProfile with cooperative cancellation: the
+// density-grid evaluation and the discrimination scan abort between row
+// shards once ctx is canceled. Parallelism is controlled by opts.Workers.
+func BuildProfileContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options) (*VisualProfile, error) {
 	pts, err := proj.ProjectRows(ds.Matrix())
 	if err != nil {
 		return nil, fmt.Errorf("core: project data: %w", err)
 	}
 	qp := proj.Project(q)
-	g, err := kde.Estimate2D(pts, opts)
+	g, err := kde.Estimate2DContext(ctx, pts, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: density estimate: %w", err)
 	}
@@ -143,6 +158,10 @@ func BuildProfile(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, s
 	if qy > g.MaxY {
 		qy = g.MaxY
 	}
+	disc, err := discriminationScoreContext(ctx, opts.Workers, ds, q, proj, support)
+	if err != nil {
+		return nil, err
+	}
 	return &VisualProfile{
 		Grid:           g,
 		QueryX:         qx,
@@ -151,7 +170,7 @@ func BuildProfile(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, s
 		Points:         pts,
 		IDs:            ds.IDs(),
 		Projection:     proj,
-		Discrimination: DiscriminationScore(ds, q, proj, support),
+		Discrimination: disc,
 		RemainingDim:   ds.Dim(),
 		OriginalN:      ds.N(),
 	}, nil

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,7 @@ import (
 
 	"innsearch/internal/dataset"
 	"innsearch/internal/linalg"
+	"innsearch/internal/parallel"
 )
 
 // ErrDegenerateData is returned when a projection cannot be determined,
@@ -23,8 +25,10 @@ var ErrDegenerateData = errors.New("core: degenerate data for projection search"
 
 // nearestPositions returns the positions of the s points of ds closest to
 // q under the projected distance Pdist(·, ·, sub). Both ds and q are in
-// the current coordinate system (ambient dimension of sub).
-func nearestPositions(ds *dataset.Dataset, q linalg.Vector, sub *linalg.Subspace, s int) []int {
+// the current coordinate system (ambient dimension of sub). The projected
+// distances are computed in parallel (each point writes its own slot, so
+// the ranking is identical at any worker count); the sort stays serial.
+func nearestPositions(ctx context.Context, workers int, ds *dataset.Dataset, q linalg.Vector, sub *linalg.Subspace, s int) ([]int, error) {
 	n := ds.N()
 	if s > n {
 		s = n
@@ -35,8 +39,14 @@ func nearestPositions(ds *dataset.Dataset, q linalg.Vector, sub *linalg.Subspace
 	}
 	cands := make([]cand, n)
 	qp := sub.Project(q)
-	for i := 0; i < n; i++ {
-		cands[i] = cand{pos: i, dist: linalg.Vector(qp).Dist(sub.Project(ds.Point(i)))}
+	err := parallel.ForShards(ctx, workers, n, func(_ context.Context, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			cands[i] = cand{pos: i, dist: linalg.Vector(qp).Dist(sub.Project(ds.Point(i)))}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].dist != cands[b].dist {
@@ -48,7 +58,7 @@ func nearestPositions(ds *dataset.Dataset, q linalg.Vector, sub *linalg.Subspace
 	for i := 0; i < s; i++ {
 		out[i] = cands[i].pos
 	}
-	return out
+	return out, nil
 }
 
 // clusterSubspace realizes QueryClusterSubspace (Figure 4): it returns the
@@ -61,7 +71,7 @@ func nearestPositions(ds *dataset.Dataset, q linalg.Vector, sub *linalg.Subspace
 // components of the cluster's covariance matrix inside within; in
 // axis-parallel mode they are within's own basis vectors (the original
 // attributes), which matches the paper's interpretable variant.
-func clusterSubspace(ds *dataset.Dataset, members []int, l int, within *linalg.Subspace, axisParallel bool) (*linalg.Subspace, error) {
+func clusterSubspace(ctx context.Context, workers int, ds *dataset.Dataset, members []int, l int, within *linalg.Subspace, axisParallel bool) (*linalg.Subspace, error) {
 	m := within.Dim()
 	if l > m {
 		return nil, fmt.Errorf("%w: want %d directions from a %d-dim subspace", ErrDegenerateData, l, m)
@@ -79,7 +89,11 @@ func clusterSubspace(ds *dataset.Dataset, members []int, l int, within *linalg.S
 		if err != nil {
 			return nil, err
 		}
-		eig, err := linalg.SymEigen(coords.Covariance())
+		cov, err := coords.CovarianceContext(ctx, workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: cluster covariance: %w", err)
+		}
+		eig, err := linalg.SymEigen(cov)
 		if err != nil {
 			return nil, fmt.Errorf("core: cluster covariance eigen: %w", err)
 		}
@@ -94,8 +108,13 @@ func clusterSubspace(ds *dataset.Dataset, members []int, l int, within *linalg.S
 		ratio float64
 		order int
 	}
-	scoredDirs := make([]scored, 0, len(directions))
-	for i, dir := range directions {
+	// Candidate-direction scoring is the per-stage hot spot (two O(n·d)
+	// variance sweeps per direction); each direction writes its own slot,
+	// so the scores — and everything ranked from them — are identical at
+	// any worker count.
+	scoredDirs := make([]scored, len(directions))
+	err = parallel.For(ctx, workers, len(directions), func(_ context.Context, i int) error {
+		dir := directions[i]
 		lambda := memberDS.Matrix().VarianceAlong(dir)
 		gamma := ds.Matrix().VarianceAlong(dir)
 		var ratio float64
@@ -107,7 +126,11 @@ func clusterSubspace(ds *dataset.Dataset, members []int, l int, within *linalg.S
 		default:
 			ratio = lambda / gamma
 		}
-		scoredDirs = append(scoredDirs, scored{dir: dir, ratio: ratio, order: i})
+		scoredDirs[i] = scored{dir: dir, ratio: ratio, order: i}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(scoredDirs, func(a, b int) bool { return scoredDirs[a].ratio < scoredDirs[b].ratio })
 
@@ -143,6 +166,10 @@ type ProjectionSearch struct {
 	// to reproduce the paper's literal pseudocode, which uses exactly
 	// Support candidates at every stage.
 	StageFactor int
+	// Workers caps the number of goroutines used for distance and
+	// variance-ratio evaluation; values ≤ 0 mean GOMAXPROCS. Results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // FindQueryCenteredProjection realizes Figure 3: starting from the full
@@ -152,7 +179,15 @@ type ProjectionSearch struct {
 // 2-dimensional projection E_proj remains. It returns that projection (a
 // subspace of the current coordinate space).
 func FindQueryCenteredProjection(ds *dataset.Dataset, q linalg.Vector, cfg ProjectionSearch) (*linalg.Subspace, error) {
-	return FindQueryCenteredProjectionDim(ds, q, cfg, 2)
+	return FindQueryCenteredProjectionDimContext(context.Background(), ds, q, cfg, 2)
+}
+
+// FindQueryCenteredProjectionContext is FindQueryCenteredProjection with
+// cooperative cancellation: the graded refinement checks ctx between
+// stages (and inside the parallel distance/variance sweeps) and returns
+// the context's error once canceled.
+func FindQueryCenteredProjectionContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vector, cfg ProjectionSearch) (*linalg.Subspace, error) {
+	return FindQueryCenteredProjectionDimContext(ctx, ds, q, cfg, 2)
 }
 
 // FindQueryCenteredProjectionDim is FindQueryCenteredProjection with a
@@ -160,6 +195,12 @@ func FindQueryCenteredProjection(ds *dataset.Dataset, q linalg.Vector, cfg Proje
 // instead of 2. The visualizable target of the interactive system is 2;
 // the automated projected-NN baseline may prefer wider subspaces.
 func FindQueryCenteredProjectionDim(ds *dataset.Dataset, q linalg.Vector, cfg ProjectionSearch, target int) (*linalg.Subspace, error) {
+	return FindQueryCenteredProjectionDimContext(context.Background(), ds, q, cfg, target)
+}
+
+// FindQueryCenteredProjectionDimContext is FindQueryCenteredProjectionDim
+// with cooperative cancellation (see FindQueryCenteredProjectionContext).
+func FindQueryCenteredProjectionDimContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vector, cfg ProjectionSearch, target int) (*linalg.Subspace, error) {
 	m := ds.Dim()
 	if m < 2 {
 		return nil, fmt.Errorf("%w: dimension %d", ErrDegenerateData, m)
@@ -200,8 +241,11 @@ func FindQueryCenteredProjectionDim(ds *dataset.Dataset, q linalg.Vector, cfg Pr
 		if minStage := factor * lp; stageSupport < minStage {
 			stageSupport = minStage
 		}
-		members := nearestPositions(ds, q, ep, stageSupport)
-		sub, err := clusterSubspace(ds, members, next, ep, cfg.AxisParallel)
+		members, err := nearestPositions(ctx, cfg.Workers, ds, q, ep, stageSupport)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := clusterSubspace(ctx, cfg.Workers, ds, members, next, ep, cfg.AxisParallel)
 		if err != nil {
 			return nil, err
 		}
@@ -222,8 +266,18 @@ func FindQueryCenteredProjectionDim(ds *dataset.Dataset, q linalg.Vector, cfg Pr
 // the nearest points *within* the projection are tight in any view, good
 // or bad.
 func DiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) float64 {
-	members := nearestPositions(ds, q, linalg.FullSpace(ds.Dim()), support)
-	return discriminationOf(ds, members, proj)
+	score, _ := discriminationScoreContext(context.Background(), 1, ds, q, proj, support)
+	return score
+}
+
+// discriminationScoreContext is DiscriminationScore with cancellation and
+// a worker count for the full-space neighbor scan.
+func discriminationScoreContext(ctx context.Context, workers int, ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) (float64, error) {
+	members, err := nearestPositions(ctx, workers, ds, q, linalg.FullSpace(ds.Dim()), support)
+	if err != nil {
+		return 0, err
+	}
+	return discriminationOf(ds, members, proj), nil
 }
 
 // HoldoutDiscriminationScore scores proj on the second band of the
@@ -234,7 +288,10 @@ func DiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subs
 // the right statistic for comparing projection families of different
 // expressive power (ModeAuto).
 func HoldoutDiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) float64 {
-	all := nearestPositions(ds, q, linalg.FullSpace(ds.Dim()), 2*support)
+	all, err := nearestPositions(context.Background(), 1, ds, q, linalg.FullSpace(ds.Dim()), 2*support)
+	if err != nil {
+		return 0
+	}
 	if len(all) <= support {
 		return discriminationOf(ds, all, proj)
 	}

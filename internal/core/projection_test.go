@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -48,20 +49,26 @@ func TestNearestPositions(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub := linalg.FullSpace(2)
-	got := nearestPositions(ds, linalg.Vector{0, 0}, sub, 2)
+	got, err := nearestPositions(context.Background(), 1, ds, linalg.Vector{0, 0}, sub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
 		t.Errorf("nearest = %v", got)
 	}
 	// s > n clamps.
-	if got := nearestPositions(ds, linalg.Vector{0, 0}, sub, 99); len(got) != 4 {
-		t.Errorf("clamped = %v", got)
+	if got, err := nearestPositions(context.Background(), 1, ds, linalg.Vector{0, 0}, sub, 99); err != nil || len(got) != 4 {
+		t.Errorf("clamped = %v (err %v)", got, err)
 	}
 }
 
 func TestClusterSubspaceAxisParallel(t *testing.T) {
 	ds, q := clusterAndNoise(t, 500, 6, 1)
-	members := nearestPositions(ds, q, linalg.FullSpace(6), 60)
-	sub, err := clusterSubspace(ds, members, 2, linalg.FullSpace(6), true)
+	members, err := nearestPositions(context.Background(), 1, ds, q, linalg.FullSpace(6), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := clusterSubspace(context.Background(), 1, ds, members, 2, linalg.FullSpace(6), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +112,7 @@ func TestClusterSubspaceArbitraryFindsTightDirections(t *testing.T) {
 	for i := range members {
 		members[i] = i
 	}
-	sub, err := clusterSubspace(ds, members, 1, linalg.FullSpace(4), false)
+	sub, err := clusterSubspace(context.Background(), 1, ds, members, 1, linalg.FullSpace(4), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,10 +126,10 @@ func TestClusterSubspaceArbitraryFindsTightDirections(t *testing.T) {
 
 func TestClusterSubspaceErrors(t *testing.T) {
 	ds, _ := clusterAndNoise(t, 50, 4, 3)
-	if _, err := clusterSubspace(ds, []int{0, 1}, 9, linalg.FullSpace(4), false); !errors.Is(err, ErrDegenerateData) {
+	if _, err := clusterSubspace(context.Background(), 1, ds, []int{0, 1}, 9, linalg.FullSpace(4), false); !errors.Is(err, ErrDegenerateData) {
 		t.Errorf("l > dim: %v", err)
 	}
-	if _, err := clusterSubspace(ds, nil, 2, linalg.FullSpace(4), false); err == nil {
+	if _, err := clusterSubspace(context.Background(), 1, ds, nil, 2, linalg.FullSpace(4), false); err == nil {
 		t.Error("empty members accepted")
 	}
 }

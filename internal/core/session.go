@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -42,9 +43,19 @@ type Config struct {
 	// Mode is left at its zero value.
 	Mode ProjectionMode
 	// AxisParallel restricts projections to original attributes.
-	// Deprecated: set Mode to ModeAxis instead; kept because the zero
-	// Config must stay meaningful.
+	//
+	// Deprecated: set Mode to ModeAxis instead. The flag is honored for
+	// one more release (only when Mode is left at its zero value, mapped
+	// by withDefaults) and will then be removed.
 	AxisParallel bool
+	// Workers caps the number of goroutines the session uses for its
+	// parallel hot paths (density-grid evaluation, covariance
+	// accumulation, projection scoring, per-point region membership).
+	// Values ≤ 0 mean GOMAXPROCS; 1 forces fully serial execution. The
+	// session's output is bit-identical at any worker count — every
+	// parallel pass writes index-owned slots or accumulates in the serial
+	// order — so Workers is purely a performance knob.
+	Workers int
 	// StageSupportFactor floors each projection-search stage's candidate
 	// cluster at factor·dim points (default 5; 1 = the paper's literal
 	// pseudocode). See ProjectionSearch.StageFactor.
@@ -220,10 +231,20 @@ func NewSession(ds *dataset.Dataset, query []float64, user User, cfg Config) (*S
 }
 
 // Run executes major iterations until the termination criterion fires or
-// the iteration cap is reached, then returns the ranked result.
+// the iteration cap is reached, then returns the ranked result. It is
+// RunContext with a background context.
 func (s *Session) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: a canceled context
+// aborts the session between grid-row shards of the current density
+// evaluation (and at every other pool checkpoint), returning ctx.Err().
+// The partial probabilities accumulated so far remain readable through
+// Result.
+func (s *Session) RunContext(ctx context.Context) (*Result, error) {
 	for {
-		done, err := s.Step()
+		done, err := s.StepContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -240,10 +261,18 @@ func (s *Session) Run() (*Result, error) {
 // that want control between sweeps (progress UIs, budget checks) can call
 // Step in their own loop and read Result at any point.
 func (s *Session) Step() (done bool, err error) {
+	return s.StepContext(context.Background())
+}
+
+// StepContext is Step with cooperative cancellation (see RunContext).
+func (s *Session) StepContext(ctx context.Context) (done bool, err error) {
 	if s.finished {
 		return true, nil
 	}
-	if err := s.runMajorIteration(); err != nil {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if err := s.runMajorIteration(ctx); err != nil {
 		return false, err
 	}
 	top := s.topIDs(s.cfg.Support)
@@ -272,7 +301,7 @@ func (s *Session) Result() *Result {
 // runMajorIteration performs one sweep of ⌊d/2⌋ mutually orthogonal
 // projections, quantifies the user's coherence, and removes never-picked
 // points.
-func (s *Session) runMajorIteration() error {
+func (s *Session) runMajorIteration(ctx context.Context) error {
 	s.iter++
 	d := s.data.Dim()
 	n := s.data.N()
@@ -287,13 +316,17 @@ func (s *Session) runMajorIteration() error {
 		Support:     min(s.cfg.Support, n),
 		Graded:      !s.cfg.DisableGrading,
 		StageFactor: s.cfg.StageSupportFactor,
+		Workers:     s.cfg.Workers,
 	}
 
 	for minor := 1; minor <= d/2; minor++ {
 		if dc.Dim() < 2 || dc.N() < 2 {
 			break
 		}
-		profile, decision, err := s.presentView(dc, qc, psearch, minor)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		profile, decision, err := s.presentView(ctx, dc, qc, psearch, minor)
 		if err != nil {
 			return fmt.Errorf("core: major %d minor %d: %w", s.iter, minor, err)
 		}
@@ -310,7 +343,7 @@ func (s *Session) runMajorIteration() error {
 					return fmt.Errorf("core: polygonal selection: %w", err)
 				}
 			} else {
-				positions, err = profile.SelectAt(decision.Tau)
+				positions, err = profile.SelectAtContext(ctx, s.cfg.Workers, decision.Tau)
 				if err != nil {
 					return fmt.Errorf("core: select at τ=%v: %w", decision.Tau, err)
 				}
@@ -395,7 +428,7 @@ func (s *Session) runMajorIteration() error {
 // tightness-style statistic is optimistically biased toward the more
 // expressive arbitrary family — and judging views is exactly what the
 // paper keeps the human for.
-func (s *Session) presentView(dc *dataset.Dataset, qc linalg.Vector, psearch ProjectionSearch, minor int) (*VisualProfile, Decision, error) {
+func (s *Session) presentView(ctx context.Context, dc *dataset.Dataset, qc linalg.Vector, psearch ProjectionSearch, minor int) (*VisualProfile, Decision, error) {
 	var families []bool // axis-parallel?
 	switch {
 	case s.cfg.Mode == ModeAxis:
@@ -416,16 +449,17 @@ func (s *Session) presentView(dc *dataset.Dataset, qc linalg.Vector, psearch Pro
 	var cands []candidate
 	for _, axis := range families {
 		psearch.AxisParallel = axis
-		proj, err := FindQueryCenteredProjection(dc, qc, psearch)
+		proj, err := FindQueryCenteredProjectionContext(ctx, dc, qc, psearch)
 		if err != nil {
-			if len(families) > 1 {
+			if len(families) > 1 && ctx.Err() == nil {
 				continue // the other family may still work
 			}
 			return nil, Decision{}, err
 		}
-		profile, err := BuildProfile(dc, qc, proj, psearch.Support, kde.Options{
+		profile, err := BuildProfileContext(ctx, dc, qc, proj, psearch.Support, kde.Options{
 			GridSize:       s.cfg.GridSize,
 			BandwidthScale: s.cfg.BandwidthScale,
+			Workers:        s.cfg.Workers,
 		})
 		if err != nil {
 			return nil, Decision{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,7 @@ import (
 	"innsearch/internal/igrid"
 	"innsearch/internal/knn"
 	"innsearch/internal/metric"
+	"innsearch/internal/parallel"
 	"innsearch/internal/proclus"
 	"innsearch/internal/projnn"
 	"innsearch/internal/stats"
@@ -22,7 +24,7 @@ import (
 func ablationSession(pd *synth.ProjectedData, queries []int, mutate func(*core.Config), cfg Config) (prec, rec float64, err error) {
 	precs := make([]float64, len(queries))
 	recs := make([]float64, len(queries))
-	err = forEach(len(queries), func(qi int) error {
+	err = parallel.For(context.Background(), 0, len(queries), func(ctx context.Context, qi int) error {
 		qp := queries[qi]
 		clusterID := pd.Data.Label(qp)
 		members := pd.Members(clusterID)
@@ -34,6 +36,7 @@ func ablationSession(pd *synth.ProjectedData, queries []int, mutate func(*core.C
 			Support:            pd.Data.N() / 200,
 			GridSize:           cfg.GridSize,
 			MaxMajorIterations: cfg.MaxIterations,
+			Workers:            1, // queries are the unit of parallelism
 		}
 		if mutate != nil {
 			mutate(&sc)
@@ -42,7 +45,7 @@ func ablationSession(pd *synth.ProjectedData, queries []int, mutate func(*core.C
 		if err != nil {
 			return err
 		}
-		res, err := sess.Run()
+		res, err := sess.RunContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -95,9 +98,9 @@ func RunAblationAxisParallel(cfg Config) (*Table, error) {
 		queries := pickQueries(pd, cfg.Queries, rng)
 		for _, mode := range []struct {
 			name string
-			axis bool
-		}{{"axis-parallel", true}, {"arbitrary", false}} {
-			p, r, err := ablationSession(pd, queries, func(c *core.Config) { c.AxisParallel = mode.axis }, cfg)
+			m    core.ProjectionMode
+		}{{"axis-parallel", core.ModeAxis}, {"arbitrary", core.ModeArbitrary}} {
+			p, r, err := ablationSession(pd, queries, func(c *core.Config) { c.Mode = mode.m }, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -217,7 +220,7 @@ func RunAblationWeighting(cfg Config) (*Table, error) {
 			}
 			sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(qp), u, core.Config{
 				Support:            pd.Data.N() / 200,
-				AxisParallel:       true,
+				Mode:               core.ModeAxis,
 				GridSize:           cfg.GridSize,
 				MaxMajorIterations: cfg.MaxIterations,
 			})
@@ -264,7 +267,7 @@ func RunAblationSupport(cfg Config) (*Table, error) {
 	for _, frac := range []float64{0.002, 0.005, 0.01, 0.02, 0.05} {
 		s := int(frac * float64(cfg.N))
 		p, r, err := ablationSession(pd, queries, func(c *core.Config) {
-			c.AxisParallel = true
+			c.Mode = core.ModeAxis
 			c.Support = s
 		}, cfg)
 		if err != nil {
@@ -293,7 +296,7 @@ func RunAblationGrid(cfg Config) (*Table, error) {
 	for _, p := range []int{16, 32, 64} {
 		for _, bw := range []float64{0.5, 1, 2} {
 			pr, rc, err := ablationSession(pd, queries, func(c *core.Config) {
-				c.AxisParallel = true
+				c.Mode = core.ModeAxis
 				c.GridSize = p
 				c.BandwidthScale = bw
 			}, cfg)
@@ -343,7 +346,7 @@ func RunAblationNoise(cfg Config) (*Table, error) {
 			}
 			sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(qp), u, core.Config{
 				Support:            pd.Data.N() / 200,
-				AxisParallel:       true,
+				Mode:               core.ModeAxis,
 				GridSize:           cfg.GridSize,
 				MaxMajorIterations: cfg.MaxIterations,
 			})
@@ -390,7 +393,7 @@ func RunAblationAutomated(cfg Config) (*Table, error) {
 	}
 
 	// Interactive.
-	ip, ir, err := ablationSession(pd, queries, func(c *core.Config) { c.AxisParallel = true }, cfg)
+	ip, ir, err := ablationSession(pd, queries, func(c *core.Config) { c.Mode = core.ModeAxis }, cfg)
 	if err != nil {
 		return nil, err
 	}

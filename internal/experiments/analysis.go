@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -39,7 +40,7 @@ func RunSteepDrop(cfg Config) (*SteepDropResult, error) {
 	}
 	members := pd.Members(0)
 	queryPos := members[rng.Intn(len(members))]
-	oc, err := runOracleQuery(pd, queryPos, true, cfg)
+	oc, err := runOracleQuery(context.Background(), pd, queryPos, true, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +95,7 @@ func RunDiagnosis(cfg Config) (*DiagnosisResult, error) {
 	}
 	sessC, err := core.NewSession(pd.Data, pd.Data.PointCopy(members[0]), user.NewOracle(relevant), core.Config{
 		Support:            pd.Data.N() / 200,
-		AxisParallel:       true,
+		Mode:               core.ModeAxis,
 		GridSize:           cfg.GridSize,
 		MaxMajorIterations: cfg.MaxIterations,
 	})
@@ -112,7 +113,7 @@ func RunDiagnosis(cfg Config) (*DiagnosisResult, error) {
 	}
 	sessU, err := core.NewSession(uni, uni.PointCopy(0), &user.Heuristic{}, core.Config{
 		Support:            uni.Dim() + 10,
-		AxisParallel:       true,
+		Mode:               core.ModeAxis,
 		GridSize:           cfg.GridSize,
 		MaxMajorIterations: cfg.MaxIterations,
 	})

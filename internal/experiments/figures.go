@@ -206,7 +206,7 @@ func RunFigure1011(cfg Config) (*Table, error) {
 	}}
 	sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(queryPos), user.NewOracle(relevant), core.Config{
 		Support:            pd.Data.N() / 200,
-		AxisParallel:       true,
+		Mode:               core.ModeAxis,
 		GridSize:           cfg.GridSize,
 		MaxMajorIterations: 1,
 		Observer:           obs,

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"innsearch/internal/core"
 	"innsearch/internal/knn"
 	"innsearch/internal/metric"
+	"innsearch/internal/parallel"
 	"innsearch/internal/stats"
 	"innsearch/internal/synth"
 	"innsearch/internal/user"
@@ -40,7 +42,7 @@ func RunSanityFullDim(cfg Config) (*Table, error) {
 		meaningful                         bool
 	}
 	rows := make([]row, len(queries))
-	err = forEach(len(queries), func(qi int) error {
+	err = parallel.For(context.Background(), 0, len(queries), func(ctx context.Context, qi int) error {
 		qrow := queries[qi]
 		truth := ds.Label(qrow)
 		var relevant []int
@@ -51,14 +53,15 @@ func RunSanityFullDim(cfg Config) (*Table, error) {
 		}
 		sess, err := core.NewSession(ds, ds.PointCopy(qrow), user.NewOracle(relevant), core.Config{
 			Support:            len(relevant),
-			AxisParallel:       true,
+			Mode:               core.ModeAxis,
 			GridSize:           cfg.GridSize,
 			MaxMajorIterations: cfg.MaxIterations,
+			Workers:            1, // queries are the unit of parallelism
 		})
 		if err != nil {
 			return err
 		}
-		res, err := sess.Run()
+		res, err := sess.RunContext(ctx)
 		if err != nil {
 			return err
 		}

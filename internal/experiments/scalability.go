@@ -42,7 +42,7 @@ func RunScalability(cfg Config) (*Table, error) {
 		}
 		sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(members[0]), user.NewOracle(relevant), core.Config{
 			Support:            shape.n / 200,
-			AxisParallel:       true,
+			Mode:               core.ModeAxis,
 			GridSize:           cfg.GridSize,
 			MaxMajorIterations: 2,
 			MinMajorIterations: 2,

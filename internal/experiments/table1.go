@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"innsearch/internal/core"
+	"innsearch/internal/parallel"
 	"innsearch/internal/stats"
 	"innsearch/internal/synth"
 	"innsearch/internal/user"
@@ -25,7 +27,7 @@ type QueryOutcome struct {
 // runOracleQuery runs a full interactive session for the query at row
 // queryPos of pd.Data, with an oracle user for the query's cluster, and
 // scores the natural neighbors against the cluster.
-func runOracleQuery(pd *synth.ProjectedData, queryPos int, axisParallel bool, cfg Config) (QueryOutcome, error) {
+func runOracleQuery(ctx context.Context, pd *synth.ProjectedData, queryPos int, axisParallel bool, cfg Config) (QueryOutcome, error) {
 	clusterID := pd.Data.Label(queryPos)
 	members := pd.Members(clusterID)
 	relevant := make([]int, len(members))
@@ -38,16 +40,21 @@ func runOracleQuery(pd *synth.ProjectedData, queryPos int, axisParallel bool, cf
 	// experiments (§4.1); the session raises it to d when smaller.
 	support := pd.Data.N() / 200
 
+	mode := core.ModeArbitrary
+	if axisParallel {
+		mode = core.ModeAxis
+	}
 	sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(queryPos), oracle, core.Config{
 		Support:            support,
-		AxisParallel:       axisParallel,
+		Mode:               mode,
 		GridSize:           cfg.GridSize,
 		MaxMajorIterations: cfg.MaxIterations,
+		Workers:            1, // queries are the unit of parallelism
 	})
 	if err != nil {
 		return QueryOutcome{}, fmt.Errorf("experiments: session: %w", err)
 	}
-	res, err := sess.Run()
+	res, err := sess.RunContext(ctx)
 	if err != nil {
 		return QueryOutcome{}, fmt.Errorf("experiments: run: %w", err)
 	}
@@ -113,8 +120,8 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		}
 		queries := pickQueries(pd, cfg.Queries, rng)
 		outcomes := make([]QueryOutcome, len(queries))
-		if err := forEach(len(queries), func(i int) error {
-			oc, err := runOracleQuery(pd, queries[i], axis, cfg)
+		if err := parallel.For(context.Background(), 0, len(queries), func(ctx context.Context, i int) error {
+			oc, err := runOracleQuery(ctx, pd, queries[i], axis, cfg)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"innsearch/internal/dataset"
 	"innsearch/internal/knn"
 	"innsearch/internal/metric"
+	"innsearch/internal/parallel"
 	"innsearch/internal/synth"
 	"innsearch/internal/user"
 )
@@ -71,7 +73,7 @@ func classifyDataset(ds *dataset.Dataset, cfg Config, rng *rand.Rand) (l2acc, in
 	queries := rng.Perm(ds.N())[:cfg.Queries]
 	l2OK := make([]bool, len(queries))
 	intOK := make([]bool, len(queries))
-	err = forEach(len(queries), func(qi int) error {
+	err = parallel.For(context.Background(), 0, len(queries), func(ctx context.Context, qi int) error {
 		qrow := queries[qi]
 		query := ds.PointCopy(qrow)
 		truth := ds.Label(qrow)
@@ -88,14 +90,15 @@ func classifyDataset(ds *dataset.Dataset, cfg Config, rng *rand.Rand) (l2acc, in
 		// natural neighbors.
 		sess, err := core.NewSession(rest, query, &user.Heuristic{}, core.Config{
 			Support:            support,
-			AxisParallel:       true,
+			Mode:               core.ModeAxis,
 			GridSize:           cfg.GridSize,
 			MaxMajorIterations: cfg.MaxIterations,
+			Workers:            1, // queries are the unit of parallelism
 		})
 		if err != nil {
 			return err
 		}
-		out, err := sess.Run()
+		out, err := sess.RunContext(ctx)
 		if err != nil {
 			return err
 		}

@@ -7,11 +7,13 @@
 package grid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"innsearch/internal/kde"
+	"innsearch/internal/parallel"
 )
 
 // ErrQueryOutsideGrid is returned when the query point does not fall on
@@ -156,16 +158,41 @@ func (r *Region) Mass() float64 {
 // SelectPoints returns the indices (rows of pts, an n×2 matrix of projected
 // coordinates) of points lying inside the region.
 func (r *Region) SelectPoints(xs, ys []float64) []int {
+	out, _ := r.SelectPointsContext(context.Background(), 1, xs, ys)
+	return out
+}
+
+// SelectPointsContext is SelectPoints with cooperative cancellation and a
+// worker count (≤ 0 means GOMAXPROCS): the per-point membership pass is
+// sharded into contiguous index ranges whose matches are concatenated in
+// shard order, so the returned indices are identical — same values, same
+// ascending order — at any worker count. The only possible error is the
+// context's.
+func (r *Region) SelectPointsContext(ctx context.Context, workers int, xs, ys []float64) ([]int, error) {
 	if len(xs) != len(ys) {
 		panic(fmt.Sprintf("grid: SelectPoints length mismatch %d vs %d", len(xs), len(ys)))
 	}
-	var out []int
-	for i := range xs {
-		if r.ContainsPoint(xs[i], ys[i]) {
-			out = append(out, i)
+	shards := parallel.NumShards(workers, len(xs))
+	parts := make([][]int, shards)
+	err := parallel.ForShards(ctx, workers, len(xs), func(_ context.Context, shard, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if r.ContainsPoint(xs[i], ys[i]) {
+				parts[shard] = append(parts[shard], i)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	if shards == 1 {
+		return parts[0], nil
+	}
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
 }
 
 // ComponentCount returns the number of connected components of qualifying

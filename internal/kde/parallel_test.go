@@ -1,0 +1,54 @@
+package kde
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/linalg"
+)
+
+func randomPoints(t *testing.T, n int, seed int64) *linalg.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, rng.NormFloat64()*3+rng.Float64())
+		m.Set(i, 1, rng.NormFloat64()*0.5-2)
+	}
+	return m
+}
+
+// TestEstimate2DParallelBitIdentical is the package's half of the
+// repository-wide determinism contract: the density grid must be
+// bit-identical at every worker count, for both estimators.
+func TestEstimate2DParallelBitIdentical(t *testing.T) {
+	pts := randomPoints(t, 800, 7)
+	for _, exact := range []bool{false, true} {
+		serial, err := Estimate2D(pts, Options{GridSize: 40, Exact: exact, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par, err := Estimate2DContext(context.Background(), pts, Options{GridSize: 40, Exact: exact, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range serial.Density {
+				if par.Density[i] != serial.Density[i] {
+					t.Fatalf("exact=%v workers=%d: density[%d] = %v, serial %v",
+						exact, workers, i, par.Density[i], serial.Density[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimate2DContextCanceled(t *testing.T) {
+	pts := randomPoints(t, 100, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Estimate2DContext(ctx, pts, Options{GridSize: 32, Exact: true, Workers: 4}); err == nil {
+		t.Fatal("want error from canceled context")
+	}
+}

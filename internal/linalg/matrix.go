@@ -1,9 +1,12 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
+
+	"innsearch/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -183,29 +186,49 @@ func (m *Matrix) Mean() Vector {
 // Cols×Cols and is exactly symmetric by construction. An empty or
 // single-row input yields the zero matrix.
 func (m *Matrix) Covariance() *Matrix {
+	cov, _ := m.CovarianceContext(context.Background(), 1)
+	return cov
+}
+
+// covParallelMinOps is the approximate accumulation-op count (rows ×
+// cols²/2) below which CovarianceContext stays serial: goroutine fan-out
+// costs more than it saves on tiny matrices.
+const covParallelMinOps = 1 << 15
+
+// CovarianceContext is Covariance with cooperative cancellation and a
+// worker count (≤ 0 means GOMAXPROCS). The upper-triangular output rows
+// are sharded across workers; every entry accumulates over the data rows
+// in the same order as the serial path, so the result is bit-identical at
+// any worker count. The only possible error is the context's.
+func (m *Matrix) CovarianceContext(ctx context.Context, workers int) (*Matrix, error) {
 	d := m.Cols
 	cov := NewMatrix(d, d)
 	n := m.Rows
 	if n < 2 {
-		return cov
+		return cov, ctx.Err()
+	}
+	if n*d*d/2 < covParallelMinOps {
+		workers = 1
 	}
 	mean := m.Mean()
-	centered := make([]float64, d)
-	for i := 0; i < n; i++ {
-		row := m.Data[i*d : (i+1)*d]
-		for j := range centered {
-			centered[j] = row[j] - mean[j]
-		}
-		for a := 0; a < d; a++ {
-			ca := centered[a]
-			if ca == 0 {
-				continue
-			}
+	err := parallel.ForShards(ctx, workers, d, func(_ context.Context, _, lo, hi int) error {
+		for a := lo; a < hi; a++ {
 			rowA := cov.Data[a*d:]
-			for b := a; b < d; b++ {
-				rowA[b] += ca * centered[b]
+			for i := 0; i < n; i++ {
+				row := m.Data[i*d : (i+1)*d]
+				ca := row[a] - mean[a]
+				if ca == 0 {
+					continue
+				}
+				for b := a; b < d; b++ {
+					rowA[b] += ca * (row[b] - mean[b])
+				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	inv := 1 / float64(n)
 	for a := 0; a < d; a++ {
@@ -215,7 +238,7 @@ func (m *Matrix) Covariance() *Matrix {
 			cov.Set(b, a, v)
 		}
 	}
-	return cov
+	return cov, nil
 }
 
 // VarianceAlong returns the variance of the rows of m when projected onto

@@ -1,0 +1,45 @@
+package linalg
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestCovarianceContextBitIdentical checks the determinism contract: the
+// parallel covariance must equal the serial one bit for bit, because each
+// entry accumulates over data rows in the same order. The 600×40 shape is
+// above the internal serial-fallback threshold, so the parallel path
+// really runs.
+func TestCovarianceContextBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMatrix(600, 40)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * float64(1+i%7)
+	}
+	serial := m.Covariance()
+	for _, workers := range []int{2, 4, 8} {
+		par, err := m.CovarianceContext(context.Background(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Data {
+			if par.Data[i] != serial.Data[i] {
+				t.Fatalf("workers=%d: cov[%d] = %v, serial %v", workers, i, par.Data[i], serial.Data[i])
+			}
+		}
+	}
+}
+
+func TestCovarianceContextCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewMatrix(600, 40)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.CovarianceContext(ctx, 4); err == nil {
+		t.Fatal("want error from canceled context")
+	}
+}

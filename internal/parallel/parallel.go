@@ -1,0 +1,162 @@
+// Package parallel is the shared worker pool behind every concurrent hot
+// path in the repository: indexed fan-out (For), contiguous-shard fan-out
+// (ForShards), and one convention for resolving worker counts (Workers).
+//
+// # Determinism contract
+//
+// Both For and ForShards guarantee that the set of fn calls — and the
+// index or shard each call receives — is independent of the worker count
+// and of goroutine scheduling. A caller whose fn(i) writes only to its own
+// index-i slot, or whose shard fn writes only shard-local state merged
+// afterwards in ascending shard order, therefore produces bit-identical
+// output at any worker count, including the serial fast path. Every
+// caller in this repository follows that discipline, which is what makes
+// a parallel session reproduce a serial one exactly (see the determinism
+// tests in internal/core).
+//
+// # Cancellation
+//
+// The context passed to fn is canceled as soon as any fn returns an error
+// or the caller's context is canceled, so long-running work items (a whole
+// interactive session in internal/experiments, a kernel-density grid in
+// internal/kde) can abort between rows instead of running to completion as
+// orphans. No new indices are claimed after cancellation, and For/ForShards
+// always wait for in-flight calls before returning.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker-count override: n ≥ 1 is used as
+// given; anything else (in particular the zero value of a Workers config
+// field) means runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(ctx, i) for every i in [0, n) across min(Workers(workers), n)
+// goroutines. The context handed to fn is canceled on the first error or
+// when the caller's ctx is canceled; in-flight calls are expected to
+// observe it and return early, and For waits for all of them either way.
+//
+// On failure For returns the error of the lowest index among the calls
+// that actually ran; if no call failed but ctx was canceled, it returns
+// the context's error. Indices are claimed dynamically (good load balance
+// for uneven work items); determinism must come from fn writing only to
+// its own index-i slot.
+func For(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if fctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(fctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// NumShards returns the shard count ForShards uses for the given worker
+// override and problem size: min(Workers(workers), n), at least 1.
+func NumShards(workers, n int) int {
+	s := Workers(workers)
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ShardBounds returns the half-open range [lo, hi) of shard `shard` when
+// [0, n) is split into `shards` contiguous, near-equal pieces. Earlier
+// shards take the remainder, so bounds depend only on n and shards.
+func ShardBounds(n, shards, shard int) (lo, hi int) {
+	base := n / shards
+	rem := n % shards
+	lo = shard*base + min(shard, rem)
+	hi = lo + base
+	if shard < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ForShards splits [0, n) into NumShards(workers, n) contiguous shards and
+// runs fn(ctx, shard, lo, hi) once per shard, with the same cancellation
+// and error semantics as For (the returned error is the one of the lowest
+// failing shard). Each shard covers an ascending, disjoint index range, so
+// shard-local results concatenated in shard order reproduce the serial
+// iteration order exactly. Note that shard boundaries depend on the worker
+// count: merges that are sensitive to association (floating-point
+// accumulation across shard boundaries) should use For with per-index
+// slots instead.
+func ForShards(ctx context.Context, workers, n int, fn func(ctx context.Context, shard, lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	shards := NumShards(workers, n)
+	return For(ctx, workers, shards, func(c context.Context, shard int) error {
+		lo, hi := ShardBounds(n, shards, shard)
+		return fn(c, shard, lo, hi)
+	})
+}

@@ -1,0 +1,126 @@
+package innsearch_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"innsearch"
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+)
+
+// benchPoints builds a seeded 2-D point cloud large enough that the exact
+// kernel estimator dominates the benchmark.
+func benchPoints(n int) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(3))
+	pts := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		pts.Set(i, 0, rng.NormFloat64())
+		pts.Set(i, 1, rng.NormFloat64())
+	}
+	return pts
+}
+
+// BenchmarkKDE compares the serial and parallel density-grid evaluation.
+// The output is bit-identical across worker counts, so the ratio of the
+// serial to the multi-worker time is the pool's pure speedup.
+func BenchmarkKDE(b *testing.B) {
+	pts := benchPoints(4000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := kde.Options{GridSize: 64, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := kde.Estimate2DContext(context.Background(), pts, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchSessionData builds the clustered dataset the session benchmarks
+// search: one tight cluster around the query plus uniform noise.
+func benchSessionData(n, d int) (*innsearch.Dataset, []float64) {
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		if i < n/5 {
+			row[0] = 5 + rng.NormFloat64()*0.2
+			row[1] = 5 + rng.NormFloat64()*0.2
+			for j := 2; j < d; j++ {
+				row[j] = rng.Float64() * 10
+			}
+		} else {
+			for j := range row {
+				row[j] = rng.Float64() * 10
+			}
+		}
+		rows[i] = row
+	}
+	ds, err := innsearch.NewDataset(rows, nil)
+	if err != nil {
+		panic(err)
+	}
+	q := make([]float64, d)
+	q[0], q[1] = 5, 5
+	for j := 2; j < d; j++ {
+		q[j] = 5
+	}
+	return ds, q
+}
+
+// BenchmarkSession compares a full interactive session (heuristic user,
+// fixed seed) at different worker counts. Results are bit-identical, so
+// this isolates the parallel speedup of the session's numeric hot paths.
+func BenchmarkSession(b *testing.B) {
+	ds, q := benchSessionData(3000, 16)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sess, err := innsearch.NewSession(ds, q, innsearch.NewHeuristicUser(), innsearch.Config{
+					Support:            60,
+					GridSize:           64,
+					MaxMajorIterations: 2,
+					Workers:            workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.RunContext(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchBatch measures the batch API, where whole sessions are
+// the unit of parallelism — the shape experiment drivers use.
+func BenchmarkSearchBatch(b *testing.B) {
+	ds, q := benchSessionData(2000, 12)
+	queries := make([][]float64, 8)
+	users := make([]innsearch.User, len(queries))
+	for i := range queries {
+		queries[i] = q
+		users[i] = innsearch.NewHeuristicUser()
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := innsearch.Config{Support: 40, GridSize: 48, MaxMajorIterations: 2, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				_, errs, err := innsearch.SearchBatch(context.Background(), ds, queries, users, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range errs {
+					if e != nil {
+						b.Fatal(e)
+					}
+				}
+			}
+		})
+	}
+}
