@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-n 5000] [-queries 10] [-seed 20020612] [-grid 48]
-//	            [-out out] [-only table1,figure9,...] [-skip-ablations]
+//	            [-workers 1] [-out out] [-only table1,figure9,...]
+//	            [-skip-ablations]
 //
 // Tables are printed to stdout; figure artifacts (PNG/SVG) are written to
 // the -out directory.
@@ -27,6 +28,7 @@ func main() {
 		queries       = flag.Int("queries", 10, "query points per dataset")
 		seed          = flag.Int64("seed", 20020612, "random seed")
 		grid          = flag.Int("grid", 48, "density grid resolution")
+		workers       = flag.Int("workers", 1, "engine workers inside each session (results are bit-identical at any count)")
 		outDir        = flag.String("out", "out", "directory for figure artifacts")
 		only          = flag.String("only", "", "comma-separated experiment names to run (default: all)")
 		skipAblations = flag.Bool("skip-ablations", false, "skip the ablation studies")
@@ -40,6 +42,7 @@ func main() {
 		Queries:  *queries,
 		GridSize: *grid,
 		OutDir:   *outDir,
+		Workers:  *workers,
 	}
 
 	type exp struct {

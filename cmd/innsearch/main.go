@@ -11,7 +11,7 @@
 //
 //	innsearch -in data.csv [-query 0] [-user human|heuristic|oracle]
 //	          [-support 0] [-mode axis|arbitrary|auto] [-grid 48]
-//	          [-iters 3] [-transcript session.json]
+//	          [-iters 3] [-workers 0] [-transcript session.json]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 		mode          = flag.String("mode", "axis", "projection family: axis, arbitrary, auto")
 		gridP         = flag.Int("grid", 48, "density grid resolution")
 		iters         = flag.Int("iters", 3, "maximum major iterations")
+		workers       = flag.Int("workers", 0, "engine worker goroutines (0 = all cores; results are bit-identical at any count)")
 		transcriptOut = flag.String("transcript", "", "record the session transcript (JSON) to this path")
 		normalize     = flag.String("normalize", "none", "attribute normalization: none, minmax, zscore")
 	)
@@ -99,6 +100,7 @@ func main() {
 		Mode:               pmode,
 		GridSize:           *gridP,
 		MaxMajorIterations: *iters,
+		Workers:            *workers,
 	}
 	var transcript *core.Transcript
 	if *transcriptOut != "" {

@@ -1,0 +1,206 @@
+// Command innsearchd serves interactive nearest-neighbor search sessions
+// over JSON/HTTP: the numeric engine runs here, thin remote clients
+// render the density profiles and post back the user's density-separator
+// decisions. See internal/server for the endpoint list and DESIGN.md
+// ("Serving") for the protocol walkthrough.
+//
+// Usage:
+//
+//	innsearchd [-addr :7207]
+//	           [-data name=path.csv]...      preload CSV datasets
+//	           [-synth name=kind:n=N:seed=S]... preload synthetic datasets
+//	           [-max-sessions 64] [-session-ttl 10m] [-view-timeout 5m]
+//	           [-long-poll 30s] [-workers 1] [-batch-workers 0]
+//	           [-drain-timeout 30s]
+//
+// Synthetic kinds: case1 (axis-parallel projected clusters, the paper's
+// first workload), case2 (arbitrarily oriented), uniform, gaussmix. With
+// no -data/-synth a "demo" case1 dataset of 2000 points is preloaded.
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, new
+// sessions are refused, and live sessions get -drain-timeout to finish
+// before being canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/server"
+	"innsearch/internal/synth"
+)
+
+// repeatedFlag collects every occurrence of a repeatable -flag.
+type repeatedFlag []string
+
+func (f *repeatedFlag) String() string { return strings.Join(*f, ",") }
+func (f *repeatedFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var dataSpecs, synthSpecs repeatedFlag
+	var (
+		addr         = flag.String("addr", ":7207", "listen address")
+		maxSessions  = flag.Int("max-sessions", 64, "maximum concurrently live sessions (excess creates get 429)")
+		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "evict sessions idle this long")
+		viewTimeout  = flag.Duration("view-timeout", 5*time.Minute, "abort a session whose view waits this long for a decision (-1s disables)")
+		longPoll     = flag.Duration("long-poll", 30*time.Second, "cap on the view/result ?wait= long-poll")
+		workers      = flag.Int("workers", 1, "default engine workers per session (parallelism lives across sessions)")
+		batchWorkers = flag.Int("batch-workers", 0, "concurrent sessions per /v1/search call (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Var(&dataSpecs, "data", "preload a CSV dataset as name=path (repeatable)")
+	flag.Var(&synthSpecs, "synth", "preload a synthetic dataset as name=kind[:n=N][:d=D][:seed=S] (repeatable; kinds: case1, case2, uniform, gaussmix)")
+	flag.Parse()
+
+	datasets := make(map[string]*dataset.Dataset)
+	for _, spec := range dataSpecs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("-data %q: want name=path", spec))
+		}
+		ds, err := dataset.LoadCSV(path)
+		if err != nil {
+			fatal(fmt.Errorf("-data %s: %w", name, err))
+		}
+		datasets[name] = ds
+	}
+	for _, spec := range synthSpecs {
+		name, ds, err := parseSynthSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		datasets[name] = ds
+	}
+	if len(datasets) == 0 {
+		ds, err := buildSynth("case1", 2000, 20, 20020612)
+		if err != nil {
+			fatal(err)
+		}
+		datasets["demo"] = ds
+		fmt.Println("innsearchd: no -data/-synth given; preloaded synthetic dataset \"demo\" (case1, n=2000)")
+	}
+
+	srv, err := server.New(server.Config{
+		Datasets:       datasets,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
+		ViewTimeout:    *viewTimeout,
+		LongPollWait:   *longPoll,
+		SessionWorkers: *workers,
+		BatchWorkers:   *batchWorkers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	for name, ds := range datasets {
+		fmt.Printf("innsearchd: dataset %q: n=%d dim=%d labeled=%v\n", name, ds.N(), ds.Dim(), ds.Labeled())
+	}
+	fmt.Printf("innsearchd: listening on %s (max %d sessions, ttl %v, view timeout %v)\n",
+		*addr, *maxSessions, *sessionTTL, *viewTimeout)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "innsearchd: draining (budget %v)...\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "innsearchd: shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "innsearchd: bye")
+}
+
+// parseSynthSpec reads "name=kind[:n=N][:d=D][:seed=S]".
+func parseSynthSpec(spec string) (string, *dataset.Dataset, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("-synth %q: want name=kind[:n=N][:d=D][:seed=S]", spec)
+	}
+	parts := strings.Split(rest, ":")
+	kind := parts[0]
+	n, d, seed := 2000, 20, int64(20020612)
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("-synth %s: bad option %q", name, part)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return "", nil, fmt.Errorf("-synth %s: bad %s %q", name, key, val)
+		}
+		switch key {
+		case "n":
+			n = v
+		case "d":
+			d = v
+		case "seed":
+			seed = int64(v)
+		default:
+			return "", nil, fmt.Errorf("-synth %s: unknown option %q", name, key)
+		}
+	}
+	ds, err := buildSynth(kind, n, d, seed)
+	if err != nil {
+		return "", nil, fmt.Errorf("-synth %s: %w", name, err)
+	}
+	return name, ds, nil
+}
+
+func buildSynth(kind string, n, d int, seed int64) (*dataset.Dataset, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "case1":
+		pd, err := synth.Case1(n, rng)
+		if err != nil {
+			return nil, err
+		}
+		return pd.Data, nil
+	case "case2":
+		pd, err := synth.Case2(n, rng)
+		if err != nil {
+			return nil, err
+		}
+		return pd.Data, nil
+	case "uniform":
+		return synth.Uniform(n, d, 100, rng)
+	case "gaussmix":
+		return synth.GaussianMixture(n, d, 5, 100, 2, rng)
+	default:
+		return nil, fmt.Errorf("unknown synthetic kind %q (want case1, case2, uniform, gaussmix)", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "innsearchd:", err)
+	os.Exit(1)
+}

@@ -36,7 +36,7 @@ func ablationSession(pd *synth.ProjectedData, queries []int, mutate func(*core.C
 			Support:            pd.Data.N() / 200,
 			GridSize:           cfg.GridSize,
 			MaxMajorIterations: cfg.MaxIterations,
-			Workers:            1, // queries are the unit of parallelism
+			Workers:            cfg.Workers,
 		}
 		if mutate != nil {
 			mutate(&sc)
@@ -223,6 +223,7 @@ func RunAblationWeighting(cfg Config) (*Table, error) {
 				Mode:               core.ModeAxis,
 				GridSize:           cfg.GridSize,
 				MaxMajorIterations: cfg.MaxIterations,
+				Workers:            cfg.Workers,
 			})
 			if err != nil {
 				return nil, err
@@ -349,6 +350,7 @@ func RunAblationNoise(cfg Config) (*Table, error) {
 				Mode:               core.ModeAxis,
 				GridSize:           cfg.GridSize,
 				MaxMajorIterations: cfg.MaxIterations,
+				Workers:            cfg.Workers,
 			})
 			if err != nil {
 				return nil, err

@@ -98,6 +98,7 @@ func RunDiagnosis(cfg Config) (*DiagnosisResult, error) {
 		Mode:               core.ModeAxis,
 		GridSize:           cfg.GridSize,
 		MaxMajorIterations: cfg.MaxIterations,
+		Workers:            cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +117,7 @@ func RunDiagnosis(cfg Config) (*DiagnosisResult, error) {
 		Mode:               core.ModeAxis,
 		GridSize:           cfg.GridSize,
 		MaxMajorIterations: cfg.MaxIterations,
+		Workers:            cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

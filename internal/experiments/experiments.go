@@ -33,6 +33,11 @@ type Config struct {
 	MaxIterations int
 	// OutDir, when non-empty, receives the figure artifacts (PNG/SVG).
 	OutDir string
+	// Workers is the engine worker count used inside each session
+	// (default 1: queries are the unit of parallelism across
+	// experiments, and per-query results are bit-identical at any
+	// worker count).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxIterations == 0 {
 		c.MaxIterations = 3
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
 	}
 	return c
 }

@@ -209,6 +209,7 @@ func RunFigure1011(cfg Config) (*Table, error) {
 		Mode:               core.ModeAxis,
 		GridSize:           cfg.GridSize,
 		MaxMajorIterations: 1,
+		Workers:            cfg.Workers,
 		Observer:           obs,
 	})
 	if err != nil {

@@ -56,7 +56,7 @@ func RunSanityFullDim(cfg Config) (*Table, error) {
 			Mode:               core.ModeAxis,
 			GridSize:           cfg.GridSize,
 			MaxMajorIterations: cfg.MaxIterations,
-			Workers:            1, // queries are the unit of parallelism
+			Workers:            cfg.Workers,
 		})
 		if err != nil {
 			return err

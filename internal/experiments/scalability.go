@@ -47,6 +47,7 @@ func RunScalability(cfg Config) (*Table, error) {
 			MaxMajorIterations: 2,
 			MinMajorIterations: 2,
 			OverlapThreshold:   1.01, // force both iterations for stable timing
+			Workers:            cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

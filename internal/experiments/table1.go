@@ -49,7 +49,7 @@ func runOracleQuery(ctx context.Context, pd *synth.ProjectedData, queryPos int, 
 		Mode:               mode,
 		GridSize:           cfg.GridSize,
 		MaxMajorIterations: cfg.MaxIterations,
-		Workers:            1, // queries are the unit of parallelism
+		Workers:            cfg.Workers,
 	})
 	if err != nil {
 		return QueryOutcome{}, fmt.Errorf("experiments: session: %w", err)

@@ -93,7 +93,7 @@ func classifyDataset(ds *dataset.Dataset, cfg Config, rng *rand.Rand) (l2acc, in
 			Mode:               core.ModeAxis,
 			GridSize:           cfg.GridSize,
 			MaxMajorIterations: cfg.MaxIterations,
-			Workers:            1, // queries are the unit of parallelism
+			Workers:            cfg.Workers,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,571 @@
+// Package server is the serving subsystem behind cmd/innsearchd: a
+// JSON-over-HTTP API hosting many concurrent interactive search sessions
+// against preloaded datasets. The numeric engine (internal/core) runs
+// server-side; a thin remote client renders the visual profiles and
+// returns the user's density-separator decisions — the client/server
+// split of the interactive-projection literature, applied to the paper's
+// human-in-the-loop search.
+//
+// Endpoints (wire formats in internal/server/wire):
+//
+//	POST   /v1/sessions               create an interactive session
+//	GET    /v1/sessions/{id}/view     current profile (long-poll, ?wait=)
+//	GET    /v1/sessions/{id}/preview  density-separated region at ?tau=
+//	POST   /v1/sessions/{id}/decision answer the current view
+//	GET    /v1/sessions/{id}/result   final ranking (+?wait=)
+//	DELETE /v1/sessions/{id}          abandon a session
+//	POST   /v1/search                 non-interactive batch search
+//	GET    /v1/datasets               preloaded datasets
+//	GET    /healthz                   liveness (503 while draining)
+//	GET    /varz                      counters and latency summaries
+//
+// Concurrency model: one goroutine per admitted session runs the engine;
+// admission is bounded by Config.MaxSessions (beyond it creation returns
+// 429). Idle sessions are evicted after Config.SessionTTL; a view left
+// unanswered past Config.ViewTimeout aborts its session. Drain stops
+// admission and waits for live sessions before shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"innsearch/internal/core"
+	"innsearch/internal/dataset"
+	"innsearch/internal/server/wire"
+	"innsearch/internal/user"
+)
+
+// Config tunes a server. Zero values take the documented defaults.
+type Config struct {
+	// Datasets maps the names clients address to preloaded datasets.
+	// Datasets are read-only once registered (every session clones its
+	// working copy).
+	Datasets map[string]*dataset.Dataset
+	// MaxSessions bounds concurrently live sessions; creation beyond it
+	// is refused with 429 (default 64).
+	MaxSessions int
+	// SessionTTL evicts sessions idle (no client request) this long
+	// (default 10m). Finished sessions keep their result readable for one
+	// more TTL.
+	SessionTTL time.Duration
+	// ViewTimeout aborts a session whose view waits this long for a
+	// decision (default 5m; ≤ -1 disables, 0 takes the default).
+	ViewTimeout time.Duration
+	// LongPollWait caps the ?wait= of the view and result endpoints
+	// (default 30s).
+	LongPollWait time.Duration
+	// SessionWorkers is the engine worker count for sessions that do not
+	// request one (default 1: a server parallelizes across sessions, not
+	// within them).
+	SessionWorkers int
+	// BatchWorkers bounds concurrent sessions of one /v1/search call
+	// (default 0 = GOMAXPROCS).
+	BatchWorkers int
+	// SweepInterval overrides the TTL sweep cadence (default TTL/4);
+	// tests use it to observe eviction quickly.
+	SweepInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	switch {
+	case c.ViewTimeout == 0:
+		c.ViewTimeout = 5 * time.Minute
+	case c.ViewTimeout < 0:
+		c.ViewTimeout = 0 // disabled
+	}
+	if c.LongPollWait == 0 {
+		c.LongPollWait = 30 * time.Second
+	}
+	if c.SessionWorkers == 0 {
+		c.SessionWorkers = 1
+	}
+	return c
+}
+
+// Server hosts the session-serving subsystem. Create with New, mount
+// Handler, and Close (or Drain then Close) on shutdown.
+type Server struct {
+	cfg     Config
+	store   *store
+	metrics *metrics
+	mux     *http.ServeMux
+	base    context.Context
+	stop    context.CancelFunc
+}
+
+// New validates the configuration and starts the store's TTL sweeper.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Datasets) == 0 {
+		return nil, errors.New("server: no datasets configured")
+	}
+	for name, ds := range cfg.Datasets {
+		if ds == nil || ds.N() == 0 {
+			return nil, fmt.Errorf("server: dataset %q is empty", name)
+		}
+	}
+	m := &metrics{}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   newStore(cfg.MaxSessions, cfg.SessionTTL, cfg.SweepInterval, m),
+		metrics: m,
+		base:    base,
+		stop:    stop,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/view", s.handleView)
+	mux.HandleFunc("GET /v1/sessions/{id}/preview", s.handlePreview)
+	mux.HandleFunc("POST /v1/sessions/{id}/decision", s.handleDecision)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting sessions and waits for live ones up to ctx's
+// deadline (stragglers are canceled). Healthz reports 503 while
+// draining, so load balancers stop routing here.
+func (s *Server) Drain(ctx context.Context) { s.store.drain(ctx) }
+
+// Close cancels every session and stops the background sweeper.
+func (s *Server) Close() {
+	s.stop()
+	s.store.close()
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, wire.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// waitParam parses ?wait= (a Go duration, e.g. 5s or 1500ms), clamped to
+// the server's long-poll cap. Absent means no waiting.
+func (s *Server) waitParam(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad wait %q: %v", raw, err)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > s.cfg.LongPollWait {
+		d = s.cfg.LongPollWait
+	}
+	return d, nil
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+// ---- health and introspection ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.store.isDraining() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":          state,
+		"active_sessions": s.store.active(),
+	})
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.store.active(), s.store.isDraining()))
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	resp := wire.DatasetsResponse{}
+	for name, ds := range s.cfg.Datasets {
+		resp.Datasets = append(resp.Datasets, wire.DatasetInfo{
+			Name: name, N: ds.N(), Dim: ds.Dim(), Labeled: ds.Labeled(),
+		})
+	}
+	sort.Slice(resp.Datasets, func(i, j int) bool { return resp.Datasets[i].Name < resp.Datasets[j].Name })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- session lifecycle ----
+
+// resolveQuery returns the query vector selected by exactly one of a
+// literal vector and a dataset row index.
+func resolveQuery(q []float64, row *int, ds *dataset.Dataset) ([]float64, error) {
+	switch {
+	case q != nil && row != nil:
+		return nil, errors.New("give query or query_row, not both")
+	case q != nil:
+		if len(q) != ds.Dim() {
+			return nil, fmt.Errorf("query has %d dims, dataset has %d", len(q), ds.Dim())
+		}
+		return q, nil
+	case row != nil:
+		if *row < 0 || *row >= ds.N() {
+			return nil, fmt.Errorf("query_row %d outside [0, %d)", *row, ds.N())
+		}
+		return ds.PointCopy(*row), nil
+	default:
+		return nil, errors.New("missing query or query_row")
+	}
+}
+
+// oracleFor builds the paper's attentive simulated user from the labels:
+// the rows sharing the query row's label are the ground-truth cluster.
+func oracleFor(ds *dataset.Dataset, row int) (core.User, error) {
+	if !ds.Labeled() {
+		return nil, errors.New("oracle user needs a labeled dataset")
+	}
+	truth := ds.Label(row)
+	var relevant []int
+	for i := 0; i < ds.N(); i++ {
+		if ds.Label(i) == truth {
+			relevant = append(relevant, ds.ID(i))
+		}
+	}
+	return user.NewOracle(relevant), nil
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req wire.CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ds, ok := s.cfg.Datasets[req.Dataset]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	query, err := resolveQuery(req.Query, req.QueryRow, ds)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, err := req.Config.ToCore()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = s.cfg.SessionWorkers
+	}
+
+	ctx, cancel := context.WithCancelCause(s.base)
+	var remote *user.Remote
+	var u core.User
+	switch req.User {
+	case "", "remote":
+		remote = user.NewRemote(ctx, cancel, s.cfg.ViewTimeout)
+		u = remote
+	case "heuristic":
+		u = &user.Heuristic{}
+	case "oracle":
+		if req.QueryRow == nil {
+			cancel(nil)
+			writeError(w, http.StatusBadRequest, "oracle user needs query_row")
+			return
+		}
+		u, err = oracleFor(ds, *req.QueryRow)
+		if err != nil {
+			cancel(nil)
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	default:
+		cancel(nil)
+		writeError(w, http.StatusBadRequest, "unknown user %q (want remote, heuristic, or oracle)", req.User)
+		return
+	}
+
+	engine, err := core.NewSession(ds, query, u, cfg)
+	if err != nil {
+		cancel(nil)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess := &session{
+		id:        newSessionID(),
+		remote:    remote,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		created:   time.Now(),
+		lastTouch: time.Now(),
+		state:     wire.StateComputing,
+	}
+	if err := s.store.add(sess); err != nil {
+		cancel(nil)
+		s.metrics.SessionsRejected.Add(1)
+		switch {
+		case errors.Is(err, errDraining):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		}
+		return
+	}
+	s.metrics.SessionsCreated.Add(1)
+
+	go func() {
+		res, runErr := engine.RunContext(ctx)
+		if runErr != nil {
+			// Surface the cancellation cause (view timeout, eviction,
+			// client close, shutdown) instead of the bare context error.
+			if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, runErr) {
+				runErr = cause
+			}
+		}
+		sess.finish(res, runErr)
+		if remote != nil {
+			remote.Close()
+		}
+		switch state, _, _ := sess.outcome(); state {
+		case wire.StateDone:
+			s.metrics.SessionsDone.Add(1)
+		case wire.StateClosed:
+			s.metrics.SessionsClosed.Add(1)
+		case wire.StateEvicted:
+			// counted by the sweeper
+		default:
+			s.metrics.SessionsFailed.Add(1)
+		}
+		cancel(nil)
+	}()
+
+	writeJSON(w, http.StatusCreated, wire.CreateSessionResponse{
+		ID:      sess.id,
+		Dataset: req.Dataset,
+		N:       ds.N(),
+		Dim:     ds.Dim(),
+		State:   wire.StateComputing,
+	})
+}
+
+// finalViewResponse reports a finished session through the view endpoint.
+func finalViewResponse(sess *session) wire.ViewResponse {
+	state, _, err := sess.outcome()
+	resp := wire.ViewResponse{State: state}
+	if err != nil && state != wire.StateDone {
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if sess.remote == nil {
+		writeError(w, http.StatusBadRequest, "session is not interactive")
+		return
+	}
+	wait, err := s.waitParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		bell := sess.remote.Changed()
+		if v, ok := sess.remote.CurrentView(); ok {
+			profile := wire.FromProfile(v.Profile)
+			resp := wire.ViewResponse{
+				State:   wire.StateAwaiting,
+				Seq:     v.Seq,
+				Profile: &profile,
+			}
+			if !v.Deadline.IsZero() {
+				resp.DeadlineMS = time.Until(v.Deadline).Milliseconds()
+			}
+			s.metrics.ViewsServed.Add(1)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if !sess.running() {
+			writeJSON(w, http.StatusOK, finalViewResponse(sess))
+			return
+		}
+		select {
+		case <-bell:
+		case <-sess.done:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, wire.ViewResponse{State: wire.StateComputing})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if sess.remote == nil {
+		writeError(w, http.StatusBadRequest, "session is not interactive")
+		return
+	}
+	q := r.URL.Query()
+	var seq int
+	var tau float64
+	if _, err := fmt.Sscan(q.Get("seq"), &seq); err != nil {
+		writeError(w, http.StatusBadRequest, "bad seq %q", q.Get("seq"))
+		return
+	}
+	if _, err := fmt.Sscan(q.Get("tau"), &tau); err != nil {
+		writeError(w, http.StatusBadRequest, "bad tau %q", q.Get("tau"))
+		return
+	}
+	reg, profile, err := sess.remote.Preview(seq, tau)
+	if err != nil {
+		writeError(w, statusForUserErr(err), "%v", err)
+		return
+	}
+	s.metrics.Previews.Add(1)
+	writeJSON(w, http.StatusOK, wire.PreviewResponse{Seq: seq, Region: wire.FromRegion(reg, profile)})
+}
+
+// statusForUserErr maps remote-adapter errors to HTTP statuses: stale or
+// expired views conflict (409); closed sessions are gone (410).
+func statusForUserErr(err error) int {
+	switch {
+	case errors.Is(err, user.ErrSessionClosed):
+		return http.StatusGone
+	case errors.Is(err, user.ErrViewExpired):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if sess.remote == nil {
+		writeError(w, http.StatusBadRequest, "session is not interactive")
+		return
+	}
+	var req wire.DecisionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if state, _, serr := sessionStateIfDead(sess); state != "" {
+		s.metrics.DecisionsRejected.Add(1)
+		writeError(w, http.StatusGone, "session %s: %v", state, serr)
+		return
+	}
+	latency, err := sess.remote.SubmitDecision(req.Seq, req.Decision.ToCore())
+	if err != nil {
+		s.metrics.DecisionsRejected.Add(1)
+		writeError(w, statusForUserErr(err), "%v", err)
+		return
+	}
+	s.metrics.Decisions.Add(1)
+	ms := float64(latency) / float64(time.Millisecond)
+	s.metrics.viewLatency.observe(ms)
+	writeJSON(w, http.StatusOK, wire.DecisionResponse{Accepted: true, Seq: req.Seq, LatencyMS: ms})
+}
+
+// sessionStateIfDead returns the terminal state when the engine has
+// already stopped, so a late decision gets "session evicted" rather than
+// the adapter's generic view error.
+func sessionStateIfDead(sess *session) (string, *core.Result, error) {
+	select {
+	case <-sess.done:
+		state, res, err := sess.outcome()
+		if err == nil {
+			err = errors.New("session already finished")
+		}
+		return state, res, err
+	default:
+		return "", nil, nil
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	wait, err := s.waitParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	select {
+	case <-sess.done:
+	case <-time.After(wait):
+	case <-r.Context().Done():
+		return
+	}
+	if sess.running() {
+		writeJSON(w, http.StatusOK, wire.ResultResponse{State: wire.StateComputing})
+		return
+	}
+	state, res, serr := sess.outcome()
+	resp := wire.ResultResponse{State: state}
+	if res != nil {
+		enc := wire.FromResult(res)
+		resp.Result = &enc
+	}
+	if serr != nil {
+		resp.Error = serr.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	sess.cancel(errClientClosed)
+	<-sess.done
+	writeJSON(w, http.StatusOK, map[string]string{"state": wire.StateClosed})
+}

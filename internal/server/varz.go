@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// metrics are the server's /varz counters. Monotonic counters are
+// atomics; the latency summaries take a small mutex since they update
+// several fields together.
+type metrics struct {
+	SessionsCreated   atomic.Int64
+	SessionsDone      atomic.Int64
+	SessionsFailed    atomic.Int64
+	SessionsEvicted   atomic.Int64
+	SessionsRejected  atomic.Int64 // capacity / drain refusals (429, 503)
+	SessionsClosed    atomic.Int64 // client DELETEs
+	ViewsServed       atomic.Int64 // long-poll responses carrying a profile
+	Decisions         atomic.Int64
+	DecisionsRejected atomic.Int64 // stale/expired/closed decisions
+	Previews          atomic.Int64
+	BatchSearches     atomic.Int64
+	BatchQueries      atomic.Int64
+
+	viewLatency latencySummary
+}
+
+// latencySummary accumulates count/sum/max of a duration series in
+// milliseconds.
+type latencySummary struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	max   float64
+}
+
+func (l *latencySummary) observe(ms float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	l.sum += ms
+	if ms > l.max {
+		l.max = ms
+	}
+}
+
+func (l *latencySummary) snapshot() latencyVarz {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := latencyVarz{Count: l.count, SumMS: l.sum, MaxMS: l.max}
+	if l.count > 0 {
+		out.MeanMS = l.sum / float64(l.count)
+	}
+	return out
+}
+
+type latencyVarz struct {
+	Count  int64   `json:"count"`
+	SumMS  float64 `json:"sum_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// varz is the JSON shape of GET /varz.
+type varz struct {
+	ActiveSessions    int         `json:"active_sessions"`
+	Draining          bool        `json:"draining"`
+	SessionsCreated   int64       `json:"sessions_created"`
+	SessionsDone      int64       `json:"sessions_done"`
+	SessionsFailed    int64       `json:"sessions_failed"`
+	SessionsEvicted   int64       `json:"sessions_evicted"`
+	SessionsRejected  int64       `json:"sessions_rejected"`
+	SessionsClosed    int64       `json:"sessions_closed"`
+	ViewsServed       int64       `json:"views_served"`
+	Decisions         int64       `json:"decisions"`
+	DecisionsRejected int64       `json:"decisions_rejected"`
+	Previews          int64       `json:"previews"`
+	BatchSearches     int64       `json:"batch_searches"`
+	BatchQueries      int64       `json:"batch_queries"`
+	ViewLatency       latencyVarz `json:"view_latency"`
+}
+
+func (m *metrics) snapshot(active int, draining bool) varz {
+	return varz{
+		ActiveSessions:    active,
+		Draining:          draining,
+		SessionsCreated:   m.SessionsCreated.Load(),
+		SessionsDone:      m.SessionsDone.Load(),
+		SessionsFailed:    m.SessionsFailed.Load(),
+		SessionsEvicted:   m.SessionsEvicted.Load(),
+		SessionsRejected:  m.SessionsRejected.Load(),
+		SessionsClosed:    m.SessionsClosed.Load(),
+		ViewsServed:       m.ViewsServed.Load(),
+		Decisions:         m.Decisions.Load(),
+		DecisionsRejected: m.DecisionsRejected.Load(),
+		Previews:          m.Previews.Load(),
+		BatchSearches:     m.BatchSearches.Load(),
+		BatchQueries:      m.BatchQueries.Load(),
+		ViewLatency:       m.viewLatency.snapshot(),
+	}
+}

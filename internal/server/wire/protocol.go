@@ -1,0 +1,137 @@
+package wire
+
+// This file defines the HTTP request/response envelopes of the innsearchd
+// protocol. Session lifecycle:
+//
+//	POST /v1/sessions            CreateSessionRequest  → CreateSessionResponse
+//	GET  /v1/sessions/{id}/view  (?wait=5s)            → ViewResponse (long-poll)
+//	GET  /v1/sessions/{id}/preview?seq=N&tau=T         → PreviewResponse
+//	POST /v1/sessions/{id}/decision  DecisionRequest   → DecisionResponse
+//	GET  /v1/sessions/{id}/result (?wait=5s)           → ResultResponse
+//	DELETE /v1/sessions/{id}                           → {"state":"closed"}
+//	POST /v1/search              SearchRequest         → SearchResponse
+//
+// Session states, as reported by the state fields below:
+//
+//	computing         the engine is searching for the next projection
+//	awaiting_decision a view is on display, waiting for a decision
+//	done              the session finished; the result is available
+//	failed            the session aborted (view deadline, engine error)
+//	evicted           the session idled past the server TTL
+//	closed            the client deleted the session
+
+// Session states.
+const (
+	StateComputing = "computing"
+	StateAwaiting  = "awaiting_decision"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateEvicted   = "evicted"
+	StateClosed    = "closed"
+)
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// CreateSessionRequest opens an interactive (or server-driven) session
+// against a preloaded dataset. Exactly one of Query and QueryRow selects
+// the query point. User is "remote" (default: a human drives the session
+// over the view/decision endpoints), "heuristic", or "oracle" (labeled
+// datasets with QueryRow only; relevance = rows sharing the query's
+// label).
+type CreateSessionRequest struct {
+	Dataset  string        `json:"dataset"`
+	Query    []float64     `json:"query,omitempty"`
+	QueryRow *int          `json:"query_row,omitempty"`
+	User     string        `json:"user,omitempty"`
+	Config   SessionConfig `json:"config"`
+}
+
+// CreateSessionResponse acknowledges session creation.
+type CreateSessionResponse struct {
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	State   string `json:"state"`
+}
+
+// ViewResponse is the long-poll answer of the view endpoint. Profile is
+// set only in state awaiting_decision; DeadlineMS is the remaining
+// decision budget in milliseconds (0 = no per-view deadline); Error is
+// set in state failed.
+type ViewResponse struct {
+	State      string   `json:"state"`
+	Seq        int      `json:"seq,omitempty"`
+	DeadlineMS int64    `json:"deadline_ms,omitempty"`
+	Profile    *Profile `json:"profile,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// PreviewResponse renders the density-separated region a candidate τ
+// would induce on the current view — the Figure 6 adjustment loop over
+// the wire.
+type PreviewResponse struct {
+	Seq    int    `json:"seq"`
+	Region Region `json:"region"`
+}
+
+// DecisionRequest answers the view with sequence number Seq. The embedded
+// Decision carries skip/tau/lines/weight/confidence. Seq must name the
+// view currently on display: a decision for an expired, already answered,
+// or timed-out view is rejected, never silently applied to a later view.
+type DecisionRequest struct {
+	Seq int `json:"seq"`
+	Decision
+}
+
+// DecisionResponse acknowledges an accepted decision. LatencyMS is the
+// time the view waited for this decision (the server's view-latency
+// metric).
+type DecisionResponse struct {
+	Accepted  bool    `json:"accepted"`
+	Seq       int     `json:"seq"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// ResultResponse reports the session outcome. Result is set in state
+// done; Error in states failed and evicted.
+type ResultResponse struct {
+	State  string  `json:"state"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// SearchRequest runs a non-interactive batch search (SearchBatch) with
+// simulated users: "heuristic" (default, label-blind) or "oracle"
+// (labeled datasets with QueryRows only). Exactly one of Queries and
+// QueryRows supplies the query points.
+type SearchRequest struct {
+	Dataset   string        `json:"dataset"`
+	Queries   [][]float64   `json:"queries,omitempty"`
+	QueryRows []int         `json:"query_rows,omitempty"`
+	User      string        `json:"user,omitempty"`
+	Config    SessionConfig `json:"config"`
+}
+
+// SearchResponse is index-aligned with the request's queries: for each
+// query exactly one of Results[i], Errors[i] is non-zero.
+type SearchResponse struct {
+	Results []*Result `json:"results"`
+	Errors  []string  `json:"errors"`
+}
+
+// DatasetInfo describes one preloaded dataset.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	Labeled bool   `json:"labeled"`
+}
+
+// DatasetsResponse lists the datasets the server can search.
+type DatasetsResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}

@@ -1,0 +1,243 @@
+package user
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"innsearch/internal/core"
+	"innsearch/internal/grid"
+)
+
+// Remote adapter errors. ErrViewExpired and ErrSessionClosed are the
+// contract of SubmitDecision: a decision that misses its view — because
+// the view timed out, was already answered, or the whole session ended —
+// is rejected with one of these, never delivered to a dead session.
+var (
+	// ErrViewExpired rejects a decision whose view is no longer awaiting
+	// one (stale sequence number, already answered, or timed out).
+	ErrViewExpired = errors.New("user: view is no longer awaiting a decision")
+	// ErrSessionClosed rejects interaction with a session that has
+	// finished, failed, or been evicted.
+	ErrSessionClosed = errors.New("user: remote session closed")
+	// ErrViewTimeout is the cancellation cause when a view's decision
+	// deadline elapses; the session context is canceled with it so the
+	// session goroutine unwinds instead of idling forever.
+	ErrViewTimeout = errors.New("user: view decision deadline exceeded")
+)
+
+// RemoteView is a snapshot of the view currently awaiting a decision.
+type RemoteView struct {
+	// Seq numbers views 1, 2, … across the whole session; a decision must
+	// quote the sequence number of the view it answers.
+	Seq     int
+	Profile *core.VisualProfile
+	// Deadline is when the view expires (zero when no per-view deadline
+	// is configured).
+	Deadline time.Time
+}
+
+// Remote inverts the User callback for serving: the session goroutine
+// calling SeparateCluster blocks on a channel until a decision arrives
+// from the network (SubmitDecision), the per-view deadline elapses, or
+// the session context is canceled. A server polls CurrentView/Changed to
+// surface views to remote clients and forwards their decisions back in.
+//
+// Exactly-once delivery: each view accepts at most one decision. The
+// timeout, cancellation, and submission paths all claim the view under
+// one mutex, so a decision raced against the deadline is either delivered
+// to the still-live view or rejected with ErrViewExpired — never both,
+// and never applied to a later view.
+type Remote struct {
+	viewTimeout time.Duration
+	ctx         context.Context
+	abort       context.CancelCauseFunc
+
+	mu       sync.Mutex
+	seq      int
+	profile  *core.VisualProfile
+	preview  func(float64) *grid.Region
+	decCh    chan core.Decision // non-nil iff a view awaits a decision
+	shownAt  time.Time
+	deadline time.Time
+	bell     chan struct{} // closed and replaced on every state change
+	closed   bool
+}
+
+// NewRemote builds a remote user for one session. ctx is the session's
+// lifetime: when it is canceled every blocked SeparateCluster returns and
+// further interaction fails with ErrSessionClosed (after Close). abort
+// cancels that same context with a cause; the adapter calls it with
+// ErrViewTimeout when a view's deadline elapses, so an abandoned session
+// unwinds instead of blocking a slot forever. viewTimeout ≤ 0 disables
+// the per-view deadline.
+func NewRemote(ctx context.Context, abort context.CancelCauseFunc, viewTimeout time.Duration) *Remote {
+	if abort == nil {
+		abort = func(error) {}
+	}
+	return &Remote{
+		viewTimeout: viewTimeout,
+		ctx:         ctx,
+		abort:       abort,
+		bell:        make(chan struct{}),
+	}
+}
+
+// SeparateCluster implements core.User: it publishes the profile as the
+// current view and blocks until a decision is submitted, the view times
+// out, or the session context is canceled. Timeout aborts the session
+// (via the cancel cause ErrViewTimeout); cancellation returns a skip and
+// lets the session loop observe ctx.Err() at its next checkpoint.
+func (r *Remote) SeparateCluster(p *core.VisualProfile, preview func(tau float64) *grid.Region) core.Decision {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return core.Decision{Skip: true}
+	}
+	r.seq++
+	seq := r.seq
+	r.profile = p
+	r.preview = preview
+	dec := make(chan core.Decision, 1)
+	r.decCh = dec
+	r.shownAt = time.Now()
+	r.deadline = time.Time{}
+	var timeout <-chan time.Time
+	if r.viewTimeout > 0 {
+		r.deadline = r.shownAt.Add(r.viewTimeout)
+		t := time.NewTimer(r.viewTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	r.ring()
+	r.mu.Unlock()
+
+	select {
+	case d := <-dec:
+		return d
+	case <-timeout:
+		if d, ok := r.claimExpired(seq, dec); ok {
+			return d // the decision won the race against the deadline
+		}
+		r.abort(fmt.Errorf("%w (view %d)", ErrViewTimeout, seq))
+		return core.Decision{Skip: true}
+	case <-r.ctx.Done():
+		if d, ok := r.claimExpired(seq, dec); ok {
+			return d
+		}
+		return core.Decision{Skip: true}
+	}
+}
+
+// claimExpired retires view seq after a timeout or cancellation. If a
+// decision slipped into the buffered channel before the view could be
+// claimed, that decision is honored instead (it was accepted by
+// SubmitDecision while the view was still live).
+func (r *Remote) claimExpired(seq int, dec chan core.Decision) (core.Decision, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case d := <-dec:
+		return d, true
+	default:
+	}
+	if r.seq == seq && r.decCh != nil {
+		r.decCh = nil
+		r.profile = nil
+		r.preview = nil
+		r.ring()
+	}
+	return core.Decision{}, false
+}
+
+// SubmitDecision delivers a decision to the view with sequence number
+// seq. It returns how long the view waited, or ErrViewExpired /
+// ErrSessionClosed when the decision can no longer be delivered — the
+// caller must surface that to the client rather than retry.
+func (r *Remote) SubmitDecision(seq int, d core.Decision) (time.Duration, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, ErrSessionClosed
+	}
+	switch {
+	case seq != r.seq:
+		return 0, fmt.Errorf("%w: decision for view %d, current view is %d", ErrViewExpired, seq, r.seq)
+	case r.decCh == nil:
+		return 0, fmt.Errorf("%w: view %d was already answered or timed out", ErrViewExpired, seq)
+	}
+	r.decCh <- d // buffered; exactly one send per view
+	r.decCh = nil
+	r.profile = nil
+	r.preview = nil
+	r.ring()
+	return time.Since(r.shownAt), nil
+}
+
+// CurrentView returns the view awaiting a decision, if any.
+func (r *Remote) CurrentView() (RemoteView, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.decCh == nil || r.profile == nil {
+		return RemoteView{}, false
+	}
+	return RemoteView{Seq: r.seq, Profile: r.profile, Deadline: r.deadline}, true
+}
+
+// Changed returns a channel closed at the next state change (view shown,
+// answered, expired, or session closed). Long-poll loops use it: read
+// CurrentView, and when nothing is pending wait on Changed before
+// re-reading.
+func (r *Remote) Changed() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bell
+}
+
+// Preview computes the density-separated region a candidate τ would
+// induce on the view with sequence number seq — the remote form of the
+// Figure 6 separator-adjustment loop. The underlying region search is
+// pure, so previews may run concurrently with each other and with the
+// blocked session goroutine.
+func (r *Remote) Preview(seq int, tau float64) (*grid.Region, *core.VisualProfile, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, nil, ErrSessionClosed
+	}
+	if r.decCh == nil || seq != r.seq {
+		r.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: preview for view %d, current view is %d", ErrViewExpired, seq, r.seq)
+	}
+	preview, profile := r.preview, r.profile
+	r.mu.Unlock()
+	reg := preview(tau)
+	if reg == nil {
+		return nil, nil, fmt.Errorf("user: no region at τ=%v", tau)
+	}
+	return reg, profile, nil
+}
+
+// Close marks the session over: pending and future SubmitDecision calls
+// fail with ErrSessionClosed and long-pollers are woken. The owner calls
+// it once the session goroutine has returned.
+func (r *Remote) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.decCh = nil
+	r.profile = nil
+	r.preview = nil
+	r.ring()
+}
+
+// ring wakes everyone waiting on Changed. Callers hold r.mu.
+func (r *Remote) ring() {
+	close(r.bell)
+	r.bell = make(chan struct{})
+}

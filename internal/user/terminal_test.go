@@ -110,6 +110,74 @@ func TestTerminalClearLines(t *testing.T) {
 	}
 }
 
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		spec   string
+		want   string // substring of the error, "" for success
+		x1, y2 float64
+	}{
+		{"0,-100,0,100", "", 0, 100},
+		{" 1.5 , -2 , 3 , 4.25 ", "", 1.5, 4.25},
+		{"1e2,-1e-2,0,3", "", 100, 3},
+		{"", "expected x1,y1,x2,y2", 0, 0},
+		{"1,2,3", "expected x1,y1,x2,y2", 0, 0},
+		{"1,2,3,4,5", "expected x1,y1,x2,y2", 0, 0},
+		{"1,2,,4", "bad coordinate", 0, 0},
+		{"1,2,x,4", "bad coordinate", 0, 0},
+		{"0.5.5,2,3,4", "bad coordinate", 0, 0},
+		{"NaN,NaN,NaN,nah", "bad coordinate", 0, 0},
+	}
+	for _, c := range cases {
+		l, err := parseLine(c.spec)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("parseLine(%q): unexpected error %v", c.spec, err)
+				continue
+			}
+			if l.X1 != c.x1 || l.Y2 != c.y2 {
+				t.Errorf("parseLine(%q) = %+v", c.spec, l)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parseLine(%q): err = %v, want %q", c.spec, err, c.want)
+		}
+	}
+}
+
+// TestTerminalFractionBounds checks the separator fraction must lie
+// strictly inside (0,1): the boundary values, negatives, and malformed
+// floats all reprompt instead of moving the separator.
+func TestTerminalFractionBounds(t *testing.T) {
+	p, _ := makeProfile(t, 200, 40, true, 39)
+	term, out := terminalOver("0\n1\n-0.3\n0.5.5\n1e\n0.25\na\n")
+	d := term.SeparateCluster(p, previewFor(p))
+	if d.Skip {
+		t.Fatal("skip")
+	}
+	if want := 0.25 * p.QueryDensity; d.Tau != want {
+		t.Errorf("tau = %v, want %v (only the valid 0.25 should have applied)", d.Tau, want)
+	}
+	if n := strings.Count(out.String(), "enter a fraction"); n != 5 {
+		t.Errorf("reprompts = %d, want 5 (one per rejected input)", n)
+	}
+}
+
+// TestTerminalEOFMidAdjustment loses the input stream after a valid
+// adjustment but before an accept: the view must resolve as a skip, not
+// an accept of the pending separator.
+func TestTerminalEOFMidAdjustment(t *testing.T) {
+	p, _ := makeProfile(t, 200, 40, true, 40)
+	term, _ := terminalOver("0.8\n")
+	if d := term.SeparateCluster(p, previewFor(p)); !d.Skip {
+		t.Errorf("EOF mid-adjustment returned %+v, want skip", d)
+	}
+	// A second view on the same exhausted terminal also skips.
+	if d := term.SeparateCluster(p, previewFor(p)); !d.Skip {
+		t.Error("subsequent view on exhausted input did not skip")
+	}
+}
+
 func TestTerminalDrivesFullSession(t *testing.T) {
 	// Feed a full session's worth of commands through the terminal user.
 	p, ds := makeProfile(t, 100, 20, true, 38)
