@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -69,6 +70,77 @@ func BenchmarkFullSession2000x20(b *testing.B) {
 		if _, err := s.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSession2000x64 runs a full session on the synthetic d=64
+// dataset — the data plane's headline allocation benchmark. Run with
+// -benchmem; EXPERIMENTS.md records the before→after deltas of the
+// store/view refactor.
+func BenchmarkSession2000x64(b *testing.B) {
+	ds, q := benchDataset(b, 2000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+			Support: 64, GridSize: 48, MaxMajorIterations: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchSearch8x2000x32 runs an 8-query batch against one shared
+// dataset, the serving layer's /v1/search shape.
+func BenchmarkBatchSearch8x2000x32(b *testing.B) {
+	ds, q := benchDataset(b, 2000, 32)
+	queries := make([][]float64, 8)
+	users := make([]User, 8)
+	for i := range queries {
+		qi := append([]float64(nil), q...)
+		qi[0] += float64(i)
+		queries[i] = qi
+		users[i] = alwaysTauUser(0.3)
+	}
+	cfg := Config{Support: 32, GridSize: 32, MaxMajorIterations: 1, Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, errs := mustBatch(b, ds, queries, users, cfg)
+		for j := range results {
+			if errs[j] != nil {
+				b.Fatal(errs[j])
+			}
+		}
+	}
+}
+
+func mustBatch(b *testing.B, ds *dataset.Dataset, queries [][]float64, users []User, cfg Config) ([]*Result, []error) {
+	b.Helper()
+	batch, err := NewSessionBatch(ds, queries, users, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, errs := batch.RunContext(context.Background())
+	return results, errs
+}
+
+// BenchmarkProjectionScoring isolates the discrimination-scoring hot path
+// (full-space neighbor scan plus per-direction variance ratios).
+func BenchmarkProjectionScoring2000x32(b *testing.B) {
+	ds, q := benchDataset(b, 2000, 32)
+	proj, err := FindQueryCenteredProjection(ds, q, ProjectionSearch{Support: 32, Graded: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DiscriminationScore(ds, q, proj, 32)
 	}
 }
 

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the golden result files instead of comparing
+// against them: go test ./internal/core -run Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden result files")
+
+// goldenScenario is one fully deterministic end-to-end session whose
+// Result must stay byte-identical across refactors of the data plane and
+// at any worker count.
+type goldenScenario struct {
+	name string
+	cfg  Config
+}
+
+func goldenScenarios() []goldenScenario {
+	return []goldenScenario{
+		{name: "arbitrary", cfg: Config{Support: 20, GridSize: 32, MaxMajorIterations: 3}},
+		{name: "axis", cfg: Config{Support: 20, GridSize: 32, MaxMajorIterations: 3, Mode: ModeAxis}},
+	}
+}
+
+// goldenResultJSON runs the scenario at the given worker count and
+// serializes the Result. encoding/json emits map keys in sorted order and
+// shortest-round-trip floats, so identical numeric results give identical
+// bytes.
+func goldenResultJSON(t *testing.T, sc goldenScenario, workers int) []byte {
+	t.Helper()
+	ds, q := clusteredDataset(t, 300, 40, 16, 7)
+	cfg := sc.cfg
+	cfg.Workers = workers
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestGoldenResultReplay is the data-plane regression anchor: the engine
+// must return byte-identical Result JSON to the recorded seed-engine runs,
+// at workers = 1, 4, and 8. Any change to the numeric pipeline — projection
+// search, density estimation, selection, meaningfulness quantification —
+// that alters even one bit of one float shows up here.
+func TestGoldenResultReplay(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden_result_"+sc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, goldenResultJSON(t, sc, 1), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				got := goldenResultJSON(t, sc, workers)
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d: result JSON deviates from seed golden (len %d vs %d)",
+						workers, len(got), len(want))
+				}
+			}
+		})
+	}
+}

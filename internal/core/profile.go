@@ -79,7 +79,7 @@ func (p *VisualProfile) SelectAtContext(ctx context.Context, workers int, tau fl
 	if err != nil {
 		return nil, err
 	}
-	return reg.SelectPointsContext(ctx, workers, p.Points.Col(0), p.Points.Col(1))
+	return reg.SelectSourceContext(ctx, workers, kde.MatrixXY{M: p.Points})
 }
 
 // Decision is the user's answer to one visual profile: either skip the
@@ -102,7 +102,7 @@ type Decision struct {
 // SelectLines returns the positions of the current data points in the
 // same polygonal region as the query under the given separating lines.
 func (p *VisualProfile) SelectLines(lines []grid.Line) ([]int, error) {
-	return grid.PolygonSelect(p.Points.Col(0), p.Points.Col(1), p.QueryX, p.QueryY, lines)
+	return grid.PolygonSelectSource(kde.MatrixXY{M: p.Points}, p.QueryX, p.QueryY, lines)
 }
 
 // User supplies the human side of the interaction: given a visual
@@ -133,10 +133,21 @@ func BuildProfile(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, s
 // density-grid evaluation and the discrimination scan abort between row
 // shards once ctx is canceled. Parallelism is controlled by opts.Workers.
 func BuildProfileContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options) (*VisualProfile, error) {
-	pts, err := proj.ProjectRows(ds.Matrix())
+	return buildProfile(ctx, ds.View(), q, proj, support, opts, &searchScratch{})
+}
+
+// buildProfile is the view-level implementation behind BuildProfile;
+// sessions call it directly on their narrowed views. The projected
+// coordinates come from composing the projection onto the view — the same
+// float-operation order as the eager ProjectRows path, materialized once
+// and shared by the density estimate, the selection passes, and the
+// profile's Points field.
+func buildProfile(ctx context.Context, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options, scr *searchScratch) (*VisualProfile, error) {
+	pv, err := v.Compose(proj)
 	if err != nil {
 		return nil, fmt.Errorf("core: project data: %w", err)
 	}
+	pts := pv.Coords()
 	qp := proj.Project(q)
 	g, err := kde.Estimate2DContext(ctx, pts, opts)
 	if err != nil {
@@ -158,7 +169,7 @@ func BuildProfileContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vect
 	if qy > g.MaxY {
 		qy = g.MaxY
 	}
-	disc, err := discriminationScoreContext(ctx, opts.Workers, ds, q, proj, support)
+	disc, err := discriminationScoreContext(ctx, opts.Workers, v, q, proj, support, scr)
 	if err != nil {
 		return nil, err
 	}
@@ -168,10 +179,10 @@ func BuildProfileContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vect
 		QueryY:         qy,
 		QueryDensity:   g.InterpAt(qx, qy),
 		Points:         pts,
-		IDs:            ds.IDs(),
+		IDs:            v.IDs(),
 		Projection:     proj,
 		Discrimination: disc,
-		RemainingDim:   ds.Dim(),
-		OriginalN:      ds.N(),
+		RemainingDim:   v.Dim(),
+		OriginalN:      v.N(),
 	}, nil
 }

@@ -23,25 +23,54 @@ import (
 // e.g. the data has fewer than two dimensions of variation left.
 var ErrDegenerateData = errors.New("core: degenerate data for projection search")
 
-// nearestPositions returns the positions of the s points of ds closest to
-// q under the projected distance Pdist(·, ·, sub). Both ds and q are in
+// cand is one candidate of a nearest-positions scan.
+type cand struct {
+	pos  int
+	dist float64
+}
+
+// searchScratch holds per-session reusable buffers for the projection
+// search's hot loops. A scratch is single-owner (the session's goroutine);
+// the parallel passes that fill its buffers write index-owned slots only.
+// Every element is overwritten before use, so reuse never changes results.
+type searchScratch struct {
+	cands  []cand
+	coords []float64
+}
+
+// candBuf returns an n-element candidate buffer.
+func (sc *searchScratch) candBuf(n int) []cand {
+	if cap(sc.cands) < n {
+		sc.cands = make([]cand, n)
+	}
+	return sc.cands[:n]
+}
+
+// floatBuf returns an n-element float buffer.
+func (sc *searchScratch) floatBuf(n int) []float64 {
+	if cap(sc.coords) < n {
+		sc.coords = make([]float64, n)
+	}
+	return sc.coords[:n]
+}
+
+// nearestPositions returns the positions of the s points of v closest to
+// q under the projected distance Pdist(·, ·, sub). Both v and q are in
 // the current coordinate system (ambient dimension of sub). The projected
 // distances are computed in parallel (each point writes its own slot, so
 // the ranking is identical at any worker count); the sort stays serial.
-func nearestPositions(ctx context.Context, workers int, ds *dataset.Dataset, q linalg.Vector, sub *linalg.Subspace, s int) ([]int, error) {
-	n := ds.N()
+// No per-point projection is materialized — each distance reads the
+// view's row in place.
+func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, sub *linalg.Subspace, s int, scr *searchScratch) ([]int, error) {
+	n := v.N()
 	if s > n {
 		s = n
 	}
-	type cand struct {
-		pos  int
-		dist float64
-	}
-	cands := make([]cand, n)
+	cands := scr.candBuf(n)
 	qp := sub.Project(q)
 	err := parallel.ForShards(ctx, workers, n, func(_ context.Context, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			cands[i] = cand{pos: i, dist: linalg.Vector(qp).Dist(sub.Project(ds.Point(i)))}
+			cands[i] = cand{pos: i, dist: sub.ProjDistTo(qp, v.Point(i))}
 		}
 		return nil
 	})
@@ -61,33 +90,79 @@ func nearestPositions(ctx context.Context, workers int, ds *dataset.Dataset, q l
 	return out, nil
 }
 
+// varianceAlongUnit replicates linalg.Matrix.VarianceAlong over the rows
+// of v at the given positions (all rows when positions is nil), for a
+// direction the caller has already normalized: same accumulation order,
+// same bits, without materializing a member subset or cloning the
+// direction per sweep.
+func varianceAlongUnit(v *dataset.View, positions []int, u linalg.Vector) float64 {
+	n := len(positions)
+	if positions == nil {
+		n = v.N()
+	}
+	if n < 2 {
+		return 0
+	}
+	var sum, sumSq float64
+	if positions == nil {
+		for i := 0; i < n; i++ {
+			p := v.Point(i).Dot(u)
+			sum += p
+			sumSq += p * p
+		}
+	} else {
+		for _, pos := range positions {
+			p := v.Point(pos).Dot(u)
+			sum += p
+			sumSq += p * p
+		}
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 { // numeric noise
+		variance = 0
+	}
+	return variance
+}
+
 // clusterSubspace realizes QueryClusterSubspace (Figure 4): it returns the
 // l-dimensional subspace of within in which the query cluster (the rows of
-// ds at positions members) is best distinguished from the full data — the
+// v at positions members) is best distinguished from the full data — the
 // directions minimizing the variance ratio λᵢ/γᵢ between the cluster and
-// the whole of ds.
+// the whole of v.
 //
 // In the default mode the candidate directions are the principal
 // components of the cluster's covariance matrix inside within; in
 // axis-parallel mode they are within's own basis vectors (the original
 // attributes), which matches the paper's interpretable variant.
-func clusterSubspace(ctx context.Context, workers int, ds *dataset.Dataset, members []int, l int, within *linalg.Subspace, axisParallel bool) (*linalg.Subspace, error) {
+func clusterSubspace(ctx context.Context, workers int, v *dataset.View, members []int, l int, within *linalg.Subspace, axisParallel bool, scr *searchScratch) (*linalg.Subspace, error) {
 	m := within.Dim()
 	if l > m {
 		return nil, fmt.Errorf("%w: want %d directions from a %d-dim subspace", ErrDegenerateData, l, m)
 	}
-	memberDS, err := ds.Subset(members)
-	if err != nil {
-		return nil, fmt.Errorf("core: cluster members: %w", err)
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: cluster members: %w", dataset.ErrEmpty)
+	}
+	for _, pos := range members {
+		if pos < 0 || pos >= v.N() {
+			return nil, fmt.Errorf("core: cluster members: position %d out of range [0,%d)", pos, v.N())
+		}
 	}
 
 	var directions []linalg.Vector
 	if axisParallel {
 		directions = within.Basis()
 	} else {
-		coords, err := within.ProjectRows(memberDS.Matrix())
-		if err != nil {
-			return nil, err
+		// Member coordinates inside within, written directly from the view
+		// rows — no member-subset dataset is materialized. The backing
+		// buffer is scratch: every cell is written, and covariance does
+		// not retain it.
+		coords := &linalg.Matrix{Rows: len(members), Cols: m, Data: scr.floatBuf(len(members) * m)}
+		for k, pos := range members {
+			row := v.Point(pos)
+			for j := 0; j < m; j++ {
+				coords.Set(k, j, row.Dot(within.BasisVector(j)))
+			}
 		}
 		cov, err := coords.CovarianceContext(ctx, workers)
 		if err != nil {
@@ -98,8 +173,8 @@ func clusterSubspace(ctx context.Context, workers int, ds *dataset.Dataset, memb
 			return nil, fmt.Errorf("core: cluster covariance eigen: %w", err)
 		}
 		directions = make([]linalg.Vector, len(eig.Vectors))
-		for i, v := range eig.Vectors {
-			directions[i] = within.Lift(v)
+		for i, ev := range eig.Vectors {
+			directions[i] = within.Lift(ev)
 		}
 	}
 
@@ -111,12 +186,17 @@ func clusterSubspace(ctx context.Context, workers int, ds *dataset.Dataset, memb
 	// Candidate-direction scoring is the per-stage hot spot (two O(n·d)
 	// variance sweeps per direction); each direction writes its own slot,
 	// so the scores — and everything ranked from them — are identical at
-	// any worker count.
+	// any worker count. The direction is normalized once and shared by
+	// both sweeps.
 	scoredDirs := make([]scored, len(directions))
-	err = parallel.For(ctx, workers, len(directions), func(_ context.Context, i int) error {
+	err := parallel.For(ctx, workers, len(directions), func(_ context.Context, i int) error {
 		dir := directions[i]
-		lambda := memberDS.Matrix().VarianceAlong(dir)
-		gamma := ds.Matrix().VarianceAlong(dir)
+		u := dir.Clone()
+		var lambda, gamma float64
+		if u.Normalize() != 0 {
+			lambda = varianceAlongUnit(v, members, u)
+			gamma = varianceAlongUnit(v, nil, u)
+		}
 		var ratio float64
 		switch {
 		case gamma <= 1e-18:
@@ -179,7 +259,7 @@ type ProjectionSearch struct {
 // 2-dimensional projection E_proj remains. It returns that projection (a
 // subspace of the current coordinate space).
 func FindQueryCenteredProjection(ds *dataset.Dataset, q linalg.Vector, cfg ProjectionSearch) (*linalg.Subspace, error) {
-	return FindQueryCenteredProjectionDimContext(context.Background(), ds, q, cfg, 2)
+	return findProjectionDim(context.Background(), ds.View(), q, cfg, 2, &searchScratch{})
 }
 
 // FindQueryCenteredProjectionContext is FindQueryCenteredProjection with
@@ -187,7 +267,7 @@ func FindQueryCenteredProjection(ds *dataset.Dataset, q linalg.Vector, cfg Proje
 // stages (and inside the parallel distance/variance sweeps) and returns
 // the context's error once canceled.
 func FindQueryCenteredProjectionContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vector, cfg ProjectionSearch) (*linalg.Subspace, error) {
-	return FindQueryCenteredProjectionDimContext(ctx, ds, q, cfg, 2)
+	return findProjectionDim(ctx, ds.View(), q, cfg, 2, &searchScratch{})
 }
 
 // FindQueryCenteredProjectionDim is FindQueryCenteredProjection with a
@@ -195,13 +275,20 @@ func FindQueryCenteredProjectionContext(ctx context.Context, ds *dataset.Dataset
 // instead of 2. The visualizable target of the interactive system is 2;
 // the automated projected-NN baseline may prefer wider subspaces.
 func FindQueryCenteredProjectionDim(ds *dataset.Dataset, q linalg.Vector, cfg ProjectionSearch, target int) (*linalg.Subspace, error) {
-	return FindQueryCenteredProjectionDimContext(context.Background(), ds, q, cfg, target)
+	return findProjectionDim(context.Background(), ds.View(), q, cfg, target, &searchScratch{})
 }
 
 // FindQueryCenteredProjectionDimContext is FindQueryCenteredProjectionDim
 // with cooperative cancellation (see FindQueryCenteredProjectionContext).
 func FindQueryCenteredProjectionDimContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vector, cfg ProjectionSearch, target int) (*linalg.Subspace, error) {
-	m := ds.Dim()
+	return findProjectionDim(ctx, ds.View(), q, cfg, target, &searchScratch{})
+}
+
+// findProjectionDim is the view-level implementation behind the
+// FindQueryCenteredProjection family; sessions call it directly on their
+// narrowed views.
+func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cfg ProjectionSearch, target int, scr *searchScratch) (*linalg.Subspace, error) {
+	m := v.Dim()
 	if m < 2 {
 		return nil, fmt.Errorf("%w: dimension %d", ErrDegenerateData, m)
 	}
@@ -241,11 +328,11 @@ func FindQueryCenteredProjectionDimContext(ctx context.Context, ds *dataset.Data
 		if minStage := factor * lp; stageSupport < minStage {
 			stageSupport = minStage
 		}
-		members, err := nearestPositions(ctx, cfg.Workers, ds, q, ep, stageSupport)
+		members, err := nearestPositions(ctx, cfg.Workers, v, q, ep, stageSupport, scr)
 		if err != nil {
 			return nil, err
 		}
-		sub, err := clusterSubspace(ctx, cfg.Workers, ds, members, next, ep, cfg.AxisParallel)
+		sub, err := clusterSubspace(ctx, cfg.Workers, v, members, next, ep, cfg.AxisParallel, scr)
 		if err != nil {
 			return nil, err
 		}
@@ -266,18 +353,18 @@ func FindQueryCenteredProjectionDimContext(ctx context.Context, ds *dataset.Data
 // the nearest points *within* the projection are tight in any view, good
 // or bad.
 func DiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) float64 {
-	score, _ := discriminationScoreContext(context.Background(), 1, ds, q, proj, support)
+	score, _ := discriminationScoreContext(context.Background(), 1, ds.View(), q, proj, support, &searchScratch{})
 	return score
 }
 
 // discriminationScoreContext is DiscriminationScore with cancellation and
 // a worker count for the full-space neighbor scan.
-func discriminationScoreContext(ctx context.Context, workers int, ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) (float64, error) {
-	members, err := nearestPositions(ctx, workers, ds, q, linalg.FullSpace(ds.Dim()), support)
+func discriminationScoreContext(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, scr *searchScratch) (float64, error) {
+	members, err := nearestPositions(ctx, workers, v, q, linalg.FullSpace(v.Dim()), support, scr)
 	if err != nil {
 		return 0, err
 	}
-	return discriminationOf(ds, members, proj), nil
+	return discriminationOf(v, members, proj), nil
 }
 
 // HoldoutDiscriminationScore scores proj on the second band of the
@@ -288,30 +375,37 @@ func discriminationScoreContext(ctx context.Context, workers int, ds *dataset.Da
 // the right statistic for comparing projection families of different
 // expressive power (ModeAuto).
 func HoldoutDiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) float64 {
-	all, err := nearestPositions(context.Background(), 1, ds, q, linalg.FullSpace(ds.Dim()), 2*support)
+	v := ds.View()
+	all, err := nearestPositions(context.Background(), 1, v, q, linalg.FullSpace(v.Dim()), 2*support, &searchScratch{})
 	if err != nil {
 		return 0
 	}
 	if len(all) <= support {
-		return discriminationOf(ds, all, proj)
+		return discriminationOf(v, all, proj)
 	}
-	return discriminationOf(ds, all[support:], proj)
+	return discriminationOf(v, all[support:], proj)
 }
 
-func discriminationOf(ds *dataset.Dataset, members []int, proj *linalg.Subspace) float64 {
-	memberDS, err := ds.Subset(members)
-	if err != nil {
+// discriminationOf computes the clamped 1 − mean(λᵢ/γᵢ) score for an
+// explicit member set, reading the view in place. Each direction is
+// normalized once and reused for both variance sweeps, exactly as
+// VarianceAlong would normalize it internally.
+func discriminationOf(v *dataset.View, members []int, proj *linalg.Subspace) float64 {
+	if len(members) == 0 {
 		return 0
 	}
 	var ratioSum float64
 	dims := 0
 	for i := 0; i < proj.Dim(); i++ {
-		dir := proj.BasisVector(i)
-		gamma := ds.Matrix().VarianceAlong(dir)
+		u := proj.BasisVector(i).Clone()
+		if u.Normalize() == 0 {
+			continue
+		}
+		gamma := varianceAlongUnit(v, nil, u)
 		if gamma <= 1e-18 {
 			continue
 		}
-		ratioSum += memberDS.Matrix().VarianceAlong(dir) / gamma
+		ratioSum += varianceAlongUnit(v, members, u) / gamma
 		dims++
 	}
 	if dims == 0 {

@@ -49,7 +49,7 @@ func TestNearestPositions(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub := linalg.FullSpace(2)
-	got, err := nearestPositions(context.Background(), 1, ds, linalg.Vector{0, 0}, sub, 2)
+	got, err := nearestPositions(context.Background(), 1, ds.View(), linalg.Vector{0, 0}, sub, 2, &searchScratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,18 +57,18 @@ func TestNearestPositions(t *testing.T) {
 		t.Errorf("nearest = %v", got)
 	}
 	// s > n clamps.
-	if got, err := nearestPositions(context.Background(), 1, ds, linalg.Vector{0, 0}, sub, 99); err != nil || len(got) != 4 {
+	if got, err := nearestPositions(context.Background(), 1, ds.View(), linalg.Vector{0, 0}, sub, 99, &searchScratch{}); err != nil || len(got) != 4 {
 		t.Errorf("clamped = %v (err %v)", got, err)
 	}
 }
 
 func TestClusterSubspaceAxisParallel(t *testing.T) {
 	ds, q := clusterAndNoise(t, 500, 6, 1)
-	members, err := nearestPositions(context.Background(), 1, ds, q, linalg.FullSpace(6), 60)
+	members, err := nearestPositions(context.Background(), 1, ds.View(), q, linalg.FullSpace(6), 60, &searchScratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := clusterSubspace(context.Background(), 1, ds, members, 2, linalg.FullSpace(6), true)
+	sub, err := clusterSubspace(context.Background(), 1, ds.View(), members, 2, linalg.FullSpace(6), true, &searchScratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestClusterSubspaceArbitraryFindsTightDirections(t *testing.T) {
 	for i := range members {
 		members[i] = i
 	}
-	sub, err := clusterSubspace(context.Background(), 1, ds, members, 1, linalg.FullSpace(4), false)
+	sub, err := clusterSubspace(context.Background(), 1, ds.View(), members, 1, linalg.FullSpace(4), false, &searchScratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,10 +126,10 @@ func TestClusterSubspaceArbitraryFindsTightDirections(t *testing.T) {
 
 func TestClusterSubspaceErrors(t *testing.T) {
 	ds, _ := clusterAndNoise(t, 50, 4, 3)
-	if _, err := clusterSubspace(context.Background(), 1, ds, []int{0, 1}, 9, linalg.FullSpace(4), false); !errors.Is(err, ErrDegenerateData) {
+	if _, err := clusterSubspace(context.Background(), 1, ds.View(), []int{0, 1}, 9, linalg.FullSpace(4), false, &searchScratch{}); !errors.Is(err, ErrDegenerateData) {
 		t.Errorf("l > dim: %v", err)
 	}
-	if _, err := clusterSubspace(context.Background(), 1, ds, nil, 2, linalg.FullSpace(4), false); err == nil {
+	if _, err := clusterSubspace(context.Background(), 1, ds.View(), nil, 2, linalg.FullSpace(4), false, &searchScratch{}); err == nil {
 		t.Error("empty members accepted")
 	}
 }

@@ -175,8 +175,8 @@ func (r *Result) NaturalNeighbors() []Neighbor {
 type Session struct {
 	cfg   Config
 	user  User
-	data  *dataset.Dataset // current D (shrinks across major iterations)
-	query linalg.Vector    // ambient query
+	data  *dataset.View // current D (narrowed across major iterations)
+	query linalg.Vector // ambient query
 
 	// probSum accumulates Σ pᵢⱼ per original ID; probIters counts the
 	// major iterations each ID participated in.
@@ -187,6 +187,13 @@ type Session struct {
 
 	viewsShown    int
 	viewsAnswered int
+
+	// arena recycles the per-minor complement-chain frames; scratch holds
+	// the projection search's reusable candidate/coordinate buffers. Both
+	// are single-owner (the goroutine driving the session) and never
+	// change results — see dataset.Arena and searchScratch.
+	arena   dataset.Arena
+	scratch searchScratch
 
 	prevTop   []int
 	converged bool
@@ -201,8 +208,10 @@ type Session struct {
 	autoChoice ProjectionMode
 }
 
-// NewSession validates the inputs and prepares a session. The dataset is
-// cloned, so the caller's copy is never mutated.
+// NewSession validates the inputs and prepares a session. The session
+// reads the dataset through a lightweight view of its immutable store —
+// no point data is copied, the caller's dataset is never mutated, and any
+// number of sessions may share one store concurrently.
 func NewSession(ds *dataset.Dataset, query []float64, user User, cfg Config) (*Session, error) {
 	if ds == nil || ds.N() == 0 {
 		return nil, dataset.ErrEmpty
@@ -222,7 +231,7 @@ func NewSession(ds *dataset.Dataset, query []float64, user User, cfg Config) (*S
 	return &Session{
 		cfg:       cfg.withDefaults(ds.N(), ds.Dim()),
 		user:      user,
-		data:      ds.Clone(),
+		data:      ds.View(),
 		query:     linalg.Vector(query).Clone(),
 		probSum:   make(map[int]float64),
 		probIters: make(map[int]int),
@@ -372,12 +381,19 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 		if err != nil {
 			return fmt.Errorf("core: complement: %w", err)
 		}
-		dc, err = dc.ProjectInto(complement)
+		// The next frame materializes eagerly from the current one; the
+		// current frame's coordinates are dead after that and its buffer
+		// goes back to the arena for the frame after next. (Reclaim is a
+		// no-op on the first frame, the ambient s.data view.)
+		next, err := dc.ComposeArena(complement, &s.arena)
 		if err != nil {
 			return fmt.Errorf("core: reproject data: %w", err)
 		}
+		dc.Reclaim()
+		dc = next
 		qc = complement.Project(qc)
 	}
+	dc.Reclaim()
 
 	probs := QuantifyMeaningfulness(counts, n, picks)
 	for pos, p := range probs {
@@ -404,7 +420,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 			}
 		}
 		if len(keep) >= 2 {
-			kept, err := s.data.Subset(keep)
+			kept, err := s.data.Narrow(keep)
 			if err != nil {
 				return fmt.Errorf("core: prune: %w", err)
 			}
@@ -428,7 +444,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 // tightness-style statistic is optimistically biased toward the more
 // expressive arbitrary family — and judging views is exactly what the
 // paper keeps the human for.
-func (s *Session) presentView(ctx context.Context, dc *dataset.Dataset, qc linalg.Vector, psearch ProjectionSearch, minor int) (*VisualProfile, Decision, error) {
+func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.Vector, psearch ProjectionSearch, minor int) (*VisualProfile, Decision, error) {
 	var families []bool // axis-parallel?
 	switch {
 	case s.cfg.Mode == ModeAxis:
@@ -449,18 +465,18 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.Dataset, qc linal
 	var cands []candidate
 	for _, axis := range families {
 		psearch.AxisParallel = axis
-		proj, err := FindQueryCenteredProjectionContext(ctx, dc, qc, psearch)
+		proj, err := findProjectionDim(ctx, dc, qc, psearch, 2, &s.scratch)
 		if err != nil {
 			if len(families) > 1 && ctx.Err() == nil {
 				continue // the other family may still work
 			}
 			return nil, Decision{}, err
 		}
-		profile, err := BuildProfileContext(ctx, dc, qc, proj, psearch.Support, kde.Options{
+		profile, err := buildProfile(ctx, dc, qc, proj, psearch.Support, kde.Options{
 			GridSize:       s.cfg.GridSize,
 			BandwidthScale: s.cfg.BandwidthScale,
 			Workers:        s.cfg.Workers,
-		})
+		}, &s.scratch)
 		if err != nil {
 			return nil, Decision{}, err
 		}

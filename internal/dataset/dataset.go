@@ -8,6 +8,13 @@
 // removes never-picked points (Figure 2 of the paper) while preference
 // counts and meaningfulness probabilities must stay attached to the
 // original rows.
+//
+// Since the zero-copy data-plane refactor, a Dataset is a thin wrapper
+// around an immutable Store read through a View: Subset narrows indices
+// and ProjectInto stacks a lazy projection, neither copying point data.
+// Copies still happen exactly where mutation demands them — CSV loading,
+// Clone, and normalization (which rebuilds the store copy-on-write so
+// views handed out earlier keep reading the old values).
 package dataset
 
 import (
@@ -29,90 +36,69 @@ var ErrEmpty = errors.New("dataset: empty dataset")
 // ErrBadShape indicates rows of inconsistent dimensionality.
 var ErrBadShape = errors.New("dataset: inconsistent row dimensionality")
 
-// Dataset is an immutable-by-convention collection of d-dimensional
-// points. Labels is either nil (unlabeled) or has one entry per point.
+// Dataset is an immutable collection of d-dimensional points: a View over
+// a shared Store plus optional attribute names. Labels, when present,
+// live on the store with one entry per point.
 type Dataset struct {
-	points *linalg.Matrix
-	ids    []int    // original row IDs, parallel to rows of points
-	labels []int    // optional, parallel to rows; nil if unlabeled
-	names  []string // optional attribute names; nil if unnamed
+	v     *View
+	names []string // optional attribute names; nil if unnamed
 }
 
 // New builds a dataset from rows. All rows must share the same
-// dimensionality; labels, when non-nil, must have one entry per row.
+// dimensionality; labels, when non-nil, must have one entry per row. The
+// rows are copied into a fresh store.
 func New(rows [][]float64, labels []int) (*Dataset, error) {
-	if len(rows) == 0 {
-		return nil, ErrEmpty
-	}
-	vecs := make([]linalg.Vector, len(rows))
-	d := len(rows[0])
-	for i, r := range rows {
-		if len(r) != d {
-			return nil, fmt.Errorf("%w: row %d has %d dims, want %d", ErrBadShape, i, len(r), d)
-		}
-		vecs[i] = linalg.Vector(r).Clone()
-	}
-	m, err := linalg.MatrixFromRows(vecs)
+	st, err := newStoreFromRows(rows, labels)
 	if err != nil {
 		return nil, err
 	}
-	if labels != nil && len(labels) != len(rows) {
-		return nil, fmt.Errorf("%w: %d labels for %d rows", ErrBadShape, len(labels), len(rows))
-	}
-	ids := make([]int, len(rows))
-	for i := range ids {
-		ids[i] = i
-	}
-	var lab []int
-	if labels != nil {
-		lab = append([]int(nil), labels...)
-	}
-	return &Dataset{points: m, ids: ids, labels: lab}, nil
+	return &Dataset{v: &View{store: st}}, nil
 }
 
-// FromMatrix wraps an existing matrix (taking ownership) with fresh
-// sequential IDs and no labels.
+// FromMatrix wraps an existing matrix (taking ownership of its storage)
+// with fresh sequential IDs and no labels.
 func FromMatrix(m *linalg.Matrix) (*Dataset, error) {
 	if m.Rows == 0 {
 		return nil, ErrEmpty
 	}
-	ids := make([]int, m.Rows)
-	for i := range ids {
-		ids[i] = i
-	}
-	return &Dataset{points: m, ids: ids}, nil
+	st := &Store{data: m.Data, n: m.Rows, dim: m.Cols}
+	return &Dataset{v: &View{store: st}}, nil
 }
 
+// View returns the dataset's current view. Engine components read through
+// it (narrowing and composing without copies); the view stays valid and
+// unchanged even if the dataset is normalized afterwards, because
+// normalization swaps in a fresh store instead of mutating this one.
+func (d *Dataset) View() *View { return d.v }
+
+// Store returns the immutable store backing the dataset's view.
+func (d *Dataset) Store() *Store { return d.v.Store() }
+
 // N returns the number of points.
-func (d *Dataset) N() int { return d.points.Rows }
+func (d *Dataset) N() int { return d.v.N() }
 
 // Dim returns the dimensionality.
-func (d *Dataset) Dim() int { return d.points.Cols }
+func (d *Dataset) Dim() int { return d.v.Dim() }
 
 // Point returns the i-th point (sharing storage; callers must not mutate).
-func (d *Dataset) Point(i int) linalg.Vector { return d.points.Row(i) }
+func (d *Dataset) Point(i int) linalg.Vector { return d.v.Point(i) }
 
 // PointCopy returns a copy of the i-th point.
-func (d *Dataset) PointCopy(i int) linalg.Vector { return d.points.RowCopy(i) }
+func (d *Dataset) PointCopy(i int) linalg.Vector { return d.v.PointCopy(i) }
 
 // ID returns the original row ID of the i-th point of this (possibly
 // subsetted, possibly re-projected) dataset.
-func (d *Dataset) ID(i int) int { return d.ids[i] }
+func (d *Dataset) ID(i int) int { return d.v.ID(i) }
 
 // IDs returns a copy of all original row IDs.
-func (d *Dataset) IDs() []int { return append([]int(nil), d.ids...) }
+func (d *Dataset) IDs() []int { return d.v.IDs() }
 
 // Labeled reports whether the dataset carries labels.
-func (d *Dataset) Labeled() bool { return d.labels != nil }
+func (d *Dataset) Labeled() bool { return d.v.Labeled() }
 
 // Label returns the label of the i-th point. It panics if the dataset is
 // unlabeled.
-func (d *Dataset) Label(i int) int {
-	if d.labels == nil {
-		panic("dataset: Label on unlabeled dataset")
-	}
-	return d.labels[i]
-}
+func (d *Dataset) Label(i int) int { return d.v.Label(i) }
 
 // SetAttrNames attaches attribute names (must match Dim).
 func (d *Dataset) SetAttrNames(names []string) error {
@@ -131,61 +117,64 @@ func (d *Dataset) AttrName(j int) string {
 	return fmt.Sprintf("attr%d", j)
 }
 
-// Matrix returns the underlying point matrix (shared storage).
-func (d *Dataset) Matrix() *linalg.Matrix { return d.points }
+// Matrix returns the dataset's points as a matrix. For a dataset backed
+// by a full identity view (the result of New, FromMatrix, ReadCSV, or
+// Clone) the matrix shares the store's backing array; subsets return a
+// fresh copy and projections return the view's memoized materialization.
+// Treat the result as read-only unless this dataset owns its store (a
+// Clone).
+func (d *Dataset) Matrix() *linalg.Matrix { return d.v.Coords() }
 
-// Subset returns a new dataset containing the rows at the given positions
-// (positions into this dataset, not original IDs). IDs and labels follow.
+// Subset returns a dataset viewing the rows at the given positions
+// (positions into this dataset, not original IDs). IDs and labels follow;
+// no point data is copied.
 func (d *Dataset) Subset(positions []int) (*Dataset, error) {
-	if len(positions) == 0 {
-		return nil, ErrEmpty
-	}
-	out := linalg.NewMatrix(len(positions), d.Dim())
-	ids := make([]int, len(positions))
-	var labels []int
-	if d.labels != nil {
-		labels = make([]int, len(positions))
-	}
-	for k, p := range positions {
-		if p < 0 || p >= d.N() {
-			return nil, fmt.Errorf("dataset: subset position %d out of range [0,%d)", p, d.N())
-		}
-		copy(out.Data[k*d.Dim():(k+1)*d.Dim()], d.points.Row(p))
-		ids[k] = d.ids[p]
-		if labels != nil {
-			labels[k] = d.labels[p]
-		}
-	}
-	return &Dataset{points: out, ids: ids, labels: labels, names: d.names}, nil
-}
-
-// ProjectInto returns a new dataset whose rows are the coordinates of this
-// dataset's points in the given subspace; IDs and labels are preserved.
-// This realizes the paper's D_new = Proj(D_c, E_new).
-func (d *Dataset) ProjectInto(s *linalg.Subspace) (*Dataset, error) {
-	m, err := s.ProjectRows(d.points)
+	nv, err := d.v.Narrow(positions)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{
-		points: m,
-		ids:    append([]int(nil), d.ids...),
-		labels: append([]int(nil), d.labels...),
-	}, nil
+	return &Dataset{v: nv, names: d.names}, nil
 }
 
-// Clone returns a deep copy.
-func (d *Dataset) Clone() *Dataset {
-	return &Dataset{
-		points: d.points.Clone(),
-		ids:    append([]int(nil), d.ids...),
-		labels: append([]int(nil), d.labels...),
-		names:  append([]string(nil), d.names...),
+// ProjectInto returns a dataset whose rows are the coordinates of this
+// dataset's points in the given subspace; IDs and labels are preserved.
+// This realizes the paper's D_new = Proj(D_c, E_new). The projection is
+// applied lazily at row access, with results bit-identical to an eager
+// copy.
+func (d *Dataset) ProjectInto(s *linalg.Subspace) (*Dataset, error) {
+	pv, err := d.v.Compose(s)
+	if err != nil {
+		return nil, err
 	}
+	return &Dataset{v: pv}, nil
+}
+
+// Clone returns a deep copy backed by its own detached store; mutating
+// the clone's matrix cannot affect this dataset or any view of it.
+func (d *Dataset) Clone() *Dataset {
+	n, dim := d.N(), d.Dim()
+	data := make([]float64, n*dim)
+	for i := 0; i < n; i++ {
+		copy(data[i*dim:(i+1)*dim], d.v.Point(i))
+	}
+	st := &Store{data: data, n: n, dim: dim, ids: d.v.IDs()}
+	if d.Labeled() {
+		st.labels = make([]int, n)
+		for i := range st.labels {
+			st.labels[i] = d.v.Label(i)
+		}
+	}
+	return &Dataset{v: &View{store: st}, names: append([]string(nil), d.names...)}
 }
 
 // Column returns a copy of attribute j across all points.
-func (d *Dataset) Column(j int) []float64 { return d.points.Col(j) }
+func (d *Dataset) Column(j int) []float64 {
+	out := make([]float64, d.N())
+	for i := range out {
+		out[i] = d.v.Point(i)[j]
+	}
+	return out
+}
 
 // Bounds returns per-dimension [min, max] over all points.
 func (d *Dataset) Bounds() (lo, hi linalg.Vector) {
@@ -210,9 +199,11 @@ func (d *Dataset) Bounds() (lo, hi linalg.Vector) {
 	return lo, hi
 }
 
-// NormalizeMinMax rescales every attribute to [0, 1] in place and returns
-// the transform applied, so queries can be mapped consistently. Constant
-// attributes are shifted to 0 and left with unit scale.
+// NormalizeMinMax rescales every attribute to [0, 1] and returns the
+// transform applied, so queries can be mapped consistently. Constant
+// attributes are shifted to 0 and left with unit scale. The dataset's
+// store is rebuilt copy-on-write: views obtained before the call keep
+// reading the untransformed values.
 func (d *Dataset) NormalizeMinMax() *AffineTransform {
 	lo, hi := d.Bounds()
 	dim := d.Dim()
@@ -230,14 +221,15 @@ func (d *Dataset) NormalizeMinMax() *AffineTransform {
 }
 
 // NormalizeZScore standardizes every attribute to zero mean and unit
-// variance in place and returns the transform. Constant attributes are
-// centered and left with unit scale.
+// variance and returns the transform. Constant attributes are centered
+// and left with unit scale. Copy-on-write like NormalizeMinMax.
 func (d *Dataset) NormalizeZScore() *AffineTransform {
 	dim := d.Dim()
 	tr := &AffineTransform{Offset: make([]float64, dim), Scale: make([]float64, dim)}
-	mean := d.points.Mean()
+	m := d.Matrix()
+	mean := m.Mean()
 	for j := 0; j < dim; j++ {
-		v := d.points.VarianceAlong(linalg.Basis(dim, j))
+		v := m.VarianceAlong(linalg.Basis(dim, j))
 		// VarianceAlong centers internally; recover raw second moment
 		// variance of the column.
 		tr.Offset[j] = mean[j]
@@ -251,11 +243,26 @@ func (d *Dataset) NormalizeZScore() *AffineTransform {
 	return tr
 }
 
+// applyTransform rebuilds the store with transformed rows and swaps the
+// dataset's view onto it. IDs and labels carry over, so the dataset is
+// indistinguishable from one transformed in place — except that other
+// views of the old store are unaffected.
 func (d *Dataset) applyTransform(tr *AffineTransform) {
-	for i := 0; i < d.N(); i++ {
-		row := d.points.Row(i)
+	n, dim := d.N(), d.Dim()
+	data := make([]float64, n*dim)
+	for i := 0; i < n; i++ {
+		row := data[i*dim : (i+1)*dim]
+		copy(row, d.v.Point(i))
 		tr.Apply(row)
 	}
+	st := &Store{data: data, n: n, dim: dim, ids: d.v.IDs()}
+	if d.Labeled() {
+		st.labels = make([]int, n)
+		for i := range st.labels {
+			st.labels[i] = d.v.Label(i)
+		}
+	}
+	d.v = &View{store: st}
 }
 
 // AffineTransform maps x ↦ (x − Offset) ⊙ Scale per dimension.
@@ -303,7 +310,7 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 			rec = append(rec, strconv.FormatFloat(x, 'g', -1, 64))
 		}
 		if d.Labeled() {
-			rec = append(rec, strconv.Itoa(d.labels[i]))
+			rec = append(rec, strconv.Itoa(d.Label(i)))
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("dataset: write row %d: %w", i, err)

@@ -1,0 +1,196 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"innsearch/internal/linalg"
+)
+
+// View is a lightweight window onto an immutable Store: an optional row
+// narrowing (the paper's "remove never-picked points") and an optional
+// fused subspace projection (the paper's D_new = Proj(D_c, E_new)),
+// neither of which copies point data. Views form chains — narrowing a
+// view remaps indices, composing a projection stacks a lazy stage on top
+// — and every view in the chain keeps resolving original row IDs and
+// labels through to the store.
+//
+// Projected views materialize their coordinates once, on first row
+// access, with exactly the float-operation order of the eager
+// Subspace.ProjectRows path, so results are bit-identical to projecting a
+// copy. Materialization is guarded by a sync.Once: views are safe for
+// concurrent readers at any worker count.
+//
+// A View never mutates its store; normalization and CSV loading — the
+// places a copy still happens — build fresh stores instead.
+type View struct {
+	store *Store
+	rows  []int // nil = all store rows; else view position → store row
+
+	// Projected views delegate everything positional to base and read
+	// coordinates from the lazily materialized mat.
+	base *View
+	proj *linalg.Subspace
+	once sync.Once
+	mat  *linalg.Matrix
+
+	// arena, when non-nil, supplies (and reclaims) the materialization
+	// buffer; see ComposeArena.
+	arena *Arena
+}
+
+// N returns the number of rows visible through the view.
+func (v *View) N() int {
+	if v.base != nil {
+		return v.base.N()
+	}
+	if v.rows != nil {
+		return len(v.rows)
+	}
+	return v.store.n
+}
+
+// Dim returns the dimensionality of the view's rows.
+func (v *View) Dim() int {
+	if v.proj != nil {
+		return v.proj.Dim()
+	}
+	return v.store.dim
+}
+
+// storeRow maps a view position to its store row (ambient views only).
+func (v *View) storeRow(i int) int {
+	if v.rows != nil {
+		return v.rows[i]
+	}
+	return i
+}
+
+// Point returns the i-th row of the view. Ambient views share the
+// store's backing array; projected views return a row of the memoized
+// materialization. Callers must not mutate the returned slice.
+func (v *View) Point(i int) linalg.Vector {
+	if v.base == nil {
+		return v.store.Row(v.storeRow(i))
+	}
+	return v.materialized().Row(i)
+}
+
+// PointCopy returns a copy of the i-th row.
+func (v *View) PointCopy(i int) linalg.Vector { return v.Point(i).Clone() }
+
+// ID returns the original row ID of the i-th row.
+func (v *View) ID(i int) int {
+	if v.base != nil {
+		return v.base.ID(i)
+	}
+	return v.store.ID(v.storeRow(i))
+}
+
+// IDs returns a fresh slice of all original row IDs, in view order.
+func (v *View) IDs() []int {
+	out := make([]int, v.N())
+	for i := range out {
+		out[i] = v.ID(i)
+	}
+	return out
+}
+
+// Labeled reports whether the underlying store carries labels.
+func (v *View) Labeled() bool { return v.store.Labeled() }
+
+// Label returns the label of the i-th row. It panics if the store is
+// unlabeled.
+func (v *View) Label(i int) int {
+	if v.base != nil {
+		return v.base.Label(i)
+	}
+	return v.store.Label(v.storeRow(i))
+}
+
+// Store returns the immutable store backing the view (through any chain
+// of narrowings and projections).
+func (v *View) Store() *Store { return v.store }
+
+// Narrow returns a view of the rows at the given positions (positions
+// into this view, not original IDs). No point data is copied: ambient
+// narrowing remaps store rows, and narrowing a projected view re-anchors
+// the projection chain on the narrowed base (each row's coordinates
+// depend only on its own base row, so values are unchanged).
+func (v *View) Narrow(positions []int) (*View, error) {
+	if len(positions) == 0 {
+		return nil, ErrEmpty
+	}
+	n := v.N()
+	for _, p := range positions {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("dataset: subset position %d out of range [0,%d)", p, n)
+		}
+	}
+	if v.base != nil {
+		nb, err := v.base.Narrow(positions)
+		if err != nil {
+			return nil, err
+		}
+		return &View{store: v.store, base: nb, proj: v.proj}, nil
+	}
+	rows := make([]int, len(positions))
+	for k, p := range positions {
+		rows[k] = v.storeRow(p)
+	}
+	return &View{store: v.store, rows: rows}, nil
+}
+
+// Compose returns a view whose rows are this view's rows projected into
+// sub (coordinates in sub's basis). The projection is applied lazily on
+// first row access; until then no point data is touched.
+func (v *View) Compose(sub *linalg.Subspace) (*View, error) {
+	if sub.Ambient() != v.Dim() {
+		return nil, fmt.Errorf("%w: rows have dim %d, ambient %d",
+			linalg.ErrDimensionMismatch, v.Dim(), sub.Ambient())
+	}
+	return &View{store: v.store, base: v, proj: sub}, nil
+}
+
+// materialized computes (once) the projected coordinates of every base
+// row, in exactly the order of Subspace.ProjectRows: rows outer, basis
+// vectors inner, each entry a single dot product. Safe for concurrent
+// callers.
+func (v *View) materialized() *linalg.Matrix {
+	v.once.Do(func() {
+		n := v.base.N()
+		l := v.proj.Dim()
+		var mat *linalg.Matrix
+		if v.arena != nil {
+			mat = &linalg.Matrix{Rows: n, Cols: l, Data: v.arena.take(n * l)}
+		} else {
+			mat = linalg.NewMatrix(n, l)
+		}
+		for i := 0; i < n; i++ {
+			row := v.base.Point(i)
+			for j := 0; j < l; j++ {
+				mat.Set(i, j, row.Dot(v.proj.BasisVector(j)))
+			}
+		}
+		v.mat = mat
+	})
+	return v.mat
+}
+
+// Coords returns the view's rows as a matrix. Projected views return
+// their memoized materialization and identity ambient views share the
+// store's backing array — both must be treated as read-only. Narrowed
+// ambient views return a fresh copy.
+func (v *View) Coords() *linalg.Matrix {
+	if v.base != nil {
+		return v.materialized()
+	}
+	if v.rows == nil {
+		return &linalg.Matrix{Rows: v.store.n, Cols: v.store.dim, Data: v.store.data}
+	}
+	out := linalg.NewMatrix(len(v.rows), v.store.dim)
+	for i := range v.rows {
+		copy(out.Data[i*v.store.dim:(i+1)*v.store.dim], v.store.Row(v.rows[i]))
+	}
+	return out
+}

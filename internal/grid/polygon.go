@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"innsearch/internal/kde"
 )
 
 // Line is a separating line through two distinct points, used by the
@@ -40,6 +42,12 @@ func PolygonSelect(xs, ys []float64, qx, qy float64, lines []Line) ([]int, error
 	if len(xs) != len(ys) {
 		return nil, fmt.Errorf("grid: polygon select length mismatch %d vs %d", len(xs), len(ys))
 	}
+	return PolygonSelectSource(slicesXY{xs, ys}, qx, qy, lines)
+}
+
+// PolygonSelectSource is PolygonSelect over a kde.XYSource — the
+// row-accessor form used to select directly from projected dataset views.
+func PolygonSelectSource(pts kde.XYSource, qx, qy float64, lines []Line) ([]int, error) {
 	sides := make([]float64, len(lines))
 	for i, l := range lines {
 		if !l.valid() {
@@ -52,15 +60,17 @@ func PolygonSelect(xs, ys []float64, qx, qy float64, lines []Line) ([]int, error
 			sides[i] = math.NaN()
 		}
 	}
+	n := pts.Len()
 	var out []int
 pointLoop:
-	for i := range xs {
+	for i := 0; i < n; i++ {
+		x, y := pts.XY(i)
 		for li, l := range lines {
 			ref := sides[li]
 			if math.IsNaN(ref) {
 				continue
 			}
-			if s := l.side(xs[i], ys[i]); s != 0 && (s > 0) != (ref > 0) {
+			if s := l.side(x, y); s != 0 && (s > 0) != (ref > 0) {
 				continue pointLoop
 			}
 		}

@@ -172,11 +172,26 @@ func (r *Region) SelectPointsContext(ctx context.Context, workers int, xs, ys []
 	if len(xs) != len(ys) {
 		panic(fmt.Sprintf("grid: SelectPoints length mismatch %d vs %d", len(xs), len(ys)))
 	}
-	shards := parallel.NumShards(workers, len(xs))
+	return r.SelectSourceContext(ctx, workers, slicesXY{xs, ys})
+}
+
+// slicesXY adapts a pair of coordinate slices to kde.XYSource.
+type slicesXY struct{ xs, ys []float64 }
+
+func (s slicesXY) Len() int                  { return len(s.xs) }
+func (s slicesXY) XY(i int) (float64, float64) { return s.xs[i], s.ys[i] }
+
+// SelectSourceContext is SelectPointsContext over a kde.XYSource — the
+// row-accessor form the engine feeds its projected dataset views through,
+// avoiding the per-call column copies of the slice API.
+func (r *Region) SelectSourceContext(ctx context.Context, workers int, pts kde.XYSource) ([]int, error) {
+	n := pts.Len()
+	shards := parallel.NumShards(workers, n)
 	parts := make([][]int, shards)
-	err := parallel.ForShards(ctx, workers, len(xs), func(_ context.Context, shard, lo, hi int) error {
+	err := parallel.ForShards(ctx, workers, n, func(_ context.Context, shard, lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			if r.ContainsPoint(xs[i], ys[i]) {
+			x, y := pts.XY(i)
+			if r.ContainsPoint(x, y) {
 				parts[shard] = append(parts[shard], i)
 			}
 		}

@@ -125,6 +125,24 @@ func (g *Grid) InterpAt(x, y float64) float64 {
 	return d00*(1-fx)*(1-fy) + d10*fx*(1-fy) + d01*(1-fx)*fy + d11*fx*fy
 }
 
+// XYSource yields 2-D coordinates by row index. It is the row-accessor
+// interface the density and selection layers accept so that dataset views
+// (or any other coordinate holder) can feed them without first being
+// copied into column slices or matrices.
+type XYSource interface {
+	Len() int
+	XY(i int) (x, y float64)
+}
+
+// MatrixXY adapts the first two columns of a matrix to XYSource.
+type MatrixXY struct{ M *linalg.Matrix }
+
+// Len returns the number of rows.
+func (s MatrixXY) Len() int { return s.M.Rows }
+
+// XY returns row i's first two columns.
+func (s MatrixXY) XY(i int) (float64, float64) { return s.M.At(i, 0), s.M.At(i, 1) }
+
 // Options tunes Estimate2D.
 type Options struct {
 	// GridSize is p, the number of grid points per axis (≥ MinGridSize).
@@ -178,19 +196,32 @@ func Estimate2D(points *linalg.Matrix, opts Options) (*Grid, error) {
 // evaluation checks ctx between row shards and returns the context's error
 // once canceled. Parallelism is controlled by Options.Workers.
 func Estimate2DContext(ctx context.Context, points *linalg.Matrix, opts Options) (*Grid, error) {
-	opts, err := opts.normalized()
-	if err != nil {
+	if _, err := opts.normalized(); err != nil {
 		return nil, err
 	}
 	if points.Cols != 2 {
 		return nil, fmt.Errorf("%w: points have %d columns, want 2", ErrBadInput, points.Cols)
 	}
-	n := points.Rows
+	return Estimate2DSourceContext(ctx, MatrixXY{M: points}, opts)
+}
+
+// Estimate2DSourceContext is Estimate2DContext over an XYSource: the same
+// estimate — same bandwidths, bounds, and densities, bit for bit — without
+// requiring the coordinates to live in a matrix.
+func Estimate2DSourceContext(ctx context.Context, points XYSource, opts Options) (*Grid, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	n := points.Len()
 	if n == 0 {
 		return nil, fmt.Errorf("%w: no points", ErrBadInput)
 	}
-	xs := points.Col(0)
-	ys := points.Col(1)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = points.XY(i)
+	}
 	for i := range xs {
 		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
 			return nil, fmt.Errorf("%w: non-finite coordinate at row %d", ErrBadInput, i)

@@ -12,14 +12,33 @@ import (
 	"fmt"
 	"sort"
 
-	"innsearch/internal/dataset"
+	"innsearch/internal/linalg"
 	"innsearch/internal/metric"
 )
 
 // ErrBadK is returned when k is not positive.
 var ErrBadK = errors.New("knn: k must be positive")
 
-// Neighbor is one search result: the position of the point in the dataset
+// Source is the row-accessor interface the search functions scan: any
+// indexed collection of points with original row IDs. Both
+// *dataset.Dataset and *dataset.View satisfy it, so searches run directly
+// over shared immutable stores and narrowed views without copying points.
+type Source interface {
+	N() int
+	Dim() int
+	Point(i int) linalg.Vector
+	ID(i int) int
+}
+
+// LabeledSource extends Source with per-row class labels, as required by
+// the classification baselines.
+type LabeledSource interface {
+	Source
+	Labeled() bool
+	Label(i int) int
+}
+
+// Neighbor is one search result: the position of the point in the source
 // it was searched in, its original ID, and its distance from the query.
 type Neighbor struct {
 	Pos  int
@@ -44,8 +63,8 @@ func (h *maxHeap) Pop() interface{} {
 
 // Search returns the k nearest neighbors of query in ds under m, ordered
 // by increasing distance (ties broken by position for determinism). When
-// k exceeds the dataset size, all points are returned.
-func Search(ds *dataset.Dataset, query []float64, k int, m metric.Metric) ([]Neighbor, error) {
+// k exceeds the source size, all points are returned.
+func Search(ds Source, query []float64, k int, m metric.Metric) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, ErrBadK
 	}
@@ -78,7 +97,7 @@ func Search(ds *dataset.Dataset, query []float64, k int, m metric.Metric) ([]Nei
 // Distances returns the distance from query to every point of ds under m,
 // indexed by position. It is the building block for the contrast
 // diagnostics.
-func Distances(ds *dataset.Dataset, query []float64, m metric.Metric) ([]float64, error) {
+func Distances(ds Source, query []float64, m metric.Metric) ([]float64, error) {
 	if len(query) != ds.Dim() {
 		return nil, fmt.Errorf("knn: query dim %d, dataset dim %d", len(query), ds.Dim())
 	}
@@ -91,8 +110,8 @@ func Distances(ds *dataset.Dataset, query []float64, m metric.Metric) ([]float64
 
 // Classify predicts a label for the query by majority vote among its k
 // nearest neighbors under m; ties break toward the smaller label for
-// determinism. The dataset must be labeled.
-func Classify(ds *dataset.Dataset, query []float64, k int, m metric.Metric) (int, error) {
+// determinism. The source must be labeled.
+func Classify(ds LabeledSource, query []float64, k int, m metric.Metric) (int, error) {
 	if !ds.Labeled() {
 		return 0, errors.New("knn: classify on unlabeled dataset")
 	}
@@ -114,9 +133,9 @@ func Classify(ds *dataset.Dataset, query []float64, k int, m metric.Metric) (int
 }
 
 // VoteAmong predicts a label by majority vote over an explicit set of
-// dataset positions (used to classify from an interactive session's
+// source positions (used to classify from an interactive session's
 // result set). Ties break toward the smaller label.
-func VoteAmong(ds *dataset.Dataset, positions []int) (int, error) {
+func VoteAmong(ds LabeledSource, positions []int) (int, error) {
 	if !ds.Labeled() {
 		return 0, errors.New("knn: vote on unlabeled dataset")
 	}

@@ -158,6 +158,27 @@ func (s *Subspace) PDist(x1, x2 Vector) float64 {
 	return math.Sqrt(sum)
 }
 
+// ProjDistTo returns the Euclidean distance between coords — a point
+// already expressed in the subspace basis, i.e. Proj(q, E) — and the
+// projection of the ambient point x, without materializing Proj(x, E).
+// It performs exactly the operations of coords.Dist(s.Project(x)) in the
+// same order, so results are bit-identical to the allocating form; this
+// is the engine's per-point distance in the query-cluster scans.
+func (s *Subspace) ProjDistTo(coords, x Vector) float64 {
+	if len(coords) != len(s.basis) {
+		panic(fmt.Sprintf("linalg: ProjDistTo coords dim %d, subspace dim %d", len(coords), len(s.basis)))
+	}
+	if len(x) != s.ambient {
+		panic(fmt.Sprintf("linalg: ProjDistTo point dim %d, ambient %d", len(x), s.ambient))
+	}
+	var sum float64
+	for j, b := range s.basis {
+		d := coords[j] - x.Dot(b)
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
 // Complement returns the orthogonal complement of s within the subspace
 // whole (i.e. whole ⊖ s, the paper's E_new = E_c − E_p). Every basis vector
 // of s must lie in whole; the result has dimension whole.Dim() − s.Dim().

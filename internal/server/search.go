@@ -44,7 +44,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.BatchSearches.Add(1)
 	s.metrics.BatchQueries.Add(int64(len(queries)))
+	s.metrics.LiveSessionViews.Add(int64(len(queries)))
 	results, errs, err := core.SearchBatch(r.Context(), ds, queries, users, cfg)
+	s.metrics.LiveSessionViews.Add(-int64(len(queries)))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -44,8 +44,10 @@ import (
 // Config tunes a server. Zero values take the documented defaults.
 type Config struct {
 	// Datasets maps the names clients address to preloaded datasets.
-	// Datasets are read-only once registered (every session clones its
-	// working copy).
+	// Datasets are read-only once registered. Sessions read them through
+	// lightweight views of their immutable point stores, so any number of
+	// concurrent sessions share the single resident copy of each dataset;
+	// per-session memory no longer scales with N·d.
 	Datasets map[string]*dataset.Dataset
 	// MaxSessions bounds concurrently live sessions; creation beyond it
 	// is refused with 429 (default 64).
@@ -103,6 +105,9 @@ type Server struct {
 	mux     *http.ServeMux
 	base    context.Context
 	stop    context.CancelFunc
+	// residentBytes is the summed footprint of the preloaded immutable
+	// point stores, exported as the resident_dataset_bytes gauge.
+	residentBytes int64
 }
 
 // New validates the configuration and starts the store's TTL sweeper.
@@ -111,19 +116,22 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Datasets) == 0 {
 		return nil, errors.New("server: no datasets configured")
 	}
+	var residentBytes int64
 	for name, ds := range cfg.Datasets {
 		if ds == nil || ds.N() == 0 {
 			return nil, fmt.Errorf("server: dataset %q is empty", name)
 		}
+		residentBytes += ds.Store().Bytes()
 	}
 	m := &metrics{}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		store:   newStore(cfg.MaxSessions, cfg.SessionTTL, cfg.SweepInterval, m),
-		metrics: m,
-		base:    base,
-		stop:    stop,
+		cfg:           cfg,
+		store:         newStore(cfg.MaxSessions, cfg.SessionTTL, cfg.SweepInterval, m),
+		metrics:       m,
+		base:          base,
+		stop:          stop,
+		residentBytes: residentBytes,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -213,7 +221,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.store.active(), s.store.isDraining()))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.store.active(), s.store.isDraining(), s.residentBytes))
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -345,8 +353,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.SessionsCreated.Add(1)
+	s.metrics.LiveSessionViews.Add(1)
 
 	go func() {
+		defer s.metrics.LiveSessionViews.Add(-1)
 		res, runErr := engine.RunContext(ctx)
 		if runErr != nil {
 			// Surface the cancellation cause (view timeout, eviction,

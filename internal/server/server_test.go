@@ -274,12 +274,18 @@ func TestConcurrentSessions(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	v := srv.metrics.snapshot(srv.store.active(), false)
+	v := srv.metrics.snapshot(srv.store.active(), false, srv.residentBytes)
 	if v.SessionsDone != sessions {
 		t.Errorf("varz sessions_done = %d, want %d", v.SessionsDone, sessions)
 	}
 	if v.Decisions == 0 || v.ViewLatency.Count != v.Decisions {
 		t.Errorf("varz decisions = %d, latency count = %d", v.Decisions, v.ViewLatency.Count)
+	}
+	if v.ResidentDatasetBytes <= 0 {
+		t.Errorf("varz resident_dataset_bytes = %d, want > 0", v.ResidentDatasetBytes)
+	}
+	if v.LiveSessionViews != 0 {
+		t.Errorf("varz live_session_views = %d after all sessions finished, want 0", v.LiveSessionViews)
 	}
 }
 

@@ -21,6 +21,11 @@ type metrics struct {
 	Previews          atomic.Int64
 	BatchSearches     atomic.Int64
 	BatchQueries      atomic.Int64
+	// LiveSessionViews gauges dataset views currently held open by running
+	// sessions (interactive and batch). Together with the resident-bytes
+	// gauge it makes the zero-copy data plane observable: views climb with
+	// load while resident dataset bytes stay flat.
+	LiveSessionViews atomic.Int64
 
 	viewLatency latencySummary
 }
@@ -77,10 +82,15 @@ type varz struct {
 	Previews          int64       `json:"previews"`
 	BatchSearches     int64       `json:"batch_searches"`
 	BatchQueries      int64       `json:"batch_queries"`
-	ViewLatency       latencyVarz `json:"view_latency"`
+	// ResidentDatasetBytes is the memory held by the preloaded immutable
+	// point stores — the only full point-data copies in the process.
+	ResidentDatasetBytes int64 `json:"resident_dataset_bytes"`
+	// LiveSessionViews counts dataset views open in running sessions.
+	LiveSessionViews int64       `json:"live_session_views"`
+	ViewLatency      latencyVarz `json:"view_latency"`
 }
 
-func (m *metrics) snapshot(active int, draining bool) varz {
+func (m *metrics) snapshot(active int, draining bool, residentBytes int64) varz {
 	return varz{
 		ActiveSessions:    active,
 		Draining:          draining,
@@ -96,6 +106,9 @@ func (m *metrics) snapshot(active int, draining bool) varz {
 		Previews:          m.Previews.Load(),
 		BatchSearches:     m.BatchSearches.Load(),
 		BatchQueries:      m.BatchQueries.Load(),
-		ViewLatency:       m.viewLatency.snapshot(),
+
+		ResidentDatasetBytes: residentBytes,
+		LiveSessionViews:     m.LiveSessionViews.Load(),
+		ViewLatency:          m.viewLatency.snapshot(),
 	}
 }
