@@ -12,6 +12,11 @@
 //	innsearch -in data.csv [-query 0] [-user human|heuristic|oracle]
 //	          [-support 0] [-mode axis|arbitrary|auto] [-grid 48]
 //	          [-iters 3] [-workers 0] [-transcript session.json]
+//	          [-trace events.jsonl]
+//
+// -trace streams the engine's typed telemetry events (session boundaries,
+// iteration timings, projection and KDE builds, decision waits) as JSONL;
+// summarize with `profileviz -trace` or jq.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
+	"innsearch/internal/telemetry"
 	"innsearch/internal/user"
 )
 
@@ -36,6 +42,7 @@ func main() {
 		workers       = flag.Int("workers", 0, "engine worker goroutines (0 = all cores; results are bit-identical at any count)")
 		transcriptOut = flag.String("transcript", "", "record the session transcript (JSON) to this path")
 		normalize     = flag.String("normalize", "none", "attribute normalization: none, minmax, zscore")
+		tracePath     = flag.String("trace", "", "append engine trace events as JSONL to this path (- for stderr)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -105,6 +112,16 @@ func main() {
 	var transcript *core.Transcript
 	if *transcriptOut != "" {
 		transcript, cfg.Observer = core.NewTranscript(true)
+	}
+	if *tracePath != "" {
+		if *tracePath == "-" {
+			cfg.Tracer = telemetry.NewJSONL(os.Stderr)
+		} else {
+			f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			fatalIf(err)
+			defer f.Close()
+			cfg.Tracer = telemetry.NewJSONL(f)
+		}
 	}
 	sess, err := core.NewSession(ds, q, u, cfg)
 	fatalIf(err)

@@ -12,6 +12,14 @@
 //	           [-max-sessions 64] [-session-ttl 10m] [-view-timeout 5m]
 //	           [-long-poll 30s] [-workers 1] [-batch-workers 0]
 //	           [-drain-timeout 30s]
+//	           [-log text|json|off] [-trace events.jsonl]
+//	           [-debug-addr localhost:7208]
+//
+// Observability (see DESIGN.md "Observability"): every request gets an
+// X-Request-Id and one structured log line; GET /metrics serves Prometheus
+// text and GET /varz the JSON counters; -trace streams every engine trace
+// event as JSONL; -debug-addr exposes net/http/pprof on a separate
+// listener that should stay private.
 //
 // Synthetic kinds: case1 (axis-parallel projected clusters, the paper's
 // first workload), case2 (arbitrarily oriented), uniform, gaussmix. With
@@ -27,8 +35,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -39,6 +49,7 @@ import (
 	"innsearch/internal/dataset"
 	"innsearch/internal/server"
 	"innsearch/internal/synth"
+	"innsearch/internal/telemetry"
 )
 
 // repeatedFlag collects every occurrence of a repeatable -flag.
@@ -61,6 +72,9 @@ func main() {
 		workers      = flag.Int("workers", 1, "default engine workers per session (parallelism lives across sessions)")
 		batchWorkers = flag.Int("batch-workers", 0, "concurrent sessions per /v1/search call (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		logMode      = flag.String("log", "json", "request log format: json, text, or off")
+		tracePath    = flag.String("trace", "", "append engine trace events as JSONL to this file (- for stderr)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (keep private; empty disables)")
 	)
 	flag.Var(&dataSpecs, "data", "preload a CSV dataset as name=path (repeatable)")
 	flag.Var(&synthSpecs, "synth", "preload a synthetic dataset as name=kind[:n=N][:d=D][:seed=S] (repeatable; kinds: case1, case2, uniform, gaussmix)")
@@ -94,6 +108,16 @@ func main() {
 		fmt.Println("innsearchd: no -data/-synth given; preloaded synthetic dataset \"demo\" (case1, n=2000)")
 	}
 
+	logger, err := buildLogger(*logMode)
+	if err != nil {
+		fatal(err)
+	}
+	trace, closeTrace, err := buildTrace(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeTrace()
+
 	srv, err := server.New(server.Config{
 		Datasets:       datasets,
 		MaxSessions:    *maxSessions,
@@ -102,11 +126,17 @@ func main() {
 		LongPollWait:   *longPoll,
 		SessionWorkers: *workers,
 		BatchWorkers:   *batchWorkers,
+		Logger:         logger,
+		Trace:          trace,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -138,6 +168,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "innsearchd: shutdown:", err)
 	}
 	fmt.Fprintln(os.Stderr, "innsearchd: bye")
+}
+
+// buildLogger constructs the request logger: json (the default, one JSON
+// object per request on stderr), text, or off.
+func buildLogger(mode string) (*slog.Logger, error) {
+	switch mode {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("-log %q: want json, text, or off", mode)
+	}
+}
+
+// buildTrace opens the JSONL trace sink; "-" streams to stderr. The
+// returned closer flushes the file on shutdown.
+func buildTrace(path string) (telemetry.Tracer, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return telemetry.NewJSONL(os.Stderr), func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-trace: %w", err)
+	}
+	return telemetry.NewJSONL(f), func() { _ = f.Close() }, nil
+}
+
+// serveDebug exposes net/http/pprof on its own listener so profiling
+// never shares a port with the public API. The mux is explicit — the
+// package's init() side effects on http.DefaultServeMux are not relied
+// on — and the listener has no auth, so bind it to localhost or a
+// private interface only.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(os.Stderr, "innsearchd: pprof on http://%s/debug/pprof/\n", addr)
+	if err := s.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "innsearchd: debug listener:", err)
+	}
 }
 
 // parseSynthSpec reads "name=kind[:n=N][:d=D][:seed=S]".

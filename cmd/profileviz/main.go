@@ -8,6 +8,12 @@
 //
 //	profileviz -in data.csv [-query 0] [-axis] [-grid 48]
 //	           [-png profile.png] [-svg lateral.svg] [-tau-frac 0.5]
+//	profileviz -trace events.jsonl
+//
+// The second form summarizes a JSONL engine trace (written by innsearch
+// -trace or innsearchd -trace): per-session stage timings, per-iteration
+// breakdowns, and decision waits — the operator's view of where an
+// interactive session spent its time.
 package main
 
 import (
@@ -15,10 +21,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
 	"innsearch/internal/kde"
+	"innsearch/internal/telemetry"
 	"innsearch/internal/viz"
 )
 
@@ -33,10 +41,15 @@ func main() {
 		surfOut = flag.String("surface", "", "write an SVG 3-D density surface to this path")
 		tauFrac = flag.Float64("tau-frac", 0.5, "density separator height as a fraction of the query density (for the ASCII overlay)")
 		seed    = flag.Int64("seed", 1, "random seed for lateral sampling")
+		traceIn = flag.String("trace", "", "summarize a JSONL engine trace instead of rendering a profile (- for stdin)")
 	)
 	flag.Parse()
+	if *traceIn != "" {
+		fatalIf(summarizeTrace(*traceIn))
+		return
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "profileviz: -in is required")
+		fmt.Fprintln(os.Stderr, "profileviz: -in or -trace is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -97,6 +110,121 @@ func main() {
 			QueryX: profile.QueryX, QueryY: profile.QueryY,
 		}))
 		fmt.Println("wrote", *svgOut)
+	}
+}
+
+// traceStats accumulates one duration series of a trace summary.
+type traceStats struct {
+	count int
+	sum   float64
+	max   float64
+}
+
+func (s *traceStats) add(ms float64) {
+	s.count++
+	s.sum += ms
+	if ms > s.max {
+		s.max = ms
+	}
+}
+
+func (s traceStats) String() string {
+	if s.count == 0 {
+		return "      —"
+	}
+	return fmt.Sprintf("n=%-4d total %9.1fms  mean %8.2fms  max %8.2fms",
+		s.count, s.sum, s.sum/float64(s.count), s.max)
+}
+
+// summarizeTrace groups a JSONL trace by session and prints per-stage
+// timing rollups plus a per-iteration table for each session.
+func summarizeTrace(path string) error {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("no events in %s", path)
+	}
+	// Group by session ID; events without one (single-session CLI traces)
+	// share the "" group.
+	bySession := map[string][]telemetry.Event{}
+	for _, e := range events {
+		bySession[e.Session] = append(bySession[e.Session], e)
+	}
+	ids := make([]string, 0, len(bySession))
+	for id := range bySession {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		printSessionSummary(id, bySession[id])
+	}
+	return nil
+}
+
+func printSessionSummary(id string, events []telemetry.Event) {
+	label := id
+	if label == "" {
+		label = "(untagged)"
+	}
+	stages := map[telemetry.EventType]*traceStats{}
+	stage := func(t telemetry.EventType) *traceStats {
+		s, ok := stages[t]
+		if !ok {
+			s = &traceStats{}
+			stages[t] = s
+		}
+		return s
+	}
+	var start, end *telemetry.Event
+	var dropped int
+	for i := range events {
+		e := events[i]
+		switch e.Type {
+		case telemetry.EventSessionStart:
+			start = &events[i]
+		case telemetry.EventSessionEnd:
+			end = &events[i]
+		case telemetry.EventPointsDropped:
+			dropped += e.Dropped
+		default:
+			stage(e.Type).add(e.DurationMS)
+		}
+	}
+	fmt.Printf("session %s", label)
+	if start != nil {
+		fmt.Printf("  n=%d dim=%d workers=%d family=%s", start.N, start.Dim, start.Workers, start.Family)
+	}
+	fmt.Println()
+	for _, t := range []telemetry.EventType{
+		telemetry.EventIteration, telemetry.EventProjection, telemetry.EventKDEBuild,
+		telemetry.EventView, telemetry.EventDecisionWait, telemetry.EventSelect,
+	} {
+		if s, ok := stages[t]; ok {
+			fmt.Printf("  %-14s %s\n", t, s)
+		}
+	}
+	fmt.Printf("  points dropped  %d\n", dropped)
+	if end != nil {
+		verdict := "hit iteration cap"
+		if end.Converged {
+			verdict = "converged"
+		}
+		if end.Err != "" {
+			verdict = "failed: " + end.Err
+		}
+		fmt.Printf("  end: %d iterations, %d/%d views answered, %s, %.1fms total\n",
+			end.Iterations, end.ViewsAnswered, end.ViewsShown, verdict, end.DurationMS)
 	}
 }
 

@@ -75,11 +75,23 @@ func (p *VisualProfile) SelectAt(tau float64) ([]int, error) {
 // count (≤ 0 means GOMAXPROCS) for the per-point membership pass. The
 // selection is identical at any worker count.
 func (p *VisualProfile) SelectAtContext(ctx context.Context, workers int, tau float64) ([]int, error) {
+	pos, _, err := p.selectAtRegion(ctx, workers, tau)
+	return pos, err
+}
+
+// selectAtRegion is SelectAtContext exposing the region it computed, so
+// the session's select trace events can report region statistics (member
+// cells, rectangles examined) without a second breadth-first search.
+func (p *VisualProfile) selectAtRegion(ctx context.Context, workers int, tau float64) ([]int, *grid.Region, error) {
 	reg, err := p.Region(tau)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return reg.SelectSourceContext(ctx, workers, kde.MatrixXY{M: p.Points})
+	pos, err := reg.SelectSourceContext(ctx, workers, kde.MatrixXY{M: p.Points})
+	if err != nil {
+		return nil, nil, err
+	}
+	return pos, reg, nil
 }
 
 // Decision is the user's answer to one visual profile: either skip the

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"innsearch/internal/dataset"
 	"innsearch/internal/grid"
 	"innsearch/internal/kde"
 	"innsearch/internal/linalg"
 	"innsearch/internal/stats"
+	"innsearch/internal/telemetry"
 )
 
 // ProjectionMode selects the family of projections a session searches.
@@ -80,6 +82,16 @@ type Config struct {
 	Diagnosis DiagnosisConfig
 	// Observer, when non-nil, receives progress callbacks.
 	Observer Observer
+	// Tracer, when non-nil, receives typed telemetry events for every
+	// stage of the session: session start/end, major-iteration boundaries
+	// with convergence overlap, per-projection subspace-determination
+	// timing, KDE grid builds, separator-decision wait time, density
+	// selections, and per-iteration pruning. Nil (the default) is a
+	// supported no-op: no clock reads, no allocations, no events. All
+	// events are emitted from the session's driving goroutine, so with a
+	// deterministic tracer clock the stream is byte-identical at any
+	// worker count.
+	Tracer telemetry.Tracer
 }
 
 func (c Config) withDefaults(n, d int) Config {
@@ -199,6 +211,14 @@ type Session struct {
 	converged bool
 	finished  bool
 
+	// tr is the nil-safe tracer wrapper; traceStarted/traceEnded make the
+	// session_start and session_end events exactly-once across Step calls
+	// and error paths, and traceBegan anchors the session_end duration.
+	tr           tracer
+	traceStarted bool
+	traceEnded   bool
+	traceBegan   time.Time
+
 	// autoChoice is ModeAuto's family pick for the current major
 	// iteration (set at the first minor iteration, reused afterwards):
 	// one arbitrary view re-coordinatizes the complement into mixtures
@@ -230,6 +250,7 @@ func NewSession(ds *dataset.Dataset, query []float64, user User, cfg Config) (*S
 	}
 	return &Session{
 		cfg:       cfg.withDefaults(ds.N(), ds.Dim()),
+		tr:        tracer{t: cfg.Tracer},
 		user:      user,
 		data:      ds.View(),
 		query:     linalg.Vector(query).Clone(),
@@ -279,24 +300,104 @@ func (s *Session) StepContext(ctx context.Context) (done bool, err error) {
 		return true, nil
 	}
 	if err := ctx.Err(); err != nil {
+		s.traceEnd(err)
 		return false, err
 	}
+	s.traceStart()
+	var iterStart time.Time
+	if s.tr.enabled() {
+		iterStart = s.tr.now()
+	}
 	if err := s.runMajorIteration(ctx); err != nil {
+		s.traceEnd(err)
 		return false, err
 	}
 	top := s.topIDs(s.cfg.Support)
+	// Overlap is computed once and reused by both the trace event and the
+	// termination test so the two can never disagree.
+	overlap := -1.0
+	if s.prevTop != nil {
+		overlap = stats.Overlap(s.prevTop, top)
+	}
+	if s.tr.enabled() {
+		e := telemetry.Event{
+			Type:       telemetry.EventIteration,
+			Major:      s.iter,
+			DurationMS: s.tr.since(iterStart),
+			N:          s.data.N(),
+			Dim:        s.data.Dim(),
+		}
+		if overlap >= 0 {
+			e.Overlap = overlap
+		}
+		s.tr.emit(e)
+	}
 	if s.iter >= s.cfg.MinMajorIterations && s.prevTop != nil &&
-		stats.Overlap(s.prevTop, top) >= s.cfg.OverlapThreshold {
+		overlap >= s.cfg.OverlapThreshold {
 		s.converged = true
 		s.finished = true
+		s.traceEnd(nil)
 		return true, nil
 	}
 	s.prevTop = top
 	if s.iter >= s.cfg.MaxMajorIterations || s.data.N() < 2 || s.data.Dim() < 2 {
 		s.finished = true
+		s.traceEnd(nil)
 		return true, nil
 	}
 	return false, nil
+}
+
+// traceStart emits the session_start event exactly once, on the first
+// iteration actually driven.
+func (s *Session) traceStart() {
+	if !s.tr.enabled() || s.traceStarted {
+		return
+	}
+	s.traceStarted = true
+	s.traceBegan = s.tr.now()
+	s.tr.emit(telemetry.Event{
+		Type:    telemetry.EventSessionStart,
+		N:       s.data.N(),
+		Dim:     s.data.Dim(),
+		Workers: s.cfg.Workers,
+		Family:  s.cfg.Mode.traceName(),
+	})
+}
+
+// traceEnd emits the session_end event exactly once; err non-nil marks an
+// aborted session. A session whose tracer never saw session_start (e.g.
+// canceled before the first step) emits nothing.
+func (s *Session) traceEnd(err error) {
+	if !s.tr.enabled() || !s.traceStarted || s.traceEnded {
+		return
+	}
+	s.traceEnded = true
+	e := telemetry.Event{
+		Type:          telemetry.EventSessionEnd,
+		DurationMS:    s.tr.since(s.traceBegan),
+		Iterations:    s.iter,
+		Converged:     s.converged,
+		ViewsShown:    s.viewsShown,
+		ViewsAnswered: s.viewsAnswered,
+		N:             s.data.N(),
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	s.tr.emit(e)
+}
+
+// traceName renders the projection mode for the session_start event.
+func (m ProjectionMode) traceName() string {
+	switch m {
+	case ModeAxis:
+		return "axis"
+	case ModeAuto:
+		return "auto"
+	default:
+		return "arbitrary"
+	}
 }
 
 // Result ranks the current meaningfulness probabilities and diagnoses
@@ -346,15 +447,33 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 		if !decision.Skip {
 			s.viewsAnswered++
 			var positions []int
+			var selStart time.Time
+			if s.tr.enabled() {
+				selStart = s.tr.now()
+			}
 			if len(decision.Lines) > 0 {
 				positions, err = profile.SelectLines(decision.Lines)
 				if err != nil {
 					return fmt.Errorf("core: polygonal selection: %w", err)
 				}
+				if s.tr.enabled() {
+					s.tr.emit(telemetry.Event{
+						Type: telemetry.EventSelect, Major: s.iter, Minor: minor,
+						DurationMS: s.tr.since(selStart), Picked: len(positions),
+					})
+				}
 			} else {
-				positions, err = profile.SelectAtContext(ctx, s.cfg.Workers, decision.Tau)
+				var reg *grid.Region
+				positions, reg, err = profile.selectAtRegion(ctx, s.cfg.Workers, decision.Tau)
 				if err != nil {
 					return fmt.Errorf("core: select at τ=%v: %w", decision.Tau, err)
+				}
+				if s.tr.enabled() {
+					s.tr.emit(telemetry.Event{
+						Type: telemetry.EventSelect, Major: s.iter, Minor: minor,
+						DurationMS: s.tr.since(selStart), Tau: decision.Tau,
+						Cells: reg.Cells, Examined: reg.Examined, Picked: len(positions),
+					})
 				}
 			}
 			w := decision.Weight
@@ -412,6 +531,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 	for _, p := range picks {
 		totalPicked += p.Picked
 	}
+	dropped := 0
 	if totalPicked > 0 {
 		var keep []int
 		for pos := range counts {
@@ -425,7 +545,16 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 				return fmt.Errorf("core: prune: %w", err)
 			}
 			s.data = kept
+			dropped = n - len(keep)
 		}
+	}
+	if s.tr.enabled() {
+		s.tr.emit(telemetry.Event{
+			Type:    telemetry.EventPointsDropped,
+			Major:   s.iter,
+			Dropped: dropped,
+			N:       s.data.N(),
+		})
 	}
 	return nil
 }
@@ -465,6 +594,14 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 	var cands []candidate
 	for _, axis := range families {
 		psearch.AxisParallel = axis
+		family := "arbitrary"
+		if axis {
+			family = "axis"
+		}
+		var t0 time.Time
+		if s.tr.enabled() {
+			t0 = s.tr.now()
+		}
 		proj, err := findProjectionDim(ctx, dc, qc, psearch, 2, &s.scratch)
 		if err != nil {
 			if len(families) > 1 && ctx.Err() == nil {
@@ -472,10 +609,20 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 			}
 			return nil, Decision{}, err
 		}
+		var t1 time.Time
+		if s.tr.enabled() {
+			t1 = s.tr.now()
+			s.tr.emit(telemetry.Event{
+				Type: telemetry.EventProjection, Major: s.iter, Minor: minor,
+				Family: family, Dim: dc.Dim(), N: dc.N(),
+				DurationMS: float64(t1.Sub(t0)) / float64(time.Millisecond),
+			})
+		}
 		profile, err := buildProfile(ctx, dc, qc, proj, psearch.Support, kde.Options{
 			GridSize:       s.cfg.GridSize,
 			BandwidthScale: s.cfg.BandwidthScale,
 			Workers:        s.cfg.Workers,
+			Clock:          s.tr.clock(),
 		}, &s.scratch)
 		if err != nil {
 			return nil, Decision{}, err
@@ -483,6 +630,21 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 		profile.Major = s.iter
 		profile.Minor = minor
 		profile.OriginalN = s.originalN
+		var t2 time.Time
+		if s.tr.enabled() {
+			t2 = s.tr.now()
+			s.tr.emit(telemetry.Event{
+				Type: telemetry.EventKDEBuild, Major: s.iter, Minor: minor,
+				GridSize: profile.Grid.P, N: dc.N(),
+				DurationMS: float64(t2.Sub(t1)) / float64(time.Millisecond),
+				KDEBuildMS: float64(profile.Grid.BuildTime) / float64(time.Millisecond),
+			})
+			s.tr.emit(telemetry.Event{
+				Type: telemetry.EventView, Major: s.iter, Minor: minor,
+				Family: family, N: dc.N(), Dim: dc.Dim(),
+				DurationMS: float64(t2.Sub(t0)) / float64(time.Millisecond),
+			})
+		}
 		decision := s.user.SeparateCluster(profile, func(tau float64) *grid.Region {
 			reg, err := profile.Region(tau)
 			if err != nil {
@@ -490,6 +652,13 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 			}
 			return reg
 		})
+		if s.tr.enabled() {
+			s.tr.emit(telemetry.Event{
+				Type: telemetry.EventDecisionWait, Major: s.iter, Minor: minor,
+				Family: family, Skipped: decision.Skip,
+				DurationMS: s.tr.since(t2),
+			})
+		}
 		cands = append(cands, candidate{profile, decision, axis})
 	}
 	if len(cands) == 0 {

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"time"
+
+	"innsearch/internal/telemetry"
+)
+
+// tracer is the session's nil-safe view of the configured
+// telemetry.Tracer. Every method is a no-op — no clock read, no event
+// construction — when no tracer is configured, so an untraced session
+// runs the exact instruction stream it ran before instrumentation
+// (enforced by BenchmarkFullSessionNoopTracer against the seed numbers).
+//
+// All methods run on the session's driving goroutine; durations are
+// measured against the tracer's own clock so tests can substitute a
+// deterministic one and obtain byte-identical JSONL streams at any worker
+// count.
+type tracer struct {
+	t telemetry.Tracer
+}
+
+// enabled reports whether events are being collected.
+func (tr tracer) enabled() bool { return tr.t != nil }
+
+// now reads the tracer's clock; callers must only use the result when
+// enabled() (the zero time otherwise).
+func (tr tracer) now() time.Time {
+	if tr.t == nil {
+		return time.Time{}
+	}
+	return tr.t.Now()
+}
+
+// since converts the elapsed time from start to event milliseconds.
+func (tr tracer) since(start time.Time) float64 {
+	return float64(tr.now().Sub(start)) / float64(time.Millisecond)
+}
+
+// clock exposes the underlying clock func for subsystems that time
+// themselves (kde.Options.Clock); nil when tracing is off.
+func (tr tracer) clock() func() time.Time {
+	if tr.t == nil {
+		return nil
+	}
+	return tr.t.Now
+}
+
+// emit forwards one event when tracing is on.
+func (tr tracer) emit(e telemetry.Event) {
+	if tr.t != nil {
+		tr.t.Emit(e)
+	}
+}

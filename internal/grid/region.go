@@ -32,6 +32,11 @@ type Region struct {
 	// Cells is the number of member rectangles (0 when even the query's
 	// own rectangle fails the corner test).
 	Cells int
+	// Examined counts the rectangles whose corner test ran during the
+	// breadth-first search — the region search's work metric, surfaced in
+	// select trace events so operators can see how much of the grid a
+	// separator setting explores.
+	Examined int
 }
 
 // FindRegion computes R(τ, Q) by breadth-first search from the rectangle
@@ -55,6 +60,7 @@ func FindRegion(g *kde.Grid, qx, qy, tau float64) (*Region, error) {
 		QueryCX: cx,
 		QueryCY: cy,
 	}
+	r.Examined = 1
 	if !cellQualifies(g, cx, cy, tau) {
 		return r, nil
 	}
@@ -71,7 +77,11 @@ func FindRegion(g *kde.Grid, qx, qy, tau float64) (*Region, error) {
 				continue
 			}
 			idx := nb.y*side + nb.x
-			if r.member[idx] || !cellQualifies(g, nb.x, nb.y, tau) {
+			if r.member[idx] {
+				continue
+			}
+			r.Examined++
+			if !cellQualifies(g, nb.x, nb.y, tau) {
 				continue
 			}
 			r.member[idx] = true

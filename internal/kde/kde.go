@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"innsearch/internal/linalg"
 	"innsearch/internal/parallel"
@@ -59,6 +60,13 @@ type Grid struct {
 	Density                []float64 // len P*P, row-major by iy
 	Hx, Hy                 float64   // bandwidths used for the estimate
 	N                      int       // number of data points estimated from
+	// Binned reports which estimator produced the grid (the fast
+	// linear-binned path or the exact reference).
+	Binned bool
+	// BuildTime is the wall time of the density evaluation, measured
+	// against Options.Clock. Zero when no clock was configured — timing is
+	// opt-in so untraced sessions pay no clock reads.
+	BuildTime time.Duration
 }
 
 // StepX returns the grid spacing along x.
@@ -161,6 +169,11 @@ type Options struct {
 	// and every row is computed exactly as in the serial path, so the
 	// estimate is bit-identical at any worker count.
 	Workers int
+	// Clock, when non-nil, is read once before and once after the density
+	// evaluation and the difference recorded as Grid.BuildTime — the KDE
+	// grid-build timing of the telemetry layer. Tests inject deterministic
+	// clocks here; nil (the default) skips timing entirely.
+	Clock func() time.Time
 }
 
 func (o Options) normalized() (Options, error) {
@@ -257,7 +270,12 @@ func Estimate2DSourceContext(ctx context.Context, points XYSource, opts Options)
 		g.MaxY += 0.5
 	}
 	g.Density = make([]float64, g.P*g.P)
+	g.Binned = !opts.Exact
 
+	var start time.Time
+	if opts.Clock != nil {
+		start = opts.Clock()
+	}
 	if opts.Exact {
 		err = estimateExact(ctx, g, xs, ys, opts.Workers)
 	} else {
@@ -265,6 +283,9 @@ func Estimate2DSourceContext(ctx context.Context, points XYSource, opts Options)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.Clock != nil {
+		g.BuildTime = opts.Clock().Sub(start)
 	}
 	return g, nil
 }

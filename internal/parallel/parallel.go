@@ -31,6 +31,24 @@ import (
 	"sync/atomic"
 )
 
+// Pool occupancy gauges, exported through Stats for the serving
+// subsystem's /metrics endpoint. activeWorkers counts goroutines (or the
+// caller, on the serial path) currently executing work items; queuedTasks
+// counts work items accepted by a live For/ForShards call but not yet
+// claimed by a worker. Both are instantaneous gauges: they rise while a
+// fan-out is in flight and return to zero when it completes, so a scrape
+// seeing a persistent nonzero queue depth is seeing real backlog.
+var (
+	activeWorkers atomic.Int64
+	queuedTasks   atomic.Int64
+)
+
+// Stats reports the instantaneous worker-pool occupancy: goroutines
+// executing work items and work items waiting to be claimed.
+func Stats() (active, queued int64) {
+	return activeWorkers.Load(), queuedTasks.Load()
+}
+
 // Workers resolves a configured worker-count override: n ≥ 1 is used as
 // given; anything else (in particular the zero value of a Workers config
 // field) means runtime.GOMAXPROCS(0).
@@ -59,11 +77,20 @@ func For(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 	if w > n {
 		w = n
 	}
+	queuedTasks.Add(int64(n))
 	if w <= 1 {
+		activeWorkers.Add(1)
+		claimed := 0
+		defer func() {
+			activeWorkers.Add(-1)
+			queuedTasks.Add(int64(claimed - n)) // release the unclaimed remainder
+		}()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			claimed++
+			queuedTasks.Add(-1)
 			if err := fn(ctx, i); err != nil {
 				return err
 			}
@@ -92,6 +119,8 @@ func For(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
 			for {
 				if fctx.Err() != nil {
 					return
@@ -100,6 +129,7 @@ func For(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 				if i >= n {
 					return
 				}
+				queuedTasks.Add(-1)
 				if err := fn(fctx, i); err != nil {
 					fail(i, err)
 					return
@@ -108,6 +138,13 @@ func For(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 		}()
 	}
 	wg.Wait()
+	// Claims = increments of next that landed below n; release whatever a
+	// cancellation left unclaimed so the gauge drains to zero.
+	claimed := next.Load()
+	if claimed > int64(n) {
+		claimed = int64(n)
+	}
+	queuedTasks.Add(claimed - int64(n))
 	if firstErr != nil {
 		return firstErr
 	}

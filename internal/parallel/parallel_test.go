@@ -172,3 +172,66 @@ func TestForShardsMergeOrderMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsDrainToZero pins the pool-occupancy gauges: they must rise
+// while a fan-out is in flight and return exactly to zero afterwards, on
+// the serial path, the parallel path, and the cancellation path (where
+// some items are never claimed).
+func TestStatsDrainToZero(t *testing.T) {
+	check := func(label string) {
+		t.Helper()
+		active, queued := Stats()
+		if active != 0 || queued != 0 {
+			t.Fatalf("%s: gauges did not drain: active=%d queued=%d", label, active, queued)
+		}
+	}
+	check("initial")
+
+	var sawActive, sawQueued atomic.Bool
+	err := For(context.Background(), 4, 64, func(context.Context, int) error {
+		a, q := Stats()
+		if a > 0 {
+			sawActive.Store(true)
+		}
+		if q > 0 {
+			sawQueued.Store(true)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("parallel")
+	if !sawActive.Load() {
+		t.Error("active gauge never rose during a parallel fan-out")
+	}
+	if !sawQueued.Load() {
+		t.Error("queued gauge never rose during a parallel fan-out")
+	}
+
+	if err := For(context.Background(), 1, 16, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	check("serial")
+
+	boom := errors.New("boom")
+	if err := For(context.Background(), 3, 100, func(_ context.Context, i int) error {
+		if i == 5 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	check("error path (unclaimed items released)")
+
+	if err := For(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("serial err = %v", err)
+	}
+	check("serial error path")
+}

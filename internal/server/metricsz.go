@@ -1,0 +1,87 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"innsearch/internal/parallel"
+	"innsearch/internal/telemetry"
+)
+
+// metricsBridge adapts the server's histogram set to the engine's Tracer
+// interface: every hosted session gets one installed (composed with the
+// optional JSONL trace sink), so the latency histograms are fed by the
+// same events operators see in the trace stream — one source of truth for
+// both.
+type metricsBridge struct{ m *metrics }
+
+func (b metricsBridge) Now() time.Time { return time.Now() }
+
+func (b metricsBridge) Emit(e telemetry.Event) {
+	const sec = 1.0 / 1000 // events carry milliseconds; histograms observe seconds
+	switch e.Type {
+	case telemetry.EventView:
+		b.m.viewLatency.Observe(e.DurationMS * sec)
+	case telemetry.EventDecisionWait:
+		b.m.decisionWait.Observe(e.DurationMS * sec)
+	case telemetry.EventKDEBuild:
+		b.m.kdeBuild.Observe(e.DurationMS * sec)
+	case telemetry.EventIteration:
+		b.m.iteration.Observe(e.DurationMS * sec)
+	}
+}
+
+// sessionTracer composes the tracer installed on a hosted session: the
+// metrics bridge plus the server's optional trace sink, with session and
+// request IDs stamped on every event.
+func (s *Server) sessionTracer(sessionID, requestID string) telemetry.Tracer {
+	return telemetry.WithIDs(telemetry.Multi(metricsBridge{m: s.metrics}, s.trace), sessionID, requestID)
+}
+
+// boolGauge renders a boolean as 0/1.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleMetrics serves the Prometheus text exposition (format 0.0.4) of
+// every counter, gauge, and histogram the server tracks. Families are
+// written in a fixed order so the output is stable for golden tests and
+// diffable between scrapes.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	m := s.metrics
+	p := telemetry.NewPromWriter(w)
+
+	p.Counter("innsearch_sessions_created_total", "Interactive sessions admitted.", m.SessionsCreated.Load())
+	p.Counter("innsearch_sessions_done_total", "Sessions that finished with a result.", m.SessionsDone.Load())
+	p.Counter("innsearch_sessions_failed_total", "Sessions that ended in an engine error.", m.SessionsFailed.Load())
+	p.Counter("innsearch_sessions_evicted_total", "Sessions evicted after the idle TTL.", m.SessionsEvicted.Load())
+	p.Counter("innsearch_sessions_rejected_total", "Session creations refused by capacity or drain.", m.SessionsRejected.Load())
+	p.Counter("innsearch_sessions_closed_total", "Sessions closed by client DELETE.", m.SessionsClosed.Load())
+	p.Counter("innsearch_views_served_total", "Long-poll responses that carried a visual profile.", m.ViewsServed.Load())
+	p.Counter("innsearch_decisions_total", "Separator decisions accepted.", m.Decisions.Load())
+	p.Counter("innsearch_decisions_rejected_total", "Decisions rejected as stale, expired, or closed.", m.DecisionsRejected.Load())
+	p.Counter("innsearch_previews_total", "Density-separated region previews served.", m.Previews.Load())
+	p.Counter("innsearch_batch_searches_total", "Batch search requests.", m.BatchSearches.Load())
+	p.Counter("innsearch_batch_queries_total", "Individual queries across batch searches.", m.BatchQueries.Load())
+
+	p.Gauge("innsearch_active_sessions", "Sessions whose engine goroutine is live.", float64(s.store.active()))
+	p.Gauge("innsearch_draining", "1 while the server refuses new sessions for shutdown.", boolGauge(s.store.isDraining()))
+	p.Gauge("innsearch_live_session_views", "Dataset views held open by running sessions.", float64(m.LiveSessionViews.Load()))
+	p.Gauge("innsearch_resident_dataset_bytes", "Bytes held by the preloaded immutable point stores.", float64(s.residentBytes))
+	poolActive, poolQueued := parallel.Stats()
+	p.Gauge("innsearch_parallel_active_workers", "Worker-pool goroutines currently executing work items.", float64(poolActive))
+	p.Gauge("innsearch_parallel_queued_tasks", "Worker-pool work items accepted but not yet claimed.", float64(poolQueued))
+
+	p.Histogram("innsearch_view_latency_seconds", "Engine time to build one visual profile.", m.viewLatency.Snapshot())
+	p.Histogram("innsearch_decision_wait_seconds", "Wall time a view waited for its separator decision.", m.decisionWait.Snapshot())
+	p.Histogram("innsearch_kde_build_seconds", "Kernel-density grid construction time per view.", m.kdeBuild.Snapshot())
+	p.Histogram("innsearch_iteration_duration_seconds", "Major-iteration duration across hosted sessions.", m.iteration.Snapshot())
+	p.Histogram("innsearch_batch_search_seconds", "End-to-end duration of /v1/search requests.", m.batchSearch.Snapshot())
+
+	_ = p.Err() // the client is gone if writing failed; nothing to do
+}

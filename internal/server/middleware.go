@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// reqInfo is the per-request log record. It is created by the telemetry
+// middleware before routing and annotated by handlers afterwards — Go
+// 1.22's ServeMux resolves path values only after the middleware has run,
+// so the session ID reaches the log line through this mutable holder
+// rather than through the route.
+type reqInfo struct {
+	id string
+
+	mu      sync.Mutex
+	session string
+}
+
+func (ri *reqInfo) setSession(id string) {
+	ri.mu.Lock()
+	ri.session = id
+	ri.mu.Unlock()
+}
+
+func (ri *reqInfo) getSession() string {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	return ri.session
+}
+
+type reqInfoKey struct{}
+
+// RequestID returns the request ID assigned by the server's logging
+// middleware, or "" outside a request context. The same ID is echoed in
+// the X-Request-Id response header, attached to the request's slog line,
+// and stamped onto every engine trace event of a session created by the
+// request — one ID links all three telemetry streams.
+func RequestID(ctx context.Context) string {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri.id
+	}
+	return ""
+}
+
+// annotateSession attaches a session ID to the in-flight request's log
+// record. No-op outside the middleware (tests hitting handlers directly).
+func annotateSession(ctx context.Context, id string) {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		ri.setSession(id)
+	}
+}
+
+// newRequestID returns a 16-hex-digit request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("r%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the response status and size for the log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so long-poll responses stream.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry wraps the route tree with request identification and
+// structured logging: every request gets an X-Request-Id (the inbound
+// header is honored, so IDs propagate through proxies), and every
+// response emits one slog line with method, path, status, duration, and —
+// when the handler touched one — the session ID.
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		ri := &reqInfo{id: id}
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
+		if s.logger == nil {
+			return
+		}
+		attrs := []slog.Attr{
+			slog.String("request", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+		}
+		if sess := ri.getSession(); sess != "" {
+			attrs = append(attrs, slog.String("session", sess))
+		}
+		level := slog.LevelInfo
+		if rec.status >= 500 {
+			level = slog.LevelError
+		}
+		s.logger.LogAttrs(r.Context(), level, "request", attrs...)
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
@@ -41,11 +42,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// sessions themselves run serially), so the server's batch bound —
 	// not the per-session default — applies here.
 	cfg.Workers = s.cfg.BatchWorkers
+	// Batch sessions share one tracer stamped with the request ID (no
+	// session ID — the engine allocates none for batch queries). The
+	// histogram and trace sinks are concurrency-safe, so concurrent batch
+	// sessions may interleave events.
+	cfg.Tracer = s.sessionTracer("", RequestID(r.Context()))
 
 	s.metrics.BatchSearches.Add(1)
 	s.metrics.BatchQueries.Add(int64(len(queries)))
 	s.metrics.LiveSessionViews.Add(int64(len(queries)))
+	start := time.Now()
 	results, errs, err := core.SearchBatch(r.Context(), ds, queries, users, cfg)
+	s.metrics.batchSearch.Observe(time.Since(start).Seconds())
 	s.metrics.LiveSessionViews.Add(-int64(len(queries)))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -31,13 +31,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"time"
 
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
+	"innsearch/internal/parallel"
 	"innsearch/internal/server/wire"
+	"innsearch/internal/telemetry"
 	"innsearch/internal/user"
 )
 
@@ -72,6 +75,15 @@ type Config struct {
 	// SweepInterval overrides the TTL sweep cadence (default TTL/4);
 	// tests use it to observe eviction quickly.
 	SweepInterval time.Duration
+	// Logger, when non-nil, receives one structured line per HTTP request
+	// (method, path, status, duration, request ID, session ID). Nil
+	// disables request logging; the middleware still assigns request IDs.
+	Logger *slog.Logger
+	// Trace, when non-nil, receives every engine trace event of every
+	// hosted session (interactive and batch), stamped with session and
+	// request IDs — typically a telemetry.JSONL sink. The latency
+	// histograms are always fed regardless of this field.
+	Trace telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -103,8 +115,11 @@ type Server struct {
 	store   *store
 	metrics *metrics
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the telemetry middleware
 	base    context.Context
 	stop    context.CancelFunc
+	logger  *slog.Logger
+	trace   telemetry.Tracer
 	// residentBytes is the summed footprint of the preloaded immutable
 	// point stores, exported as the resident_dataset_bytes gauge.
 	residentBytes int64
@@ -123,7 +138,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		residentBytes += ds.Store().Bytes()
 	}
-	m := &metrics{}
+	m := newMetrics()
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:           cfg,
@@ -131,11 +146,14 @@ func New(cfg Config) (*Server, error) {
 		metrics:       m,
 		base:          base,
 		stop:          stop,
+		logger:        cfg.Logger,
+		trace:         cfg.Trace,
 		residentBytes: residentBytes,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	mux.HandleFunc("GET /v1/sessions/{id}/view", s.handleView)
@@ -145,11 +163,13 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux = mux
+	s.handler = s.withTelemetry(mux)
 	return s, nil
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler tree, wrapped in the request-ID and
+// structured-logging middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Drain stops admitting sessions and waits for live ones up to ctx's
 // deadline (stragglers are canceled). Healthz reports 503 while
@@ -164,8 +184,14 @@ func (s *Server) Close() {
 
 // ---- plumbing ----
 
+// writeJSON is the single JSON response helper: every JSON endpoint —
+// /varz and all of /v1 — goes through it, so the Content-Type and
+// Cache-Control headers are uniform. no-store matters: session views and
+// varz snapshots are instantaneous state that must never be replayed from
+// an intermediary cache.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
@@ -202,6 +228,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool)
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return nil, false
 	}
+	annotateSession(r.Context(), id)
 	return sess, true
 }
 
@@ -221,7 +248,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.store.active(), s.store.isDraining(), s.residentBytes))
+	poolActive, poolQueued := parallel.Stats()
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(
+		s.store.active(), s.store.isDraining(), s.residentBytes, poolActive, poolQueued))
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -298,6 +327,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if cfg.Workers == 0 {
 		cfg.Workers = s.cfg.SessionWorkers
 	}
+	// The session ID is allocated before the engine so the tracer can stamp
+	// it (together with the creating request's ID) onto every trace event.
+	id := newSessionID()
+	annotateSession(r.Context(), id)
+	cfg.Tracer = s.sessionTracer(id, RequestID(r.Context()))
 
 	ctx, cancel := context.WithCancelCause(s.base)
 	var remote *user.Remote
@@ -333,7 +367,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := &session{
-		id:        newSessionID(),
+		id:        id,
 		remote:    remote,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -517,8 +551,10 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Decisions.Add(1)
+	// The decision-wait histogram is fed by the engine's decision_wait
+	// trace events through the metrics bridge; observing here too would
+	// double-count. The response still reports this view's wait.
 	ms := float64(latency) / float64(time.Millisecond)
-	s.metrics.viewLatency.observe(ms)
 	writeJSON(w, http.StatusOK, wire.DecisionResponse{Accepted: true, Seq: req.Seq, LatencyMS: ms})
 }
 

@@ -274,12 +274,24 @@ func TestConcurrentSessions(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	v := srv.metrics.snapshot(srv.store.active(), false, srv.residentBytes)
+	v := srv.metrics.snapshot(srv.store.active(), false, srv.residentBytes, 0, 0)
 	if v.SessionsDone != sessions {
 		t.Errorf("varz sessions_done = %d, want %d", v.SessionsDone, sessions)
 	}
-	if v.Decisions == 0 || v.ViewLatency.Count != v.Decisions {
-		t.Errorf("varz decisions = %d, latency count = %d", v.Decisions, v.ViewLatency.Count)
+	// Every view built by the engine lands in the view-latency histogram;
+	// decision waits (answered and skipped alike) land in decision_wait.
+	if v.Decisions == 0 {
+		t.Error("varz decisions = 0, want > 0")
+	}
+	if v.ViewLatency.Count == 0 || v.ViewLatency.Count != v.KDEBuild.Count {
+		t.Errorf("varz view_latency count = %d, kde_build count = %d, want equal and > 0",
+			v.ViewLatency.Count, v.KDEBuild.Count)
+	}
+	if v.DecisionWait.Count < v.Decisions {
+		t.Errorf("varz decision_wait count = %d < decisions %d", v.DecisionWait.Count, v.Decisions)
+	}
+	if v.Iteration.Count == 0 {
+		t.Error("varz iteration count = 0, want > 0")
 	}
 	if v.ResidentDatasetBytes <= 0 {
 		t.Errorf("varz resident_dataset_bytes = %d, want > 0", v.ResidentDatasetBytes)

@@ -1,13 +1,16 @@
 package server
 
 import (
-	"sync"
 	"sync/atomic"
+
+	"innsearch/internal/telemetry"
 )
 
-// metrics are the server's /varz counters. Monotonic counters are
-// atomics; the latency summaries take a small mutex since they update
-// several fields together.
+// metrics are the server's counters and latency histograms, exported as
+// JSON through /varz and as Prometheus text through /metrics. Monotonic
+// counters are atomics; the latency series are lock-free fixed-bucket
+// exponential histograms (internal/telemetry.Histogram) observed in
+// seconds and rendered in milliseconds for /varz.
 type metrics struct {
 	SessionsCreated   atomic.Int64
 	SessionsDone      atomic.Int64
@@ -27,70 +30,95 @@ type metrics struct {
 	// load while resident dataset bytes stay flat.
 	LiveSessionViews atomic.Int64
 
-	viewLatency latencySummary
+	// Latency histograms, fed by the per-session metricsBridge tracer
+	// (engine trace events) and by the handlers (batch duration). All
+	// observe seconds.
+	//
+	// viewLatency is the engine time to construct one visual profile
+	// (projection search + density grid + discrimination scan) — the
+	// server-side cost of a view. decisionWait is the wall time a view
+	// spent awaiting the (human or simulated) decision — previously
+	// mislabeled "view latency" in /varz.
+	viewLatency  *telemetry.Histogram
+	decisionWait *telemetry.Histogram
+	kdeBuild     *telemetry.Histogram
+	iteration    *telemetry.Histogram
+	batchSearch  *telemetry.Histogram
 }
 
-// latencySummary accumulates count/sum/max of a duration series in
-// milliseconds.
-type latencySummary struct {
-	mu    sync.Mutex
-	count int64
-	sum   float64
-	max   float64
-}
-
-func (l *latencySummary) observe(ms float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.count++
-	l.sum += ms
-	if ms > l.max {
-		l.max = ms
+func newMetrics() *metrics {
+	// 1ms … ~65s doubling buckets for machine work; human decision wait
+	// starts at 10ms and reaches ~11min.
+	machine := telemetry.ExponentialBounds(0.001, 2, 16)
+	human := telemetry.ExponentialBounds(0.01, 2, 16)
+	return &metrics{
+		viewLatency:  telemetry.NewHistogram(machine),
+		decisionWait: telemetry.NewHistogram(human),
+		kdeBuild:     telemetry.NewHistogram(machine),
+		iteration:    telemetry.NewHistogram(machine),
+		batchSearch:  telemetry.NewHistogram(machine),
 	}
 }
 
-func (l *latencySummary) snapshot() latencyVarz {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := latencyVarz{Count: l.count, SumMS: l.sum, MaxMS: l.max}
-	if l.count > 0 {
-		out.MeanMS = l.sum / float64(l.count)
-	}
-	return out
-}
-
+// latencyVarz is the JSON rendering of one latency histogram, in
+// milliseconds. MaxMS is the all-time maximum; RecentMaxMS is the maximum
+// over the trailing rolling window (≈5 minutes), so a long-running server
+// whose worst-ever request happened on day one still shows current tail
+// behavior.
 type latencyVarz struct {
-	Count  int64   `json:"count"`
-	SumMS  float64 `json:"sum_ms"`
-	MeanMS float64 `json:"mean_ms"`
-	MaxMS  float64 `json:"max_ms"`
+	Count       int64   `json:"count"`
+	SumMS       float64 `json:"sum_ms"`
+	MeanMS      float64 `json:"mean_ms"`
+	MaxMS       float64 `json:"max_ms"`
+	RecentMaxMS float64 `json:"recent_max_ms"`
+}
+
+func toLatencyVarz(s telemetry.HistogramSnapshot) latencyVarz {
+	const ms = 1000
+	return latencyVarz{
+		Count:       s.Count,
+		SumMS:       s.Sum * ms,
+		MeanMS:      s.Mean() * ms,
+		MaxMS:       s.Max * ms,
+		RecentMaxMS: s.WindowMax * ms,
+	}
 }
 
 // varz is the JSON shape of GET /varz.
 type varz struct {
-	ActiveSessions    int         `json:"active_sessions"`
-	Draining          bool        `json:"draining"`
-	SessionsCreated   int64       `json:"sessions_created"`
-	SessionsDone      int64       `json:"sessions_done"`
-	SessionsFailed    int64       `json:"sessions_failed"`
-	SessionsEvicted   int64       `json:"sessions_evicted"`
-	SessionsRejected  int64       `json:"sessions_rejected"`
-	SessionsClosed    int64       `json:"sessions_closed"`
-	ViewsServed       int64       `json:"views_served"`
-	Decisions         int64       `json:"decisions"`
-	DecisionsRejected int64       `json:"decisions_rejected"`
-	Previews          int64       `json:"previews"`
-	BatchSearches     int64       `json:"batch_searches"`
-	BatchQueries      int64       `json:"batch_queries"`
+	ActiveSessions    int   `json:"active_sessions"`
+	Draining          bool  `json:"draining"`
+	SessionsCreated   int64 `json:"sessions_created"`
+	SessionsDone      int64 `json:"sessions_done"`
+	SessionsFailed    int64 `json:"sessions_failed"`
+	SessionsEvicted   int64 `json:"sessions_evicted"`
+	SessionsRejected  int64 `json:"sessions_rejected"`
+	SessionsClosed    int64 `json:"sessions_closed"`
+	ViewsServed       int64 `json:"views_served"`
+	Decisions         int64 `json:"decisions"`
+	DecisionsRejected int64 `json:"decisions_rejected"`
+	Previews          int64 `json:"previews"`
+	BatchSearches     int64 `json:"batch_searches"`
+	BatchQueries      int64 `json:"batch_queries"`
 	// ResidentDatasetBytes is the memory held by the preloaded immutable
 	// point stores — the only full point-data copies in the process.
 	ResidentDatasetBytes int64 `json:"resident_dataset_bytes"`
 	// LiveSessionViews counts dataset views open in running sessions.
-	LiveSessionViews int64       `json:"live_session_views"`
-	ViewLatency      latencyVarz `json:"view_latency"`
+	LiveSessionViews int64 `json:"live_session_views"`
+	// ParallelActiveWorkers / ParallelQueuedTasks are the shared worker
+	// pool's instantaneous occupancy gauges.
+	ParallelActiveWorkers int64 `json:"parallel_active_workers"`
+	ParallelQueuedTasks   int64 `json:"parallel_queued_tasks"`
+	// ViewLatency is the engine-side cost of building a view. Decision
+	// wait — what this field used to (mis)measure — now has its own entry.
+	ViewLatency  latencyVarz `json:"view_latency"`
+	DecisionWait latencyVarz `json:"decision_wait"`
+	KDEBuild     latencyVarz `json:"kde_build"`
+	Iteration    latencyVarz `json:"iteration"`
+	BatchSearch  latencyVarz `json:"batch_search"`
 }
 
-func (m *metrics) snapshot(active int, draining bool, residentBytes int64) varz {
+func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolActive, poolQueued int64) varz {
 	return varz{
 		ActiveSessions:    active,
 		Draining:          draining,
@@ -107,8 +135,15 @@ func (m *metrics) snapshot(active int, draining bool, residentBytes int64) varz 
 		BatchSearches:     m.BatchSearches.Load(),
 		BatchQueries:      m.BatchQueries.Load(),
 
-		ResidentDatasetBytes: residentBytes,
-		LiveSessionViews:     m.LiveSessionViews.Load(),
-		ViewLatency:          m.viewLatency.snapshot(),
+		ResidentDatasetBytes:  residentBytes,
+		LiveSessionViews:      m.LiveSessionViews.Load(),
+		ParallelActiveWorkers: poolActive,
+		ParallelQueuedTasks:   poolQueued,
+
+		ViewLatency:  toLatencyVarz(m.viewLatency.Snapshot()),
+		DecisionWait: toLatencyVarz(m.decisionWait.Snapshot()),
+		KDEBuild:     toLatencyVarz(m.kdeBuild.Snapshot()),
+		Iteration:    toLatencyVarz(m.iteration.Snapshot()),
+		BatchSearch:  toLatencyVarz(m.batchSearch.Snapshot()),
 	}
 }

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExponentialBounds(t *testing.T) {
+	got := ExponentialBounds(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Errorf("bound %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100, -2} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	s := h.Snapshot()
+	// v ≤ bound buckets: {0.5, 1, -2} ≤ 1; {1.5} ≤ 2; {3} ≤ 4; {100} → +Inf.
+	wantCounts := []int64{3, 1, 1, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-104) > 1e-12 {
+		t.Errorf("sum = %v, want 104", s.Sum)
+	}
+	if s.Max != 100 {
+		t.Errorf("max = %v, want 100", s.Max)
+	}
+	if mean := s.Mean(); math.Abs(mean-104.0/6) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+// TestHistogramWindowMax is the satellite fix for the pinned /varz max: a
+// cold-start outlier must age out of the windowed maximum while the
+// all-time max keeps it.
+func TestHistogramWindowMax(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	h := NewHistogramWindow(ExponentialBounds(0.001, 2, 8), time.Second, clock)
+	h.Observe(9.5) // the cold-start outlier
+	s := h.Snapshot()
+	if s.Max != 9.5 || s.WindowMax != 9.5 {
+		t.Fatalf("fresh outlier: max=%v window=%v", s.Max, s.WindowMax)
+	}
+
+	advance(2 * time.Second)
+	h.Observe(0.25)
+	s = h.Snapshot()
+	if s.WindowMax != 9.5 {
+		t.Fatalf("outlier should still be in the window: %v", s.WindowMax)
+	}
+
+	advance(10 * time.Second) // > windowSlots slots later
+	h.Observe(0.125)
+	s = h.Snapshot()
+	if s.Max != 9.5 {
+		t.Errorf("all-time max lost: %v", s.Max)
+	}
+	if s.WindowMax != 0.125 {
+		t.Errorf("window max = %v, want 0.125 (outlier must age out)", s.WindowMax)
+	}
+}
+
+func TestHistogramWindowEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if s := h.Snapshot(); s.WindowMax != 0 || s.Max != 0 || s.Count != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(ExponentialBounds(0.001, 2, 10))
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%7) * 0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var bucketTotal int64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	var perGoroutine float64
+	for i := 0; i < per; i++ {
+		perGoroutine += float64(i%7) * 0.001
+	}
+	wantSum := float64(goroutines) * perGoroutine
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	if s.Max != 0.006 {
+		t.Fatalf("max = %v, want 0.006", s.Max)
+	}
+}

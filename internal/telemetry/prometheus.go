@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// This file is a minimal Prometheus text-format (version 0.0.4) writer —
+// just enough exposition for a scrape endpoint, with no registry and no
+// dependency. Families must be written in one shot (HELP, TYPE, samples)
+// and the caller owns the ordering; the server writes them sorted so the
+// exposition is byte-stable and golden-testable.
+
+// PromWriter accumulates one exposition response.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w. Write errors are sticky and surfaced by Err.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter writes one counter family with a single unlabeled sample.
+func (p *PromWriter) Counter(name, help string, v int64) {
+	p.printf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// Gauge writes one gauge family with a single unlabeled sample.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.printf("# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promFloat(v))
+}
+
+// Histogram writes one histogram family from a snapshot: cumulative
+// le-labeled buckets (including +Inf), _sum, and _count.
+func (p *PromWriter) Histogram(name, help string, s HistogramSnapshot) {
+	p.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		p.printf("%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	p.printf("%s_sum %s\n%s_count %d\n", name, promFloat(s.Sum), name, s.Count)
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterFamilies(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("x_total", "things counted", 42)
+	p.Gauge("y_bytes", "resident bytes", 1.5e6)
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+	p.Histogram("z_seconds", "latency", h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP x_total things counted
+# TYPE x_total counter
+x_total 42
+# HELP y_bytes resident bytes
+# TYPE y_bytes gauge
+y_bytes 1.5e+06
+# HELP z_seconds latency
+# TYPE z_seconds histogram
+z_seconds_bucket{le="0.001"} 1
+z_seconds_bucket{le="0.01"} 1
+z_seconds_bucket{le="0.1"} 2
+z_seconds_bucket{le="+Inf"} 3
+z_seconds_sum 3.0505
+z_seconds_count 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.001:  "0.001",
+		1.5e6:  "1.5e+06",
+		0.0625: "0.0625",
+	}
+	for v, want := range cases {
+		if got := promFloat(v); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -55,15 +55,24 @@ type Remote struct {
 	ctx         context.Context
 	abort       context.CancelCauseFunc
 
-	mu       sync.Mutex
-	seq      int
-	profile  *core.VisualProfile
-	preview  func(float64) *grid.Region
-	decCh    chan core.Decision // non-nil iff a view awaits a decision
-	shownAt  time.Time
-	deadline time.Time
-	bell     chan struct{} // closed and replaced on every state change
-	closed   bool
+	// now is the adapter's clock (time.Now outside tests).
+	now func() time.Time
+
+	mu      sync.Mutex
+	seq     int
+	profile *core.VisualProfile
+	preview func(float64) *grid.Region
+	decCh   chan core.Decision // non-nil iff a view awaits a decision
+	shownAt time.Time
+	// firstServed is when CurrentView first handed this view to a client —
+	// the moment the human could actually start thinking. SubmitDecision
+	// measures the reported wait from here (falling back to shownAt for
+	// decisions on never-polled views), so long-poll turnaround gaps do not
+	// inflate the think time.
+	firstServed time.Time
+	deadline    time.Time
+	bell        chan struct{} // closed and replaced on every state change
+	closed      bool
 }
 
 // NewRemote builds a remote user for one session. ctx is the session's
@@ -81,9 +90,14 @@ func NewRemote(ctx context.Context, abort context.CancelCauseFunc, viewTimeout t
 		viewTimeout: viewTimeout,
 		ctx:         ctx,
 		abort:       abort,
+		now:         time.Now,
 		bell:        make(chan struct{}),
 	}
 }
+
+// setClock overrides the adapter's clock; tests use it to make the
+// reported decision waits deterministic.
+func (r *Remote) setClock(clock func() time.Time) { r.now = clock }
 
 // SeparateCluster implements core.User: it publishes the profile as the
 // current view and blocks until a decision is submitted, the view times
@@ -102,7 +116,8 @@ func (r *Remote) SeparateCluster(p *core.VisualProfile, preview func(tau float64
 	r.preview = preview
 	dec := make(chan core.Decision, 1)
 	r.decCh = dec
-	r.shownAt = time.Now()
+	r.shownAt = r.now()
+	r.firstServed = time.Time{}
 	r.deadline = time.Time{}
 	var timeout <-chan time.Time
 	if r.viewTimeout > 0 {
@@ -173,15 +188,23 @@ func (r *Remote) SubmitDecision(seq int, d core.Decision) (time.Duration, error)
 	r.profile = nil
 	r.preview = nil
 	r.ring()
-	return time.Since(r.shownAt), nil
+	base := r.shownAt
+	if !r.firstServed.IsZero() {
+		base = r.firstServed
+	}
+	return r.now().Sub(base), nil
 }
 
-// CurrentView returns the view awaiting a decision, if any.
+// CurrentView returns the view awaiting a decision, if any, stamping the
+// first time each view is actually served (see firstServed).
 func (r *Remote) CurrentView() (RemoteView, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.decCh == nil || r.profile == nil {
 		return RemoteView{}, false
+	}
+	if r.firstServed.IsZero() {
+		r.firstServed = r.now()
 	}
 	return RemoteView{Seq: r.seq, Profile: r.profile, Deadline: r.deadline}, true
 }

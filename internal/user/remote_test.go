@@ -222,3 +222,61 @@ func TestRemoteRacedDecisionExactlyOnce(t *testing.T) {
 		cancel(nil)
 	}
 }
+
+// TestRemoteLatencyFromFirstServe checks the think-time semantics of the
+// reported decision wait: it measures from the moment the view was first
+// actually served to a client (CurrentView), not from when the engine
+// published it, and falls back to publish time for never-polled views.
+// An injected clock makes the expectations exact.
+func TestRemoteLatencyFromFirstServe(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	r := NewRemote(ctx, cancel, 0)
+	now := time.Unix(1000, 0)
+	r.setClock(func() time.Time { return now })
+	p, _ := makeProfile(t, 60, 20, true, 50)
+
+	// View 1: published at t0, first served 10s later, answered 2s after
+	// that. The reported wait is the 2s of think time, not 12s.
+	bell := r.Changed()
+	done := make(chan core.Decision, 1)
+	go func() { done <- r.SeparateCluster(p, nilPreview) }()
+	select {
+	case <-bell:
+	case <-time.After(5 * time.Second):
+		t.Fatal("view never published")
+	}
+	now = now.Add(10 * time.Second)
+	v, ok := r.CurrentView()
+	if !ok {
+		t.Fatal("no view pending")
+	}
+	now = now.Add(2 * time.Second)
+	lat, err := r.SubmitDecision(v.Seq, core.Decision{Tau: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 2*time.Second {
+		t.Errorf("served-view latency = %v, want 2s", lat)
+	}
+	<-done
+
+	// View 2: answered without ever being polled — the wait falls back to
+	// the publish time.
+	bell = r.Changed()
+	go func() { done <- r.SeparateCluster(p, nilPreview) }()
+	select {
+	case <-bell:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second view never published")
+	}
+	now = now.Add(3 * time.Second)
+	lat, err = r.SubmitDecision(2, core.Decision{Tau: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 3*time.Second {
+		t.Errorf("never-polled latency = %v, want 3s", lat)
+	}
+	<-done
+}
