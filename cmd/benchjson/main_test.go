@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: innsearch/internal/core
+BenchmarkFindQueryCenteredProjection5000x20-8      	     842	   1432390 ns/op	  144604 B/op	     259 allocs/op
+BenchmarkSession2000x64           	       3	 379577686 ns/op	31395384 B/op	   38494 allocs/op
+BenchmarkTiny-8 	 1000000	      1052 ns/op
+PASS
+ok  	innsearch/internal/core	5.1s
+`
+
+func TestParse(t *testing.T) {
+	recs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(recs))
+	}
+	// Sorted by name; GOMAXPROCS suffix stripped.
+	if recs[0].Name != "BenchmarkFindQueryCenteredProjection5000x20" ||
+		recs[1].Name != "BenchmarkSession2000x64" || recs[2].Name != "BenchmarkTiny" {
+		t.Fatalf("names/order wrong: %+v", recs)
+	}
+	if recs[0].NsPerOp != 1432390 || recs[0].BytesPerOp != 144604 || recs[0].AllocsPerOp != 259 {
+		t.Errorf("record 0 fields wrong: %+v", recs[0])
+	}
+	if recs[2].BytesPerOp != -1 || recs[2].AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem columns should be -1: %+v", recs[2])
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := []Record{
+		{Name: "BenchmarkBig", NsPerOp: 10e6},
+		{Name: "BenchmarkSmall", NsPerOp: 1000}, // under the noise floor
+		{Name: "BenchmarkGone", NsPerOp: 5e6},
+	}
+	cur := []Record{
+		{Name: "BenchmarkBig", NsPerOp: 25e6},   // 2.5x: regression
+		{Name: "BenchmarkSmall", NsPerOp: 9000}, // 9x but skipped by floor
+		{Name: "BenchmarkNew", NsPerOp: 3e6},    // no baseline: reported only
+	}
+	var sb strings.Builder
+	failed := compare(&sb, base, cur, 2.0, 1e6)
+	if len(failed) != 1 || failed[0] != "BenchmarkBig" {
+		t.Fatalf("failed = %v, want [BenchmarkBig]\n%s", failed, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"FAIL", "SKIP", "NEW", "GONE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %s verdict:\n%s", want, out)
+		}
+	}
+	// Within budget passes.
+	if failed := compare(&strings.Builder{}, base, []Record{{Name: "BenchmarkBig", NsPerOp: 19e6}}, 2.0, 1e6); len(failed) != 0 {
+		t.Errorf("1.9x flagged as regression: %v", failed)
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"innsearch/internal/dataset"
 	"innsearch/internal/linalg"
 	"innsearch/internal/parallel"
+	"innsearch/internal/telemetry"
 )
 
 // ErrDegenerateData is returned when a projection cannot be determined,
@@ -58,11 +60,14 @@ func (sc *searchScratch) floatBuf(n int) []float64 {
 // q under the projected distance Pdist(·, ·, sub). Both v and q are in
 // the current coordinate system (ambient dimension of sub). The projected
 // distances are computed in parallel (each point writes its own slot, so
-// the ranking is identical at any worker count); the sort stays serial.
-// No per-point projection is materialized — each distance reads the
-// view's row in place.
+// the ranking is identical at any worker count); the bounded top-s
+// selection stays serial. No per-point projection is materialized — each
+// distance reads the view's row in place.
 func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, sub *linalg.Subspace, s int, scr *searchScratch) ([]int, error) {
 	n := v.N()
+	if s < 0 {
+		s = 0
+	}
 	if s > n {
 		s = n
 	}
@@ -77,17 +82,71 @@ func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linal
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].dist != cands[b].dist {
-			return cands[a].dist < cands[b].dist
-		}
-		return cands[a].pos < cands[b].pos
-	})
+	selectNearest(cands, s)
 	out := make([]int, s)
 	for i := 0; i < s; i++ {
 		out[i] = cands[i].pos
 	}
 	return out, nil
+}
+
+// candLess is the scan's strict total order: ascending distance with
+// ascending-position tie-breaks. Positions are distinct, so any two
+// candidates compare unequal — which is what makes every correct top-s
+// selection produce exactly the prefix a full sort would.
+func candLess(a, b cand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.pos < b.pos
+}
+
+// siftDown restores the max-heap property (candLess-greatest at the root)
+// for the subtree rooted at i over h[:n].
+func siftDown(h []cand, i, n int) {
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			return
+		}
+		if r := kid + 1; r < n && candLess(h[kid], h[r]) {
+			kid = r
+		}
+		if !candLess(h[i], h[kid]) {
+			return
+		}
+		h[i], h[kid] = h[kid], h[i]
+		i = kid
+	}
+}
+
+// selectNearest reorders cands so that cands[:s] holds the s smallest
+// candidates under candLess in ascending order — byte-identical to the
+// prefix of a full sort, found in O(n log s) with a bounded max-heap
+// instead of the former O(n log n) sort.Slice over all n candidates.
+func selectNearest(cands []cand, s int) {
+	n := len(cands)
+	if s <= 0 {
+		return
+	}
+	if s > n {
+		s = n
+	}
+	h := cands[:s]
+	for i := s/2 - 1; i >= 0; i-- {
+		siftDown(h, i, s)
+	}
+	for i := s; i < n; i++ {
+		if candLess(cands[i], h[0]) {
+			h[0], cands[i] = cands[i], h[0]
+			siftDown(h, 0, s)
+		}
+	}
+	// Heap-sort the surviving s into ascending candLess order.
+	for end := s - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		siftDown(h, 0, end)
+	}
 }
 
 // varianceAlongUnit replicates linalg.Matrix.VarianceAlong over the rows
@@ -135,7 +194,16 @@ func varianceAlongUnit(v *dataset.View, positions []int, u linalg.Vector) float6
 // components of the cluster's covariance matrix inside within; in
 // axis-parallel mode they are within's own basis vectors (the original
 // attributes), which matches the paper's interpretable variant.
-func clusterSubspace(ctx context.Context, workers int, v *dataset.View, members []int, l int, within *linalg.Subspace, axisParallel bool, scr *searchScratch) (*linalg.Subspace, error) {
+//
+// Scoring runs in one of two modes. The default fast path reads γᵢ off
+// the view's memoized covariance as the quadratic form uᵀΣu and λᵢ off
+// moments already in hand (the eigenvalues of the member covariance in
+// PCA mode; one pass of member column variances in axis mode), so no
+// per-direction O(n·d) data sweep remains. cfg.Exact restores the
+// reference sweeps of Matrix.VarianceAlong bit for bit; the two agree to
+// ≤ 1e-10 relative (pinned by tests).
+func clusterSubspace(ctx context.Context, cfg ProjectionSearch, v *dataset.View, members []int, l int, within *linalg.Subspace, scr *searchScratch) (*linalg.Subspace, error) {
+	workers := cfg.Workers
 	m := within.Dim()
 	if l > m {
 		return nil, fmt.Errorf("%w: want %d directions from a %d-dim subspace", ErrDegenerateData, l, m)
@@ -149,20 +217,45 @@ func clusterSubspace(ctx context.Context, workers int, v *dataset.View, members 
 		}
 	}
 
+	// fullCov is the fast path's Σ of the whole view, memoized on the view
+	// and shared by every stage, minor iteration, and projection family
+	// that scores directions in this coordinate system.
+	var fullCov *linalg.Matrix
+	if !cfg.Exact {
+		st, err := v.Stats(ctx, workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: view stats: %w", err)
+		}
+		fullCov = st.Cov
+	}
+
+	memberRow := func(k int) linalg.Vector { return v.Point(members[k]) }
+
 	var directions []linalg.Vector
-	if axisParallel {
+	// fastLambda, in fast mode, carries the member variance along
+	// directions[i] without a data sweep; see the mode notes above.
+	var fastLambda []float64
+	if cfg.AxisParallel {
 		directions = within.Basis()
+		if !cfg.Exact {
+			// Member coordinates inside within via the blocked kernel (a
+			// strided gather whenever within is axis-aligned, which it is
+			// for the whole of axis mode); λⱼ is the variance of column j.
+			coords := &linalg.Matrix{Rows: len(members), Cols: m, Data: scr.floatBuf(len(members) * m)}
+			if err := within.ProjectRowsInto(ctx, workers, coords, len(members), memberRow); err != nil {
+				return nil, err
+			}
+			fastLambda = coords.ColumnVariances()
+		}
 	} else {
 		// Member coordinates inside within, written directly from the view
-		// rows — no member-subset dataset is materialized. The backing
-		// buffer is scratch: every cell is written, and covariance does
-		// not retain it.
+		// rows by the blocked kernel — no member-subset dataset is
+		// materialized, and the per-entry accumulation order matches the
+		// former row.Dot loop bit for bit. The backing buffer is scratch:
+		// every cell is written, and covariance does not retain it.
 		coords := &linalg.Matrix{Rows: len(members), Cols: m, Data: scr.floatBuf(len(members) * m)}
-		for k, pos := range members {
-			row := v.Point(pos)
-			for j := 0; j < m; j++ {
-				coords.Set(k, j, row.Dot(within.BasisVector(j)))
-			}
+		if err := within.ProjectRowsInto(ctx, workers, coords, len(members), memberRow); err != nil {
+			return nil, err
 		}
 		cov, err := coords.CovarianceContext(ctx, workers)
 		if err != nil {
@@ -176,6 +269,18 @@ func clusterSubspace(ctx context.Context, workers int, v *dataset.View, members 
 		for i, ev := range eig.Vectors {
 			directions[i] = within.Lift(ev)
 		}
+		if !cfg.Exact {
+			// λᵢ is exactly the i-th eigenvalue: the member variance along
+			// eigenvector i of the member covariance. Clamp eigensolver
+			// noise at zero like every variance path does.
+			fastLambda = make([]float64, len(eig.Values))
+			for i, val := range eig.Values {
+				if val < 0 {
+					val = 0
+				}
+				fastLambda[i] = val
+			}
+		}
 	}
 
 	type scored struct {
@@ -183,19 +288,27 @@ func clusterSubspace(ctx context.Context, workers int, v *dataset.View, members 
 		ratio float64
 		order int
 	}
-	// Candidate-direction scoring is the per-stage hot spot (two O(n·d)
-	// variance sweeps per direction); each direction writes its own slot,
+	// Candidate-direction scoring was the per-stage hot spot (two O(n·d)
+	// variance sweeps per direction); the fast path replaces both sweeps
+	// with O(d²) work per direction. Each direction writes its own slot,
 	// so the scores — and everything ranked from them — are identical at
-	// any worker count. The direction is normalized once and shared by
-	// both sweeps.
+	// any worker count. The direction is normalized once and shared.
 	scoredDirs := make([]scored, len(directions))
 	err := parallel.For(ctx, workers, len(directions), func(_ context.Context, i int) error {
 		dir := directions[i]
 		u := dir.Clone()
 		var lambda, gamma float64
 		if u.Normalize() != 0 {
-			lambda = varianceAlongUnit(v, members, u)
-			gamma = varianceAlongUnit(v, nil, u)
+			if cfg.Exact {
+				lambda = varianceAlongUnit(v, members, u)
+				gamma = varianceAlongUnit(v, nil, u)
+			} else {
+				lambda = fastLambda[i]
+				gamma = fullCov.QuadForm(u)
+				if gamma < 0 { // numeric noise, like the sweep's clamp
+					gamma = 0
+				}
+			}
 		}
 		var ratio float64
 		switch {
@@ -250,6 +363,27 @@ type ProjectionSearch struct {
 	// variance-ratio evaluation; values ≤ 0 mean GOMAXPROCS. Results are
 	// bit-identical at any worker count.
 	Workers int
+	// Exact disables the covariance-memoization fast path and scores every
+	// candidate direction with the reference O(n·d) variance sweeps
+	// (mirroring kde's exact/binned split). The fast path agrees with the
+	// exact sweeps to ≤ 1e-10 relative on the variance values and selects
+	// identical projections on the golden sessions; Exact exists as the
+	// reference for those tests and as an escape hatch for pathological
+	// data. Off (fast) by default.
+	Exact bool
+
+	// trace, when non-nil, carries the owning session's tracer context so
+	// findProjectionDim can emit one projection_stage event per halving
+	// stage. Sessions set it; standalone callers get no stage events.
+	trace *stageTrace
+}
+
+// stageTrace is the session context a projection search stamps onto its
+// per-stage telemetry events.
+type stageTrace struct {
+	tr           tracer
+	major, minor int
+	family       string
 }
 
 // FindQueryCenteredProjection realizes Figure 3: starting from the full
@@ -328,13 +462,29 @@ func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cf
 		if minStage := factor * lp; stageSupport < minStage {
 			stageSupport = minStage
 		}
+		var t0 time.Time
+		tracing := cfg.trace != nil && cfg.trace.tr.enabled()
+		if tracing {
+			t0 = cfg.trace.tr.now()
+		}
 		members, err := nearestPositions(ctx, cfg.Workers, v, q, ep, stageSupport, scr)
 		if err != nil {
 			return nil, err
 		}
-		sub, err := clusterSubspace(ctx, cfg.Workers, v, members, next, ep, cfg.AxisParallel, scr)
+		sub, err := clusterSubspace(ctx, cfg, v, members, next, ep, scr)
 		if err != nil {
 			return nil, err
+		}
+		if tracing {
+			cfg.trace.tr.emit(telemetry.Event{
+				Type:       telemetry.EventProjectionStage,
+				Major:      cfg.trace.major,
+				Minor:      cfg.trace.minor,
+				Family:     cfg.trace.family,
+				N:          v.N(),
+				Dim:        next,
+				DurationMS: cfg.trace.tr.since(t0),
+			})
 		}
 		ep = sub
 		lp = next

@@ -68,7 +68,7 @@ func TestClusterSubspaceAxisParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := clusterSubspace(context.Background(), 1, ds.View(), members, 2, linalg.FullSpace(6), true, &searchScratch{})
+	sub, err := clusterSubspace(context.Background(), ProjectionSearch{Workers: 1, AxisParallel: true}, ds.View(), members, 2, linalg.FullSpace(6), &searchScratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestClusterSubspaceArbitraryFindsTightDirections(t *testing.T) {
 	for i := range members {
 		members[i] = i
 	}
-	sub, err := clusterSubspace(context.Background(), 1, ds.View(), members, 1, linalg.FullSpace(4), false, &searchScratch{})
+	sub, err := clusterSubspace(context.Background(), ProjectionSearch{Workers: 1}, ds.View(), members, 1, linalg.FullSpace(4), &searchScratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,10 +126,10 @@ func TestClusterSubspaceArbitraryFindsTightDirections(t *testing.T) {
 
 func TestClusterSubspaceErrors(t *testing.T) {
 	ds, _ := clusterAndNoise(t, 50, 4, 3)
-	if _, err := clusterSubspace(context.Background(), 1, ds.View(), []int{0, 1}, 9, linalg.FullSpace(4), false, &searchScratch{}); !errors.Is(err, ErrDegenerateData) {
+	if _, err := clusterSubspace(context.Background(), ProjectionSearch{Workers: 1}, ds.View(), []int{0, 1}, 9, linalg.FullSpace(4), &searchScratch{}); !errors.Is(err, ErrDegenerateData) {
 		t.Errorf("l > dim: %v", err)
 	}
-	if _, err := clusterSubspace(context.Background(), 1, ds.View(), nil, 2, linalg.FullSpace(4), false, &searchScratch{}); err == nil {
+	if _, err := clusterSubspace(context.Background(), ProjectionSearch{Workers: 1}, ds.View(), nil, 2, linalg.FullSpace(4), &searchScratch{}); err == nil {
 		t.Error("empty members accepted")
 	}
 }

@@ -62,6 +62,10 @@ type Config struct {
 	// cluster at factor·dim points (default 5; 1 = the paper's literal
 	// pseudocode). See ProjectionSearch.StageFactor.
 	StageSupportFactor int
+	// ExactProjection scores candidate directions with the reference
+	// O(n·d) variance sweeps instead of the memoized-covariance fast path.
+	// See ProjectionSearch.Exact. Off (fast) by default.
+	ExactProjection bool
 	// Graded enables gradual subspace halving (default). Setting
 	// DisableGrading turns it off for ablation.
 	DisableGrading bool
@@ -427,6 +431,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 		Graded:      !s.cfg.DisableGrading,
 		StageFactor: s.cfg.StageSupportFactor,
 		Workers:     s.cfg.Workers,
+		Exact:       s.cfg.ExactProjection,
 	}
 
 	for minor := 1; minor <= d/2; minor++ {
@@ -504,7 +509,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 		// current frame's coordinates are dead after that and its buffer
 		// goes back to the arena for the frame after next. (Reclaim is a
 		// no-op on the first frame, the ambient s.data view.)
-		next, err := dc.ComposeArena(complement, &s.arena)
+		next, err := dc.ComposeArenaContext(ctx, s.cfg.Workers, complement, &s.arena)
 		if err != nil {
 			return fmt.Errorf("core: reproject data: %w", err)
 		}
@@ -601,6 +606,10 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 		var t0 time.Time
 		if s.tr.enabled() {
 			t0 = s.tr.now()
+			// The stage trace lets findProjectionDim emit one
+			// projection_stage event per halving stage with this view's
+			// iteration coordinates stamped on.
+			psearch.trace = &stageTrace{tr: s.tr, major: s.iter, minor: minor, family: family}
 		}
 		proj, err := findProjectionDim(ctx, dc, qc, psearch, 2, &s.scratch)
 		if err != nil {

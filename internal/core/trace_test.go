@@ -85,6 +85,7 @@ func TestTraceEventTaxonomy(t *testing.T) {
 	for _, typ := range []telemetry.EventType{
 		telemetry.EventSessionStart, telemetry.EventSessionEnd,
 		telemetry.EventIteration, telemetry.EventProjection,
+		telemetry.EventProjectionStage,
 		telemetry.EventKDEBuild, telemetry.EventView,
 		telemetry.EventDecisionWait, telemetry.EventSelect,
 		telemetry.EventPointsDropped,
@@ -125,6 +126,22 @@ func TestTraceEventTaxonomy(t *testing.T) {
 	for _, e := range col.Events() {
 		if e.Type == telemetry.EventKDEBuild && e.KDEBuildMS <= 0 {
 			t.Errorf("kde_build event with no grid build time: %+v", e)
+		}
+	}
+	// Every projection decomposes into at least one halving stage (the
+	// session's views all start above the 2-D target), and stage events
+	// must carry the stage's target dimensionality and a positive duration
+	// under the step clock.
+	if counts[telemetry.EventProjectionStage] < counts[telemetry.EventProjection] {
+		t.Errorf("projection_stage events = %d < projection events = %d",
+			counts[telemetry.EventProjectionStage], counts[telemetry.EventProjection])
+	}
+	for _, e := range col.Events() {
+		if e.Type != telemetry.EventProjectionStage {
+			continue
+		}
+		if e.Dim < 2 || e.N <= 0 || e.DurationMS <= 0 || e.Family == "" {
+			t.Errorf("malformed projection_stage event: %+v", e)
 		}
 	}
 }

@@ -1,6 +1,10 @@
 package dataset
 
-import "innsearch/internal/linalg"
+import (
+	"context"
+
+	"innsearch/internal/linalg"
+)
 
 // Arena recycles the materialization buffers of short-lived projected
 // views. The engine's per-minor-iteration complement chains are the
@@ -49,12 +53,25 @@ func (a *Arena) give(b []float64) {
 // view's own buffer can later be recycled with Reclaim. See Arena for the
 // ownership rules.
 func (v *View) ComposeArena(sub *linalg.Subspace, a *Arena) (*View, error) {
+	return v.ComposeArenaContext(context.Background(), 1, sub, a)
+}
+
+// ComposeArenaContext is ComposeArena with cooperative cancellation and a
+// worker count for the eager materialization: the projection kernel runs
+// its row shards on up to `workers` goroutines (≤ 0 means GOMAXPROCS) and
+// writes bit-identical coordinates at any worker count. On a canceled
+// context the arena buffer is returned and no view escapes.
+func (v *View) ComposeArenaContext(ctx context.Context, workers int, sub *linalg.Subspace, a *Arena) (*View, error) {
 	nv, err := v.Compose(sub)
 	if err != nil {
 		return nil, err
 	}
 	nv.arena = a
-	nv.materialized()
+	mat, err := nv.materializeInto(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	nv.once.Do(func() { nv.mat = mat })
 	return nv, nil
 }
 

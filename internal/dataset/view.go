@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -37,6 +38,62 @@ type View struct {
 	// arena, when non-nil, supplies (and reclaims) the materialization
 	// buffer; see ComposeArena.
 	arena *Arena
+
+	// statsMu guards the lazily memoized first/second moments; see Stats.
+	// A mutex rather than a sync.Once so that a context-canceled attempt
+	// does not poison the memo — the next caller simply retries.
+	statsMu sync.Mutex
+	stats   *ViewStats
+}
+
+// ViewStats are the memoized first and second moments of a view's rows:
+// the column mean and the covariance Σ (MLE, normalized by n). One
+// covariance pass per view generation replaces the engine's per-direction
+// O(N·d) full-data variance sweeps with O(d²) quadratic forms uᵀΣu, and a
+// projected view derives its Σ from its base's by the congruence B·Σ·Bᵀ
+// instead of re-estimating over the data. The struct is immutable once
+// published; callers must not mutate Mean or Cov.
+type ViewStats struct {
+	Mean linalg.Vector
+	Cov  *linalg.Matrix
+}
+
+// Stats returns the view's memoized mean and covariance, computing them on
+// first call: ambient views run one parallel covariance pass over their
+// rows; projected views pull their base's stats through the projection
+// (Mean′ = Proj(Mean), Σ′ = B·Σ·Bᵀ), which costs O(d³) instead of O(N·d²)
+// down the engine's complement chains and never touches row data — so it
+// stays valid even after an arena view's coordinate buffer is reclaimed,
+// as long as the base's stats were computed first. Narrowing yields a
+// fresh view, so pruning invalidates the memo by construction. Safe for
+// concurrent callers; the memo is only written on success.
+func (v *View) Stats(ctx context.Context, workers int) (*ViewStats, error) {
+	v.statsMu.Lock()
+	defer v.statsMu.Unlock()
+	if v.stats != nil {
+		return v.stats, nil
+	}
+	var st *ViewStats
+	if v.base != nil {
+		bst, err := v.base.Stats(ctx, workers)
+		if err != nil {
+			return nil, err
+		}
+		cov, err := v.proj.PullThroughCov(bst.Cov)
+		if err != nil {
+			return nil, err
+		}
+		st = &ViewStats{Mean: v.proj.Project(bst.Mean), Cov: cov}
+	} else {
+		m := v.Coords()
+		cov, err := m.CovarianceContext(ctx, workers)
+		if err != nil {
+			return nil, err
+		}
+		st = &ViewStats{Mean: m.Mean(), Cov: cov}
+	}
+	v.stats = st
+	return st, nil
 }
 
 // N returns the number of rows visible through the view.
@@ -153,28 +210,36 @@ func (v *View) Compose(sub *linalg.Subspace) (*View, error) {
 }
 
 // materialized computes (once) the projected coordinates of every base
-// row, in exactly the order of Subspace.ProjectRows: rows outer, basis
-// vectors inner, each entry a single dot product. Safe for concurrent
-// callers.
+// row through the blocked kernel, whose per-entry accumulation order is
+// exactly that of Subspace.ProjectRows: rows outer, basis vectors inner,
+// each entry a single sequential dot product. Safe for concurrent callers.
 func (v *View) materialized() *linalg.Matrix {
 	v.once.Do(func() {
-		n := v.base.N()
-		l := v.proj.Dim()
-		var mat *linalg.Matrix
-		if v.arena != nil {
-			mat = &linalg.Matrix{Rows: n, Cols: l, Data: v.arena.take(n * l)}
-		} else {
-			mat = linalg.NewMatrix(n, l)
-		}
-		for i := 0; i < n; i++ {
-			row := v.base.Point(i)
-			for j := 0; j < l; j++ {
-				mat.Set(i, j, row.Dot(v.proj.BasisVector(j)))
-			}
-		}
-		v.mat = mat
+		v.mat, _ = v.materializeInto(context.Background(), 1)
 	})
 	return v.mat
+}
+
+// materializeInto fills a fresh (or arena-recycled) coordinate matrix
+// using the projection kernel. The serial background-context call cannot
+// fail (shapes were validated at Compose); the only possible error is the
+// context's, surfaced to eager parallel callers (ComposeArenaContext).
+func (v *View) materializeInto(ctx context.Context, workers int) (*linalg.Matrix, error) {
+	n := v.base.N()
+	l := v.proj.Dim()
+	var mat *linalg.Matrix
+	if v.arena != nil {
+		mat = &linalg.Matrix{Rows: n, Cols: l, Data: v.arena.take(n * l)}
+	} else {
+		mat = linalg.NewMatrix(n, l)
+	}
+	if err := v.proj.ProjectRowsInto(ctx, workers, mat, n, v.base.Point); err != nil {
+		if v.arena != nil {
+			v.arena.give(mat.Data)
+		}
+		return nil, err
+	}
+	return mat, nil
 }
 
 // Coords returns the view's rows as a matrix. Projected views return

@@ -209,13 +209,14 @@ func Estimate2D(points *linalg.Matrix, opts Options) (*Grid, error) {
 // evaluation checks ctx between row shards and returns the context's error
 // once canceled. Parallelism is controlled by Options.Workers.
 func Estimate2DContext(ctx context.Context, points *linalg.Matrix, opts Options) (*Grid, error) {
-	if _, err := opts.normalized(); err != nil {
+	opts, err := opts.normalized()
+	if err != nil {
 		return nil, err
 	}
 	if points.Cols != 2 {
 		return nil, fmt.Errorf("%w: points have %d columns, want 2", ErrBadInput, points.Cols)
 	}
-	return Estimate2DSourceContext(ctx, MatrixXY{M: points}, opts)
+	return estimate2DSource(ctx, MatrixXY{M: points}, opts)
 }
 
 // Estimate2DSourceContext is Estimate2DContext over an XYSource: the same
@@ -226,6 +227,13 @@ func Estimate2DSourceContext(ctx context.Context, points XYSource, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	return estimate2DSource(ctx, points, opts)
+}
+
+// estimate2DSource is the shared implementation behind the public
+// estimators. opts must already be normalized — each entry point validates
+// and defaults the options exactly once before delegating here.
+func estimate2DSource(ctx context.Context, points XYSource, opts Options) (*Grid, error) {
 	n := points.Len()
 	if n == 0 {
 		return nil, fmt.Errorf("%w: no points", ErrBadInput)

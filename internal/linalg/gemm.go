@@ -1,0 +1,157 @@
+package linalg
+
+import (
+	"context"
+	"fmt"
+
+	"innsearch/internal/parallel"
+)
+
+// This file holds the batched coordinate kernel behind every "project many
+// rows into a subspace" loop in the system: Subspace.ProjectRows, the
+// dataset view materialization, and the member-coordinate stage of the
+// query-cluster subspace search.
+//
+// The kernel computes dst(i, j) = row(i)·basis[j] with two levels of
+// blocking that both preserve the bit-exact result of the naive
+// rows-outer/basis-inner loop:
+//
+//   - contiguous row shards across workers (each entry belongs to exactly
+//     one shard, so output is independent of the worker count), and
+//   - a 4-row micro-tile inside each shard that streams every basis
+//     vector once per four rows instead of once per row; each of the four
+//     accumulators still sums in ascending k order, i.e. exactly the
+//     float-operation order of Vector.Dot.
+//
+// Axis-aligned subspaces (standard-basis vectors) skip the dot products
+// entirely and gather coordinates, which turns the projection into a
+// copy with stride — see Subspace.axisIndices for why the gather is
+// bit-identical to the dots.
+
+// gemmRowTile is the micro-tile height: basis vectors are streamed once
+// per tile rather than once per row.
+const gemmRowTile = 4
+
+// ProjectRowsInto writes the subspace coordinates of rows 0 … n−1 into
+// dst (shape n×Dim), reading each row through the row accessor. Row
+// shards run on up to `workers` goroutines (≤ 0 means GOMAXPROCS); every
+// entry is one sequential inner product, so the output is bit-identical
+// at any worker count. dst must be preallocated by the caller, which is
+// what lets the engine's hot loops reuse scratch matrices and allocate
+// nothing steady-state.
+func (s *Subspace) ProjectRowsInto(ctx context.Context, workers int, dst *Matrix, n int, row func(int) Vector) error {
+	if dst.Rows < n || dst.Cols != len(s.basis) {
+		return fmt.Errorf("%w: dst %dx%d for %d rows into %d-dim subspace",
+			ErrDimensionMismatch, dst.Rows, dst.Cols, n, len(s.basis))
+	}
+	axes, axisOK := s.axisIndices()
+	l := len(s.basis)
+	return parallel.ForShards(ctx, workers, n, func(_ context.Context, _, lo, hi int) error {
+		if axisOK {
+			for i := lo; i < hi; i++ {
+				r := row(i)
+				out := dst.Data[i*l : i*l+l]
+				for j, a := range axes {
+					out[j] = r[a] + 0
+				}
+			}
+			return nil
+		}
+		i := lo
+		for ; i+gemmRowTile <= hi; i += gemmRowTile {
+			r0, r1, r2, r3 := row(i), row(i+1), row(i+2), row(i+3)
+			o0 := dst.Data[i*l : i*l+l]
+			o1 := dst.Data[(i+1)*l : (i+1)*l+l]
+			o2 := dst.Data[(i+2)*l : (i+2)*l+l]
+			o3 := dst.Data[(i+3)*l : (i+3)*l+l]
+			for j, b := range s.basis {
+				r0, r1, r2, r3 := r0[:len(b)], r1[:len(b)], r2[:len(b)], r3[:len(b)]
+				var s0, s1, s2, s3 float64
+				for k, bk := range b {
+					s0 += r0[k] * bk
+					s1 += r1[k] * bk
+					s2 += r2[k] * bk
+					s3 += r3[k] * bk
+				}
+				o0[j], o1[j], o2[j], o3[j] = s0, s1, s2, s3
+			}
+		}
+		for ; i < hi; i++ {
+			r := row(i)
+			out := dst.Data[i*l : i*l+l]
+			for j, b := range s.basis {
+				out[j] = r.Dot(b)
+			}
+		}
+		return nil
+	})
+}
+
+// ProjectRowsContext is ProjectRows with cooperative cancellation and a
+// worker count; see ProjectRowsInto for the determinism contract.
+func (s *Subspace) ProjectRowsContext(ctx context.Context, workers int, m *Matrix) (*Matrix, error) {
+	if m.Cols != s.ambient {
+		return nil, fmt.Errorf("%w: rows have dim %d, ambient %d", ErrDimensionMismatch, m.Cols, s.ambient)
+	}
+	out := NewMatrix(m.Rows, len(s.basis))
+	if err := s.ProjectRowsInto(ctx, workers, out, m.Rows, m.Row); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QuadForm returns the quadratic form uᵀ·m·u of a square matrix, the
+// O(d²) evaluation behind the covariance pull-through: for Σ the
+// covariance of a point set, QuadForm(u) of a unit u is the variance of
+// the points along u without an O(N·d) data sweep. Row dot products run
+// in ascending index order, so the result is deterministic.
+func (m *Matrix) QuadForm(u Vector) float64 {
+	if m.Rows != m.Cols || m.Cols != len(u) {
+		panic(fmt.Sprintf("linalg: QuadForm %dx%d with vector dim %d", m.Rows, m.Cols, len(u)))
+	}
+	var sum float64
+	for a, ua := range u {
+		if ua == 0 {
+			continue
+		}
+		sum += ua * Vector(m.Data[a*m.Cols:(a+1)*m.Cols]).Dot(u)
+	}
+	return sum
+}
+
+// PullThroughCov maps the covariance Σ of ambient-space rows to the
+// covariance of their projections into s: Σ′ = B·Σ·Bᵀ with B the basis
+// rows. Combined with View-level memoization this replaces the O(N·d²)
+// re-estimation after every re-projection of the engine's complement
+// chain by an O(d³) congruence. The result is exactly symmetric by
+// construction. Axis-aligned subspaces reduce to a gather of Σ entries.
+func (s *Subspace) PullThroughCov(cov *Matrix) (*Matrix, error) {
+	d := s.ambient
+	if cov.Rows != d || cov.Cols != d {
+		return nil, fmt.Errorf("%w: covariance %dx%d, ambient %d", ErrDimensionMismatch, cov.Rows, cov.Cols, d)
+	}
+	l := len(s.basis)
+	out := NewMatrix(l, l)
+	if axes, ok := s.axisIndices(); ok {
+		for i, a := range axes {
+			for j := i; j < l; j++ {
+				v := cov.At(a, axes[j])
+				out.Set(i, j, v)
+				out.Set(j, i, v)
+			}
+		}
+		return out, nil
+	}
+	t := make(Vector, d) // t = Σ·bᵢ, reused per basis vector
+	for i, bi := range s.basis {
+		for a := 0; a < d; a++ {
+			t[a] = Vector(cov.Data[a*d : (a+1)*d]).Dot(bi)
+		}
+		for j := i; j < l; j++ {
+			v := s.basis[j].Dot(t)
+			out.Set(i, j, v)
+			out.Set(j, i, v)
+		}
+	}
+	return out, nil
+}

@@ -241,6 +241,35 @@ func (m *Matrix) CovarianceContext(ctx context.Context, workers int) (*Matrix, e
 	return cov, nil
 }
 
+// ColumnVariances returns the per-column variance of the rows of m in one
+// pass (normalized by n, clamped at zero like VarianceAlong). Column j of
+// the result equals the variance of the rows along the j-th standard basis
+// direction, which is what the axis-parallel projection scoring reads.
+func (m *Matrix) ColumnVariances() Vector {
+	out := make(Vector, m.Cols)
+	if m.Rows < 2 {
+		return out
+	}
+	sum := make(Vector, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			sum[j] += x
+			out[j] += x * x
+		}
+	}
+	n := float64(m.Rows)
+	for j := range out {
+		mean := sum[j] / n
+		v := out[j]/n - mean*mean
+		if v < 0 { // numeric noise
+			v = 0
+		}
+		out[j] = v
+	}
+	return out
+}
+
 // VarianceAlong returns the variance of the rows of m when projected onto
 // the (not necessarily unit) direction dir, normalized by n. The direction
 // is normalized internally; a zero direction yields 0.

@@ -1,9 +1,11 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrDegenerateBasis is returned when a set of vectors cannot be
@@ -17,6 +19,51 @@ var ErrDegenerateBasis = errors.New("linalg: degenerate basis")
 type Subspace struct {
 	ambient int
 	basis   []Vector // orthonormal, each of dimension ambient
+
+	// axes memoizes axisIndices: when every basis vector is exactly a
+	// standard basis vector (FullSpace, AxisSubspace, and — because
+	// Gram–Schmidt of standard vectors reproduces them bit for bit — the
+	// axis-parallel subspaces and complements the engine derives), the
+	// projection kernels skip the d-length dot products and gather the
+	// coordinate directly. Resolved once, lazily; a Subspace is immutable
+	// after construction, so the memo is safe for concurrent readers.
+	axesOnce sync.Once
+	axes     []int
+	axesOK   bool
+}
+
+// axisIndices returns, for a basis consisting solely of standard basis
+// vectors, the axis index of each basis vector in order; ok is false for
+// any other basis. The scan runs once per subspace.
+func (s *Subspace) axisIndices() (axes []int, ok bool) {
+	s.axesOnce.Do(func() {
+		idx := make([]int, len(s.basis))
+		for i, b := range s.basis {
+			axis := -1
+			for j, x := range b {
+				switch {
+				case x == 0: // matches both +0 and −0
+				case x == 1 && axis < 0:
+					axis = j
+				default:
+					return
+				}
+			}
+			if axis < 0 {
+				return
+			}
+			idx[i] = axis
+		}
+		s.axes, s.axesOK = idx, true
+	})
+	return s.axes, s.axesOK
+}
+
+// AxisAligned reports whether every basis vector of s is exactly a
+// standard basis vector (an axis-parallel subspace in the paper's sense).
+func (s *Subspace) AxisAligned() bool {
+	_, ok := s.axisIndices()
+	return ok
 }
 
 // NewSubspace orthonormalizes the given spanning vectors (modified copies;
@@ -112,6 +159,15 @@ func (s *Subspace) Project(y Vector) Vector {
 		panic(fmt.Sprintf("linalg: Project dim %d into ambient %d", len(y), s.ambient))
 	}
 	out := make(Vector, len(s.basis))
+	if axes, ok := s.axisIndices(); ok {
+		// y·e_a accumulates zeros around y[a]; "+0" reproduces the one
+		// observable difference (−0 dotted with a standard vector is +0),
+		// so the gather is bit-identical to the dot products.
+		for i, a := range axes {
+			out[i] = y[a] + 0
+		}
+		return out
+	}
 	for i, b := range s.basis {
 		out[i] = y.Dot(b)
 	}
@@ -119,19 +175,10 @@ func (s *Subspace) Project(y Vector) Vector {
 }
 
 // ProjectRows projects every row of m (shape n×ambient) into the subspace,
-// returning an n×Dim matrix of subspace coordinates.
+// returning an n×Dim matrix of subspace coordinates. It runs the blocked
+// kernel serially; see ProjectRowsInto for the parallel form.
 func (s *Subspace) ProjectRows(m *Matrix) (*Matrix, error) {
-	if m.Cols != s.ambient {
-		return nil, fmt.Errorf("%w: rows have dim %d, ambient %d", ErrDimensionMismatch, m.Cols, s.ambient)
-	}
-	out := NewMatrix(m.Rows, len(s.basis))
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, b := range s.basis {
-			out.Set(i, j, row.Dot(b))
-		}
-	}
-	return out, nil
+	return s.ProjectRowsContext(context.Background(), 1, m)
 }
 
 // Lift maps subspace coordinates back into ambient space: Σ cᵢ eᵢ.
@@ -172,6 +219,15 @@ func (s *Subspace) ProjDistTo(coords, x Vector) float64 {
 		panic(fmt.Sprintf("linalg: ProjDistTo point dim %d, ambient %d", len(x), s.ambient))
 	}
 	var sum float64
+	if axes, ok := s.axisIndices(); ok {
+		// Axis-aligned fast path: O(l) gathers instead of l dot products
+		// of length d, bit-identical to the general loop (see Project).
+		for j, a := range axes {
+			d := coords[j] - (x[a] + 0)
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
 	for j, b := range s.basis {
 		d := coords[j] - x.Dot(b)
 		sum += d * d

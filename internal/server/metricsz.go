@@ -28,6 +28,8 @@ func (b metricsBridge) Emit(e telemetry.Event) {
 		b.m.kdeBuild.Observe(e.DurationMS * sec)
 	case telemetry.EventIteration:
 		b.m.iteration.Observe(e.DurationMS * sec)
+	case telemetry.EventProjectionStage:
+		b.m.projectionStage.Observe(e.DurationMS * sec)
 	}
 }
 
@@ -82,6 +84,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Histogram("innsearch_kde_build_seconds", "Kernel-density grid construction time per view.", m.kdeBuild.Snapshot())
 	p.Histogram("innsearch_iteration_duration_seconds", "Major-iteration duration across hosted sessions.", m.iteration.Snapshot())
 	p.Histogram("innsearch_batch_search_seconds", "End-to-end duration of /v1/search requests.", m.batchSearch.Snapshot())
+	p.Histogram("innsearch_projection_stage_seconds", "Per-halving-stage cost of the graded projection search.", m.projectionStage.Snapshot())
 
 	_ = p.Err() // the client is gone if writing failed; nothing to do
 }

@@ -39,11 +39,15 @@ type metrics struct {
 	// server-side cost of a view. decisionWait is the wall time a view
 	// spent awaiting the (human or simulated) decision — previously
 	// mislabeled "view latency" in /varz.
-	viewLatency  *telemetry.Histogram
-	decisionWait *telemetry.Histogram
-	kdeBuild     *telemetry.Histogram
-	iteration    *telemetry.Histogram
-	batchSearch  *telemetry.Histogram
+	// projectionStage times one halving stage of the graded projection
+	// search — the engine's hot path; its histogram is what makes the
+	// fast-path/exact cost difference visible on a dashboard.
+	viewLatency     *telemetry.Histogram
+	decisionWait    *telemetry.Histogram
+	kdeBuild        *telemetry.Histogram
+	iteration       *telemetry.Histogram
+	batchSearch     *telemetry.Histogram
+	projectionStage *telemetry.Histogram
 }
 
 func newMetrics() *metrics {
@@ -52,11 +56,12 @@ func newMetrics() *metrics {
 	machine := telemetry.ExponentialBounds(0.001, 2, 16)
 	human := telemetry.ExponentialBounds(0.01, 2, 16)
 	return &metrics{
-		viewLatency:  telemetry.NewHistogram(machine),
-		decisionWait: telemetry.NewHistogram(human),
-		kdeBuild:     telemetry.NewHistogram(machine),
-		iteration:    telemetry.NewHistogram(machine),
-		batchSearch:  telemetry.NewHistogram(machine),
+		viewLatency:     telemetry.NewHistogram(machine),
+		decisionWait:    telemetry.NewHistogram(human),
+		kdeBuild:        telemetry.NewHistogram(machine),
+		iteration:       telemetry.NewHistogram(machine),
+		batchSearch:     telemetry.NewHistogram(machine),
+		projectionStage: telemetry.NewHistogram(machine),
 	}
 }
 
@@ -116,6 +121,9 @@ type varz struct {
 	KDEBuild     latencyVarz `json:"kde_build"`
 	Iteration    latencyVarz `json:"iteration"`
 	BatchSearch  latencyVarz `json:"batch_search"`
+	// ProjectionStage is the per-halving-stage cost of the graded
+	// projection search across hosted sessions.
+	ProjectionStage latencyVarz `json:"projection_stage"`
 }
 
 func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolActive, poolQueued int64) varz {
@@ -140,10 +148,11 @@ func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolA
 		ParallelActiveWorkers: poolActive,
 		ParallelQueuedTasks:   poolQueued,
 
-		ViewLatency:  toLatencyVarz(m.viewLatency.Snapshot()),
-		DecisionWait: toLatencyVarz(m.decisionWait.Snapshot()),
-		KDEBuild:     toLatencyVarz(m.kdeBuild.Snapshot()),
-		Iteration:    toLatencyVarz(m.iteration.Snapshot()),
-		BatchSearch:  toLatencyVarz(m.batchSearch.Snapshot()),
+		ViewLatency:     toLatencyVarz(m.viewLatency.Snapshot()),
+		DecisionWait:    toLatencyVarz(m.decisionWait.Snapshot()),
+		KDEBuild:        toLatencyVarz(m.kdeBuild.Snapshot()),
+		Iteration:       toLatencyVarz(m.iteration.Snapshot()),
+		BatchSearch:     toLatencyVarz(m.batchSearch.Snapshot()),
+		ProjectionStage: toLatencyVarz(m.projectionStage.Snapshot()),
 	}
 }

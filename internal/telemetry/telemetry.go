@@ -27,9 +27,9 @@ type EventType string
 // The engine's event taxonomy. One interactive session emits exactly one
 // session_start and (on any exit path) one session_end; each major
 // iteration emits one iteration and one points_dropped; each minor
-// iteration emits projection, kde_build, and view per candidate
-// projection family, one decision_wait per view shown, and one select per
-// answered view.
+// iteration emits projection (preceded by one projection_stage per
+// halving stage), kde_build, and view per candidate projection family,
+// one decision_wait per view shown, and one select per answered view.
 const (
 	// EventSessionStart opens a session trace: dataset size, dimension,
 	// and the effective engine configuration.
@@ -43,6 +43,12 @@ const (
 	// EventProjection times one graded subspace determination
 	// (FindQueryCenteredProjection) for one projection family.
 	EventProjection EventType = "projection"
+	// EventProjectionStage times one halving stage inside a graded
+	// subspace determination (nearest-s re-ranking plus cluster-subspace
+	// scoring); Dim carries the stage's target dimensionality. A
+	// projection event therefore decomposes into its projection_stage
+	// events, which is what localizes regressions to a stage depth.
+	EventProjectionStage EventType = "projection_stage"
 	// EventKDEBuild times one kernel-density grid build (the profile
 	// construction around it; the pure grid time is in KDEBuildMS).
 	EventKDEBuild EventType = "kde_build"
