@@ -23,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
+	"innsearch/internal/index"
 	"innsearch/internal/telemetry"
 	"innsearch/internal/user"
 )
@@ -43,6 +45,7 @@ func main() {
 		transcriptOut = flag.String("transcript", "", "record the session transcript (JSON) to this path")
 		normalize     = flag.String("normalize", "none", "attribute normalization: none, minmax, zscore")
 		tracePath     = flag.String("trace", "", "append engine trace events as JSONL to this path (- for stderr)")
+		indexName     = flag.String("index", "", "candidate-generation index backend: "+strings.Join(index.Names(), ", ")+" (empty = plain exact scan)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -108,6 +111,7 @@ func main() {
 		GridSize:           *gridP,
 		MaxMajorIterations: *iters,
 		Workers:            *workers,
+		Index:              index.Config{Name: *indexName},
 	}
 	var transcript *core.Transcript
 	if *transcriptOut != "" {

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"innsearch/internal/dataset"
+	"innsearch/internal/index"
 	"innsearch/internal/server"
 	"innsearch/internal/synth"
 	"innsearch/internal/telemetry"
@@ -74,6 +75,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		logMode      = flag.String("log", "json", "request log format: json, text, or off")
 		tracePath    = flag.String("trace", "", "append engine trace events as JSONL to this file (- for stderr)")
+		indexName    = flag.String("index", "", "default candidate-generation index backend: "+strings.Join(index.Names(), ", ")+" (empty = plain exact scan)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (keep private; empty disables)")
 	)
 	flag.Var(&dataSpecs, "data", "preload a CSV dataset as name=path (repeatable)")
@@ -126,6 +128,7 @@ func main() {
 		LongPollWait:   *longPoll,
 		SessionWorkers: *workers,
 		BatchWorkers:   *batchWorkers,
+		Index:          *indexName,
 		Logger:         logger,
 		Trace:          trace,
 	})

@@ -43,6 +43,7 @@ import (
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
 	"innsearch/internal/grid"
+	"innsearch/internal/index"
 	"innsearch/internal/user"
 )
 
@@ -57,6 +58,22 @@ type Config = core.Config
 
 // DiagnosisConfig tunes the steep-drop meaningfulness analysis.
 type DiagnosisConfig = core.DiagnosisConfig
+
+// IndexConfig selects a candidate-generation backend for the session's
+// nearest-s scans (Config.Index). The zero value disables candidate
+// generation entirely — the session runs the plain exact scan. Setting
+// Name to an exact backend ("exact", "vafile", "rtree") leaves every
+// Result byte-identical to the unindexed session; approximate backends
+// ("kmtree") trade recall for speed via IndexOptions.
+type IndexConfig = index.Config
+
+// IndexOptions are the per-backend tuning knobs of an IndexConfig; zero
+// fields take backend defaults.
+type IndexOptions = index.Options
+
+// IndexBackends lists the registered candidate-generation backend names,
+// sorted, for use in IndexConfig.Name.
+func IndexBackends() []string { return index.Names() }
 
 // Session drives the iterative interactive search of the paper's
 // Figure 2. Run/Step have RunContext/StepContext variants that honor

@@ -47,7 +47,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		Support:            40,
 		GridSize:           32,
 		MaxMajorIterations: 3,
-		AxisParallel:       true,
+		Mode:               innsearch.ModeAxis,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestPublicAPIHeuristicUser(t *testing.T) {
 		Support:            40,
 		GridSize:           32,
 		MaxMajorIterations: 2,
-		AxisParallel:       true,
+		Mode:               innsearch.ModeAxis,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +102,7 @@ func TestPublicAPICustomUserFunc(t *testing.T) {
 		return innsearch.Decision{Skip: true}
 	})
 	sess, err := innsearch.NewSession(ds, q, custom, innsearch.Config{
-		Support: 30, GridSize: 16, MaxMajorIterations: 1, AxisParallel: true,
+		Support: 30, GridSize: 16, MaxMajorIterations: 1, Mode: innsearch.ModeAxis,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -6,10 +6,11 @@ import (
 	"testing"
 
 	"innsearch/internal/dataset"
+	"innsearch/internal/index"
 	"innsearch/internal/linalg"
 )
 
-func benchDataset(b *testing.B, n, d int) (*dataset.Dataset, linalg.Vector) {
+func benchDataset(b testing.TB, n, d int) (*dataset.Dataset, linalg.Vector) {
 	b.Helper()
 	r := rand.New(rand.NewSource(1))
 	rows := make([][]float64, n)
@@ -62,7 +63,7 @@ func BenchmarkFullSession2000x20(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
-			Support: 25, GridSize: 48, MaxMajorIterations: 2, AxisParallel: true,
+			Support: 25, GridSize: 48, MaxMajorIterations: 2, Mode: ModeAxis,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -176,3 +177,28 @@ func BenchmarkDiagnose5000(b *testing.B) {
 		_ = Diagnose(probs, DiagnosisConfig{})
 	}
 }
+
+// benchmarkSessionIndexed is BenchmarkSession2000x64 with a
+// candidate-generation backend installed — the numbers EXPERIMENTS.md
+// quotes when comparing exact, VA-file, and k-means-tree session times.
+func benchmarkSessionIndexed(b *testing.B, backend string) {
+	ds, q := benchDataset(b, 2000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+			Support: 64, GridSize: 48, MaxMajorIterations: 2,
+			Index: index.Config{Name: backend},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSession2000x64IndexExact(b *testing.B)  { benchmarkSessionIndexed(b, "exact") }
+func BenchmarkSession2000x64IndexVAFile(b *testing.B) { benchmarkSessionIndexed(b, "vafile") }
+func BenchmarkSession2000x64IndexKmtree(b *testing.B) { benchmarkSessionIndexed(b, "kmtree") }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/index"
+	"innsearch/internal/linalg"
+	"innsearch/internal/telemetry"
+)
+
+// candGen owns a session's candidate-generation backend (Config.Index):
+// the index built over the session's current view and the accumulated
+// work statistics. The generator is consulted by nearestPositions only
+// for full-space scans (sub.Identity()), where the backend's L2 ranking
+// is the engine's ranking; narrowed-subspace scans keep the exact kernels.
+//
+// Sessions prune rows between major iterations, producing a new view;
+// the generator detects the view change and lazily rebuilds, emitting one
+// index_build trace event per build and one candidate_gen event per
+// query.
+type candGen struct {
+	cfg     index.Config
+	backend index.Backend
+	built   *dataset.View // view the backend was last built over
+
+	// tr/major/minor are the owning session's tracer context, updated as
+	// the session advances (nil-safe; standalone use leaves them zero).
+	tr           tracer
+	major, minor int
+
+	builds int
+	calls  int
+	stats  index.Stats
+}
+
+// newCandGen constructs the configured backend, or (nil, nil) when no
+// index was requested — the zero-overhead default path. Unknown backend
+// names fail here, at session construction, not mid-iteration.
+func newCandGen(cfg index.Config, workers int) (*candGen, error) {
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	b, err := index.New(cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Options.Workers == 0 {
+		cfg.Options.Workers = workers
+	}
+	return &candGen{cfg: cfg, backend: b}, nil
+}
+
+// ensure (re)builds the backend when the session's view has advanced.
+func (g *candGen) ensure(ctx context.Context, v *dataset.View) error {
+	if g.built == v {
+		return nil
+	}
+	var t0 time.Time
+	if g.tr.enabled() {
+		t0 = g.tr.now()
+	}
+	if err := g.backend.Build(ctx, v, g.cfg.Options); err != nil {
+		return fmt.Errorf("core: index build (%s): %w", g.cfg.Name, err)
+	}
+	g.built = v
+	g.builds++
+	if g.tr.enabled() {
+		g.tr.emit(telemetry.Event{
+			Type:       telemetry.EventIndexBuild,
+			Major:      g.major,
+			Backend:    g.cfg.Name,
+			N:          v.N(),
+			Dim:        v.Dim(),
+			DurationMS: g.tr.since(t0),
+		})
+	}
+	return nil
+}
+
+// candidates returns the backend's k-candidate set for the ambient query
+// q against view v, building the index first if needed.
+func (g *candGen) candidates(ctx context.Context, v *dataset.View, q linalg.Vector, k int) ([]index.Candidate, error) {
+	if err := g.ensure(ctx, v); err != nil {
+		return nil, err
+	}
+	var t0 time.Time
+	if g.tr.enabled() {
+		t0 = g.tr.now()
+	}
+	cands, st, err := g.backend.KNN(ctx, q, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate generation (%s): %w", g.cfg.Name, err)
+	}
+	g.calls++
+	g.stats.Add(st)
+	if g.tr.enabled() {
+		g.tr.emit(telemetry.Event{
+			Type:       telemetry.EventCandidateGen,
+			Major:      g.major,
+			Minor:      g.minor,
+			Backend:    g.cfg.Name,
+			N:          v.N(),
+			Picked:     len(cands),
+			Scanned:    st.Scanned,
+			Refined:    st.Refined,
+			DurationMS: g.tr.since(t0),
+		})
+	}
+	return cands, nil
+}
+
+// IndexStats reports the session's candidate-generation counters so far:
+// the backend name, index builds, KNN calls, and the summed work Stats.
+// Zero values throughout when no index is configured.
+type IndexStats struct {
+	Backend string
+	Builds  int
+	Queries int
+	Work    index.Stats
+}
+
+// IndexStats returns the session's accumulated candidate-generation
+// statistics (the serving layer surfaces them in /varz).
+func (s *Session) IndexStats() IndexStats {
+	if s.gen == nil {
+		return IndexStats{}
+	}
+	return IndexStats{
+		Backend: s.gen.cfg.Name,
+		Builds:  s.gen.builds,
+		Queries: s.gen.calls,
+		Work:    s.gen.stats,
+	}
+}

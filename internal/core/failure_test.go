@@ -53,7 +53,7 @@ func TestSessionConstantAttributes(t *testing.T) {
 		t.Fatal(err)
 	}
 	s, err := NewSession(ds, []float64{5, 5, 7, 7}, alwaysTauUser(0.3), Config{
-		GridSize: 16, MaxMajorIterations: 2, AxisParallel: true, Support: 30,
+		GridSize: 16, MaxMajorIterations: 2, Mode: ModeAxis, Support: 30,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestSessionOddDimensionality(t *testing.T) {
 	ds, q := clusteredDataset(t, 200, 40, 7, 31) // d = 7, d/2 = 3 views
 	viewCount := 0
 	s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
-		GridSize: 16, MaxMajorIterations: 1, AxisParallel: true,
+		GridSize: 16, MaxMajorIterations: 1, Mode: ModeAxis,
 		Observer: Observer{OnProfile: func(*VisualProfile, Decision, []int) { viewCount++ }},
 	})
 	if err != nil {
@@ -122,7 +122,7 @@ func TestSessionAdversarialUserDecisions(t *testing.T) {
 			return Decision{Tau: 0, Weight: 1e9}
 		}
 	})
-	s, err := NewSession(ds, q, u, Config{GridSize: 16, MaxMajorIterations: 2, AxisParallel: true})
+	s, err := NewSession(ds, q, u, Config{GridSize: 16, MaxMajorIterations: 2, Mode: ModeAxis})
 	if err != nil {
 		t.Fatal(err)
 	}

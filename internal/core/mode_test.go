@@ -94,7 +94,7 @@ func TestSessionPolygonalDecision(t *testing.T) {
 	})
 	var pickedCounts []int
 	cfg := Config{
-		Support: 30, GridSize: 16, MaxMajorIterations: 1, AxisParallel: true,
+		Support: 30, GridSize: 16, MaxMajorIterations: 1, Mode: ModeAxis,
 		Observer: Observer{OnProfile: func(p *VisualProfile, d Decision, picked []int) {
 			pickedCounts = append(pickedCounts, len(picked))
 		}},

@@ -145,7 +145,7 @@ func BuildProfile(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, s
 // density-grid evaluation and the discrimination scan abort between row
 // shards once ctx is canceled. Parallelism is controlled by opts.Workers.
 func BuildProfileContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options) (*VisualProfile, error) {
-	return buildProfile(ctx, ds.View(), q, proj, support, opts, &searchScratch{})
+	return buildProfile(ctx, ds.View(), q, proj, support, opts, &searchScratch{}, nil)
 }
 
 // buildProfile is the view-level implementation behind BuildProfile;
@@ -154,7 +154,7 @@ func BuildProfileContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vect
 // float-operation order as the eager ProjectRows path, materialized once
 // and shared by the density estimate, the selection passes, and the
 // profile's Points field.
-func buildProfile(ctx context.Context, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options, scr *searchScratch) (*VisualProfile, error) {
+func buildProfile(ctx context.Context, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options, scr *searchScratch, gen *candGen) (*VisualProfile, error) {
 	pv, err := v.Compose(proj)
 	if err != nil {
 		return nil, fmt.Errorf("core: project data: %w", err)
@@ -181,7 +181,7 @@ func buildProfile(ctx context.Context, v *dataset.View, q linalg.Vector, proj *l
 	if qy > g.MaxY {
 		qy = g.MaxY
 	}
-	disc, err := discriminationScoreContext(ctx, opts.Workers, v, q, proj, support, scr)
+	disc, err := discriminationScoreContext(ctx, opts.Workers, v, q, proj, support, scr, gen)
 	if err != nil {
 		return nil, err
 	}

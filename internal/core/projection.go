@@ -63,7 +63,17 @@ func (sc *searchScratch) floatBuf(n int) []float64 {
 // the ranking is identical at any worker count); the bounded top-s
 // selection stays serial. No per-point projection is materialized — each
 // distance reads the view's row in place.
-func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, sub *linalg.Subspace, s int, scr *searchScratch) ([]int, error) {
+//
+// When a candidate generator is configured (gen non-nil) and the scan is
+// a full-space one (sub.Identity(), where projected distance IS plain L2
+// over the rows), the backend prunes the store to a candidate set first
+// and only the candidates are re-ranked with the engine's own metric and
+// strict total order. An exact backend's candidate set contains the true
+// top-s, so the re-ranked prefix is byte-identical to the full scan;
+// approximate backends trade that guarantee for work (see index.Backend).
+// Narrowed-subspace scans never consult the backend: its L2 ranking would
+// be wrong there.
+func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, sub *linalg.Subspace, s int, scr *searchScratch, gen *candGen) ([]int, error) {
 	n := v.N()
 	if s < 0 {
 		s = 0
@@ -71,8 +81,28 @@ func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linal
 	if s > n {
 		s = n
 	}
-	cands := scr.candBuf(n)
 	qp := sub.Project(q)
+	if gen != nil && s > 0 && s < n && sub.Identity() {
+		idxCands, err := gen.candidates(ctx, v, q, s)
+		if err != nil {
+			return nil, err
+		}
+		if len(idxCands) >= s {
+			cands := scr.candBuf(n)[:len(idxCands)]
+			for i, c := range idxCands {
+				cands[i] = cand{pos: c.Pos, dist: sub.ProjDistTo(qp, v.Point(c.Pos))}
+			}
+			selectNearest(cands, s)
+			out := make([]int, s)
+			for i := 0; i < s; i++ {
+				out[i] = cands[i].pos
+			}
+			return out, nil
+		}
+		// A backend returning fewer than s candidates falls through to the
+		// exact scan rather than silently shrinking the support.
+	}
+	cands := scr.candBuf(n)
 	err := parallel.ForShards(ctx, workers, n, func(_ context.Context, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			cands[i] = cand{pos: i, dist: sub.ProjDistTo(qp, v.Point(i))}
@@ -376,6 +406,11 @@ type ProjectionSearch struct {
 	// findProjectionDim can emit one projection_stage event per halving
 	// stage. Sessions set it; standalone callers get no stage events.
 	trace *stageTrace
+
+	// gen, when non-nil, is the owning session's candidate-generation
+	// backend (Config.Index), consulted by the full-space nearest-s scans.
+	// Sessions set it; standalone callers keep the exact full scan.
+	gen *candGen
 }
 
 // stageTrace is the session context a projection search stamps onto its
@@ -467,7 +502,7 @@ func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cf
 		if tracing {
 			t0 = cfg.trace.tr.now()
 		}
-		members, err := nearestPositions(ctx, cfg.Workers, v, q, ep, stageSupport, scr)
+		members, err := nearestPositions(ctx, cfg.Workers, v, q, ep, stageSupport, scr, cfg.gen)
 		if err != nil {
 			return nil, err
 		}
@@ -503,14 +538,15 @@ func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cf
 // the nearest points *within* the projection are tight in any view, good
 // or bad.
 func DiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) float64 {
-	score, _ := discriminationScoreContext(context.Background(), 1, ds.View(), q, proj, support, &searchScratch{})
+	score, _ := discriminationScoreContext(context.Background(), 1, ds.View(), q, proj, support, &searchScratch{}, nil)
 	return score
 }
 
-// discriminationScoreContext is DiscriminationScore with cancellation and
-// a worker count for the full-space neighbor scan.
-func discriminationScoreContext(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, scr *searchScratch) (float64, error) {
-	members, err := nearestPositions(ctx, workers, v, q, linalg.FullSpace(v.Dim()), support, scr)
+// discriminationScoreContext is DiscriminationScore with cancellation, a
+// worker count for the full-space neighbor scan, and an optional
+// candidate generator pruning that scan.
+func discriminationScoreContext(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, scr *searchScratch, gen *candGen) (float64, error) {
+	members, err := nearestPositions(ctx, workers, v, q, linalg.FullSpace(v.Dim()), support, scr, gen)
 	if err != nil {
 		return 0, err
 	}
@@ -526,7 +562,7 @@ func discriminationScoreContext(ctx context.Context, workers int, v *dataset.Vie
 // expressive power (ModeAuto).
 func HoldoutDiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) float64 {
 	v := ds.View()
-	all, err := nearestPositions(context.Background(), 1, v, q, linalg.FullSpace(v.Dim()), 2*support, &searchScratch{})
+	all, err := nearestPositions(context.Background(), 1, v, q, linalg.FullSpace(v.Dim()), 2*support, &searchScratch{}, nil)
 	if err != nil {
 		return 0
 	}

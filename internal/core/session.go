@@ -9,6 +9,7 @@ import (
 
 	"innsearch/internal/dataset"
 	"innsearch/internal/grid"
+	"innsearch/internal/index"
 	"innsearch/internal/kde"
 	"innsearch/internal/linalg"
 	"innsearch/internal/stats"
@@ -69,6 +70,15 @@ type Config struct {
 	// Graded enables gradual subspace halving (default). Setting
 	// DisableGrading turns it off for ablation.
 	DisableGrading bool
+	// Index selects a candidate-generation backend (internal/index) for
+	// the session's full-space nearest-s scans: the named index prunes the
+	// store to a candidate set before the exact kernels re-rank it. The
+	// zero value keeps the exact full scan with zero overhead. Exact
+	// backends ("exact", "vafile", "rtree") leave every Result
+	// byte-identical; approximate ones ("kmtree", "igrid") trade recall
+	// for sub-linear work — measure them with index.MeasureRecall before
+	// relying on a configuration.
+	Index index.Config
 	// GridSize is the density grid resolution p (default 48).
 	GridSize int
 	// BandwidthScale multiplies the Silverman bandwidths (default 1).
@@ -211,6 +221,10 @@ type Session struct {
 	arena   dataset.Arena
 	scratch searchScratch
 
+	// gen is the candidate-generation backend (Config.Index), nil when no
+	// index is configured — the zero-overhead full-scan path.
+	gen *candGen
+
 	prevTop   []int
 	converged bool
 	finished  bool
@@ -252,8 +266,13 @@ func NewSession(ds *dataset.Dataset, query []float64, user User, cfg Config) (*S
 	if user == nil {
 		return nil, errors.New("core: nil user")
 	}
-	return &Session{
-		cfg:       cfg.withDefaults(ds.N(), ds.Dim()),
+	cfg = cfg.withDefaults(ds.N(), ds.Dim())
+	gen, err := newCandGen(cfg.Index, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:       cfg,
 		tr:        tracer{t: cfg.Tracer},
 		user:      user,
 		data:      ds.View(),
@@ -261,7 +280,12 @@ func NewSession(ds *dataset.Dataset, query []float64, user User, cfg Config) (*S
 		probSum:   make(map[int]float64),
 		probIters: make(map[int]int),
 		originalN: ds.N(),
-	}, nil
+		gen:       gen,
+	}
+	if s.gen != nil {
+		s.gen.tr = s.tr
+	}
+	return s, nil
 }
 
 // Run executes major iterations until the termination criterion fires or
@@ -432,6 +456,10 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 		StageFactor: s.cfg.StageSupportFactor,
 		Workers:     s.cfg.Workers,
 		Exact:       s.cfg.ExactProjection,
+		gen:         s.gen,
+	}
+	if s.gen != nil {
+		s.gen.major = s.iter
 	}
 
 	for minor := 1; minor <= d/2; minor++ {
@@ -579,6 +607,9 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 // expressive arbitrary family — and judging views is exactly what the
 // paper keeps the human for.
 func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.Vector, psearch ProjectionSearch, minor int) (*VisualProfile, Decision, error) {
+	if s.gen != nil {
+		s.gen.minor = minor
+	}
 	var families []bool // axis-parallel?
 	switch {
 	case s.cfg.Mode == ModeAxis:
@@ -632,7 +663,7 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 			BandwidthScale: s.cfg.BandwidthScale,
 			Workers:        s.cfg.Workers,
 			Clock:          s.tr.clock(),
-		}, &s.scratch)
+		}, &s.scratch, s.gen)
 		if err != nil {
 			return nil, Decision{}, err
 		}

@@ -349,7 +349,7 @@ func TestSessionDeterministic(t *testing.T) {
 	ds, q := clusteredDataset(t, 400, 60, 8, 77)
 	run := func() *Result {
 		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
-			Support: 30, GridSize: 24, MaxMajorIterations: 2, AxisParallel: true,
+			Support: 30, GridSize: 24, MaxMajorIterations: 2, Mode: ModeAxis,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -404,7 +404,7 @@ func TestZScoreCanonicalizesScale(t *testing.T) {
 		tr := dd.NormalizeZScore()
 		qq := tr.Applied(query)
 		s, err := NewSession(dd, qq, alwaysTauUser(0.3), Config{
-			Support: 30, GridSize: 24, MaxMajorIterations: 2, AxisParallel: true,
+			Support: 30, GridSize: 24, MaxMajorIterations: 2, Mode: ModeAxis,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -430,7 +430,7 @@ func TestZScoreCanonicalizesScale(t *testing.T) {
 func TestSessionStepAPI(t *testing.T) {
 	ds, q := clusteredDataset(t, 300, 40, 6, 92)
 	cfg := Config{Support: 30, GridSize: 16, MaxMajorIterations: 3,
-		MinMajorIterations: 3, OverlapThreshold: 1.01, AxisParallel: true}
+		MinMajorIterations: 3, OverlapThreshold: 1.01, Mode: ModeAxis}
 	s, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -468,7 +468,7 @@ func TestSessionStepAPI(t *testing.T) {
 
 func TestSessionStepMatchesRun(t *testing.T) {
 	ds, q := clusteredDataset(t, 300, 40, 6, 93)
-	cfg := Config{Support: 30, GridSize: 16, MaxMajorIterations: 3, AxisParallel: true}
+	cfg := Config{Support: 30, GridSize: 16, MaxMajorIterations: 3, Mode: ModeAxis}
 	s1, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -191,7 +191,7 @@ func BenchmarkFullSessionNoopTracer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
-			Support: 25, GridSize: 48, MaxMajorIterations: 2, AxisParallel: true,
+			Support: 25, GridSize: 48, MaxMajorIterations: 2, Mode: ModeAxis,
 			Tracer: nil,
 		})
 		if err != nil {
@@ -212,7 +212,7 @@ func BenchmarkFullSessionCollectorTracer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
-			Support: 25, GridSize: 48, MaxMajorIterations: 2, AxisParallel: true,
+			Support: 25, GridSize: 48, MaxMajorIterations: 2, Mode: ModeAxis,
 			Tracer: telemetry.NewCollector(),
 		})
 		if err != nil {

@@ -10,7 +10,7 @@ func TestTranscriptRecordsSession(t *testing.T) {
 	ds, q := clusteredDataset(t, 300, 40, 6, 41)
 	tr, obs := NewTranscript(true)
 	s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
-		Support: 30, GridSize: 16, MaxMajorIterations: 2, AxisParallel: true,
+		Support: 30, GridSize: 16, MaxMajorIterations: 2, Mode: ModeAxis,
 		Observer: obs,
 	})
 	if err != nil {
@@ -47,7 +47,7 @@ func TestTranscriptJSONRoundTrip(t *testing.T) {
 	ds, q := clusteredDataset(t, 200, 30, 4, 42)
 	tr, obs := NewTranscript(false)
 	s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
-		Support: 20, GridSize: 16, MaxMajorIterations: 1, AxisParallel: true, Observer: obs,
+		Support: 20, GridSize: 16, MaxMajorIterations: 1, Mode: ModeAxis, Observer: obs,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestTranscriptJSONRoundTrip(t *testing.T) {
 func TestTranscriptReplayReproducesSession(t *testing.T) {
 	ds, q := clusteredDataset(t, 400, 50, 6, 43)
 	tr, obs := NewTranscript(false)
-	cfg := Config{Support: 30, GridSize: 16, MaxMajorIterations: 2, AxisParallel: true}
+	cfg := Config{Support: 30, GridSize: 16, MaxMajorIterations: 2, Mode: ModeAxis}
 	cfgRec := cfg
 	cfgRec.Observer = obs
 	s1, err := NewSession(ds, q, alwaysTauUser(0.3), cfgRec)

@@ -14,20 +14,36 @@
 package igrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"innsearch/internal/dataset"
+	"innsearch/internal/linalg"
 )
 
 // ErrBadConfig flags invalid construction parameters.
 var ErrBadConfig = errors.New("igrid: bad configuration")
 
-// Index holds the equi-depth banding of a dataset.
+// Source is the row-accessor interface the index builds over: any
+// indexed collection of points with original row IDs. Both
+// *dataset.Dataset and *dataset.View satisfy it, so the similarity scan
+// reads rows in place from the shared immutable store.
+type Source interface {
+	N() int
+	Dim() int
+	Point(i int) linalg.Vector
+	ID(i int) int
+}
+
+// ctxCheckEvery is how many rows a scan processes between context polls.
+const ctxCheckEvery = 1024
+
+// Index holds the equi-depth banding of a point source.
 type Index struct {
-	ds    *dataset.Dataset
+	src   Source
 	kd    int
 	p     float64
 	dim   int
@@ -36,11 +52,18 @@ type Index struct {
 	band []uint16
 }
 
-// Build discretizes each dimension of ds into kd equi-depth bands (the
+// Build discretizes each dimension of src into kd equi-depth bands (the
 // paper recommends kd proportional to the dimensionality; a common choice
 // is kd = ⌈d/2⌉…d) and uses exponent p in the per-dimension similarity.
-func Build(ds *dataset.Dataset, kd int, p float64) (*Index, error) {
-	if ds == nil || ds.N() == 0 {
+// It is BuildContext with a background context.
+func Build(src Source, kd int, p float64) (*Index, error) {
+	return BuildContext(context.Background(), src, kd, p)
+}
+
+// BuildContext is Build with cooperative cancellation: both the
+// per-dimension sorting pass and the banding pass poll ctx.
+func BuildContext(ctx context.Context, src Source, kd int, p float64) (*Index, error) {
+	if src == nil || src.N() == 0 {
 		return nil, dataset.ErrEmpty
 	}
 	if kd < 1 || kd > 1<<15 {
@@ -49,14 +72,23 @@ func Build(ds *dataset.Dataset, kd int, p float64) (*Index, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("%w: p=%v", ErrBadConfig, p)
 	}
-	if kd > ds.N() {
-		kd = ds.N()
+	n := src.N()
+	if kd > n {
+		kd = n
 	}
-	d := ds.Dim()
-	idx := &Index{ds: ds, kd: kd, p: p, dim: d}
+	d := src.Dim()
+	idx := &Index{src: src, kd: kd, p: p, dim: d}
 	idx.edges = make([][]float64, d)
+	// One scratch column reused across dimensions: equi-depth quantiles
+	// need a sorted copy, but never more than one at a time.
+	col := make([]float64, n)
 	for j := 0; j < d; j++ {
-		col := ds.Column(j)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			col[i] = src.Point(i)[j]
+		}
 		sort.Float64s(col)
 		e := make([]float64, kd+1)
 		for b := 0; b <= kd; b++ {
@@ -71,15 +103,23 @@ func Build(ds *dataset.Dataset, kd int, p float64) (*Index, error) {
 		}
 		idx.edges[j] = e
 	}
-	idx.band = make([]uint16, ds.N()*d)
-	for i := 0; i < ds.N(); i++ {
-		pt := ds.Point(i)
+	idx.band = make([]uint16, n*d)
+	for i := 0; i < n; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		pt := src.Point(i)
 		for j := 0; j < d; j++ {
 			idx.band[i*d+j] = uint16(idx.bandOf(j, pt[j]))
 		}
 	}
 	return idx, nil
 }
+
+// N returns the number of indexed points.
+func (idx *Index) N() int { return idx.src.N() }
 
 // bandOf locates the equi-depth band of value x in dimension j.
 func (idx *Index) bandOf(j int, x float64) int {
@@ -102,7 +142,7 @@ func (idx *Index) Similarity(query []float64, i int) (float64, error) {
 	if len(query) != idx.dim {
 		return 0, fmt.Errorf("igrid: query dim %d, index dim %d", len(query), idx.dim)
 	}
-	pt := idx.ds.Point(i)
+	pt := idx.src.Point(i)
 	var sim float64
 	for j := 0; j < idx.dim; j++ {
 		qb := idx.bandOf(j, query[j])
@@ -131,22 +171,34 @@ type Neighbor struct {
 }
 
 // Search returns the k points most similar to the query, descending by
-// similarity (ties broken by position).
+// similarity (ties broken by position). It is SearchContext with a
+// background context.
 func (idx *Index) Search(query []float64, k int) ([]Neighbor, error) {
+	return idx.SearchContext(context.Background(), query, k)
+}
+
+// SearchContext is Search with cooperative cancellation: the similarity
+// scan polls ctx between row blocks.
+func (idx *Index) SearchContext(ctx context.Context, query []float64, k int) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: k=%d", ErrBadConfig, k)
 	}
-	n := idx.ds.N()
+	n := idx.src.N()
 	if k > n {
 		k = n
 	}
 	all := make([]Neighbor, n)
 	for i := 0; i < n; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		s, err := idx.Similarity(query, i)
 		if err != nil {
 			return nil, err
 		}
-		all[i] = Neighbor{Pos: i, ID: idx.ds.ID(i), Similarity: s}
+		all[i] = Neighbor{Pos: i, ID: idx.src.ID(i), Similarity: s}
 	}
 	sort.SliceStable(all, func(a, b int) bool {
 		if all[a].Similarity != all[b].Similarity {

@@ -1,0 +1,140 @@
+package index
+
+import (
+	"context"
+	"errors"
+
+	"innsearch/internal/igrid"
+	"innsearch/internal/rtree"
+	"innsearch/internal/vafile"
+)
+
+func init() {
+	Register("vafile", func() Backend { return &vafileBackend{} })
+	Register("rtree", func() Backend { return &rtreeBackend{} })
+	Register("igrid", func() Backend { return &igridBackend{} })
+}
+
+// Default tunables of the adapted backends.
+const (
+	defaultVAFileBits   = 6
+	defaultIGridExpo    = 2.0
+	maxUint16Resolution = 1 << 15
+)
+
+// vafileBackend adapts the VA-file (internal/vafile): exact L2 results
+// from a two-phase scan of quantized approximations.
+type vafileBackend struct {
+	idx *vafile.Index
+}
+
+func (b *vafileBackend) Name() string { return "vafile" }
+func (b *vafileBackend) Exact() bool  { return true }
+
+func (b *vafileBackend) Build(ctx context.Context, src Source, opts Options) error {
+	bits := opts.Bits
+	if bits == 0 {
+		bits = defaultVAFileBits
+	}
+	idx, err := vafile.BuildContext(ctx, src, bits)
+	if err != nil {
+		return err
+	}
+	b.idx = idx
+	return nil
+}
+
+func (b *vafileBackend) KNN(ctx context.Context, q []float64, k int) ([]Candidate, Stats, error) {
+	if b.idx == nil {
+		return nil, Stats{}, errors.New("index: vafile backend not built")
+	}
+	nbs, st, err := b.idx.SearchContext(ctx, q, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Candidate, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Candidate{Pos: nb.Pos, ID: nb.ID, Dist: nb.Dist}
+	}
+	return out, Stats{Scanned: st.Scanned, Refined: st.Refined}, nil
+}
+
+// rtreeBackend adapts the R-tree (internal/rtree): exact L2 results from
+// best-first traversal. Selectivity degrades with dimensionality — this
+// is the motivation experiment's backend, kept registered for parity.
+type rtreeBackend struct {
+	tree *rtree.Tree
+}
+
+func (b *rtreeBackend) Name() string { return "rtree" }
+func (b *rtreeBackend) Exact() bool  { return true }
+
+func (b *rtreeBackend) Build(ctx context.Context, src Source, opts Options) error {
+	tree, err := rtree.BuildContext(ctx, src)
+	if err != nil {
+		return err
+	}
+	b.tree = tree
+	return nil
+}
+
+func (b *rtreeBackend) KNN(ctx context.Context, q []float64, k int) ([]Candidate, Stats, error) {
+	if b.tree == nil {
+		return nil, Stats{}, errors.New("index: rtree backend not built")
+	}
+	nbs, st, err := b.tree.SearchContext(ctx, q, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Candidate, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Candidate{Pos: nb.Pos, ID: nb.ID, Dist: nb.Dist}
+	}
+	return out, Stats{Nodes: st.NodesVisited}, nil
+}
+
+// igridBackend adapts the IGrid similarity index (internal/igrid). It is
+// approximate by construction: IGrid ranks by its own band-sharing
+// similarity, not L2, so its k-set need not contain the L2 k-set.
+// Candidate.Dist is the negated similarity, preserving ascending-is-better.
+type igridBackend struct {
+	idx *igrid.Index
+}
+
+func (b *igridBackend) Name() string { return "igrid" }
+func (b *igridBackend) Exact() bool  { return false }
+
+func (b *igridBackend) Build(ctx context.Context, src Source, opts Options) error {
+	bands := opts.Bands
+	if bands == 0 {
+		bands = src.Dim()
+	}
+	if bands > maxUint16Resolution {
+		bands = maxUint16Resolution
+	}
+	expo := opts.Exponent
+	if expo == 0 {
+		expo = defaultIGridExpo
+	}
+	idx, err := igrid.BuildContext(ctx, src, bands, expo)
+	if err != nil {
+		return err
+	}
+	b.idx = idx
+	return nil
+}
+
+func (b *igridBackend) KNN(ctx context.Context, q []float64, k int) ([]Candidate, Stats, error) {
+	if b.idx == nil {
+		return nil, Stats{}, errors.New("index: igrid backend not built")
+	}
+	nbs, err := b.idx.SearchContext(ctx, q, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Candidate, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Candidate{Pos: nb.Pos, ID: nb.ID, Dist: -nb.Similarity}
+	}
+	return out, Stats{Scanned: b.idx.N()}, nil
+}

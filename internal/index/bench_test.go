@@ -1,0 +1,50 @@
+package index
+
+import (
+	"context"
+	"testing"
+)
+
+// benchmarkCandidateGen measures one backend's KNN latency on the
+// Session2000x64 shape at the engine's default support (k = 64). Build
+// cost is excluded; sessions amortize it across every scan of a view
+// generation.
+func benchmarkCandidateGen(b *testing.B, name string) {
+	ds, queries := testData(b, 2000, 64)
+	be, err := New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := be.Build(context.Background(), ds, Options{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := be.KNN(context.Background(), queries[i%len(queries)], 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCandidateGenExact2000x64(b *testing.B)  { benchmarkCandidateGen(b, "exact") }
+func BenchmarkCandidateGenVAFile2000x64(b *testing.B) { benchmarkCandidateGen(b, "vafile") }
+func BenchmarkCandidateGenRTree2000x64(b *testing.B)  { benchmarkCandidateGen(b, "rtree") }
+func BenchmarkCandidateGenKmtree2000x64(b *testing.B) { benchmarkCandidateGen(b, "kmtree") }
+
+// BenchmarkCandidateGenBuildVAFile2000x64 times the per-view-generation
+// rebuild an indexed session pays, the other side of the amortization.
+func BenchmarkCandidateGenBuildVAFile2000x64(b *testing.B) {
+	ds, _ := testData(b, 2000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be, err := New("vafile")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := be.Build(context.Background(), ds, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package index is the pluggable candidate-generation layer: one Backend
+// interface over the repository's access methods (exact scan, VA-file,
+// R-tree, IGrid, priority-search k-means tree), a registry to construct
+// them by name, and a recall harness that measures any backend against
+// the exact reference.
+//
+// The engine consults a backend to prune the store to a candidate set
+// before its exact micro-tiled kernels run (see internal/core); the
+// serving layer surfaces the chosen backend and its work counters in
+// /varz and times builds and queries into /metrics. Backends divide into
+// two semantic classes, reported by Exact():
+//
+//   - Exact backends (exact, vafile, rtree) return the true k nearest
+//     neighbors under L2 with the engine's strict total order (ascending
+//     distance, ascending position on ties). A session that prunes
+//     through an exact backend returns byte-identical Results to the
+//     full scan.
+//   - Approximate backends (kmtree, igrid) trade recall for work. Their
+//     contract is honesty, not exactness: measure recall against the
+//     exact reference with MeasureRecall before trusting a configuration,
+//     the discipline ann-benchmarks established.
+//
+// All backends build from a Source — a zero-copy row accessor satisfied
+// by *dataset.View and *dataset.Dataset — and both Build and KNN honor
+// context cancellation and the Options.Workers pool cap.
+package index
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"innsearch/internal/linalg"
+)
+
+// Source is the row accessor every backend builds over: an indexed
+// collection of points with original row IDs, read in place from the
+// shared immutable store. *dataset.View and *dataset.Dataset satisfy it.
+type Source interface {
+	N() int
+	Dim() int
+	Point(i int) linalg.Vector
+	ID(i int) int
+}
+
+// Candidate is one generated candidate: a row position in the built
+// source, its original ID, and the backend's ranking score. For L2
+// backends Dist is the exact Euclidean distance; for igrid it is the
+// negated IGrid similarity, so ascending Dist is always "better" and
+// callers can treat the slice uniformly.
+type Candidate struct {
+	Pos  int
+	ID   int
+	Dist float64
+}
+
+// Stats reports the work one KNN call did, in backend-appropriate units.
+// Zero-valued fields mean "not applicable to this backend".
+type Stats struct {
+	// Scanned counts rows or row approximations examined.
+	Scanned int
+	// Refined counts exact full-dimensional distances computed.
+	Refined int
+	// Nodes counts tree nodes visited (tree backends).
+	Nodes int
+}
+
+// Add accumulates another query's counters, for session-lifetime totals.
+func (s *Stats) Add(o Stats) {
+	s.Scanned += o.Scanned
+	s.Refined += o.Refined
+	s.Nodes += o.Nodes
+}
+
+// Options carries the tunables of every registered backend; each backend
+// reads its own fields and ignores the rest. The zero value selects the
+// documented defaults.
+type Options struct {
+	// Workers caps the goroutines a backend may use for building and
+	// querying; ≤ 0 means GOMAXPROCS (the parallel.Workers convention).
+	Workers int
+
+	// Bits is the VA-file approximation width per dimension (default 6).
+	Bits int
+
+	// Bands is the IGrid equi-depth band count per dimension (default:
+	// the data dimensionality) and Exponent its similarity exponent
+	// (default 2).
+	Bands    int
+	Exponent float64
+
+	// Branching is the k-means tree fan-out (default 16), LeafSize the
+	// maximum points per leaf (default 32), Checks the search budget in
+	// points examined per query (default 512), and Seed the PRNG seed of
+	// the clustering (default 1). Recall is monotone non-decreasing in
+	// Checks; measure it with MeasureRecall.
+	Branching int
+	LeafSize  int
+	Checks    int
+	Seed      int64
+}
+
+// Config names a backend and its options — the value surfaced on the
+// public Config.Index field. The zero value means "no index": the engine
+// keeps its full-scan hot path with zero overhead.
+type Config struct {
+	Name    string
+	Options Options
+}
+
+// Enabled reports whether a backend was requested.
+func (c Config) Enabled() bool { return c.Name != "" }
+
+// Backend is one candidate-generation strategy. Implementations must be
+// safe for concurrent KNN calls after Build returns. Build may be called
+// again to re-index a new source (sessions rebuild after pruning rows).
+type Backend interface {
+	// Name returns the registry name the backend was constructed under.
+	Name() string
+	// Exact reports whether KNN returns the true L2 k-nearest set in the
+	// engine's strict total order (ascending distance, ascending position
+	// on ties). Approximate backends return false and are subject to
+	// MeasureRecall.
+	Exact() bool
+	// Build indexes src. It replaces any previously built state.
+	Build(ctx context.Context, src Source, opts Options) error
+	// KNN returns up to k candidates for query q, ascending by Dist with
+	// ascending-position tie-breaks, and the work Stats of this call.
+	KNN(ctx context.Context, q []float64, k int) ([]Candidate, Stats, error)
+}
+
+// registry maps backend names to constructors. Backends self-register in
+// their init functions; the map is effectively read-only afterwards, but
+// the mutex keeps Register safe for tests that add fakes.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Backend{}
+)
+
+// Register makes a backend constructible by name. Registering a
+// duplicate name panics: backend names are part of the public Config
+// surface and must be unambiguous.
+func Register(name string, factory func() Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("index: duplicate backend %q", name))
+	}
+	registry[name] = factory
+}
+
+// New constructs the named backend, or an error naming the known
+// backends when the name is unknown.
+func New(name string) (Backend, error) {
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("index: unknown backend %q (known: %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,251 @@
+package index
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/dataset"
+)
+
+// testData builds a deterministic clustered dataset: n/10 points near the
+// query region, the rest uniform — the same shape the engine benchmarks
+// use, so recall numbers here transfer.
+func testData(t testing.TB, n, d int) (*dataset.Dataset, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		if i%10 == 0 {
+			for j := range row {
+				row[j] = 50 + rng.NormFloat64()
+			}
+		} else {
+			for j := range row {
+				row[j] = rng.Float64() * 100
+			}
+		}
+		rows[i] = row
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatalf("dataset.New: %v", err)
+	}
+	queries := make([][]float64, 5)
+	for qi := range queries {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = 50 + rng.NormFloat64()*2
+		}
+		queries[qi] = q
+	}
+	return ds, queries
+}
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"exact", "igrid", "kmtree", "rtree", "vafile"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("New(bogus) should fail")
+	}
+}
+
+func TestExactBackendRecallIsOne(t *testing.T) {
+	ds, queries := testData(t, 500, 16)
+	for _, name := range []string{"exact", "vafile", "rtree"} {
+		b, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.Exact() {
+			t.Errorf("%s: Exact() = false, want true", name)
+		}
+		if err := b.Build(context.Background(), ds.View(), Options{}); err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+		rep, err := MeasureRecall(context.Background(), b, ds.View(), queries, 10)
+		if err != nil {
+			t.Fatalf("%s: MeasureRecall: %v", name, err)
+		}
+		if rep.Mean != 1.0 {
+			t.Errorf("%s: recall = %v, want exactly 1.0 (per-query %v)", name, rep.Mean, rep.PerQuery)
+		}
+	}
+}
+
+func TestExactBackendsAgreeOnOrder(t *testing.T) {
+	ds, queries := testData(t, 400, 12)
+	ref, _ := New("exact")
+	if err := ref.Build(context.Background(), ds.View(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"vafile", "rtree"} {
+		b, _ := New(name)
+		if err := b.Build(context.Background(), ds.View(), Options{}); err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+		for qi, q := range queries {
+			want, _, err := ref.KNN(context.Background(), q, 15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := b.KNN(context.Background(), q, 15)
+			if err != nil {
+				t.Fatalf("%s: KNN: %v", name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s q%d: %d results, want %d", name, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Pos != want[i].Pos || got[i].ID != want[i].ID {
+					t.Fatalf("%s q%d rank %d: got pos %d, want pos %d", name, qi, i, got[i].Pos, want[i].Pos)
+				}
+			}
+		}
+	}
+}
+
+func TestKmtreeRecallMonotoneInChecks(t *testing.T) {
+	ds, queries := testData(t, 2000, 64)
+	budgets := []int{50, 150, 400, 1000, 2000}
+	prev := -1.0
+	for _, checks := range budgets {
+		b, _ := New("kmtree")
+		if err := b.Build(context.Background(), ds.View(), Options{Checks: checks}); err != nil {
+			t.Fatalf("Build(checks=%d): %v", checks, err)
+		}
+		rep, err := MeasureRecall(context.Background(), b, ds.View(), queries, 20)
+		if err != nil {
+			t.Fatalf("MeasureRecall(checks=%d): %v", checks, err)
+		}
+		t.Logf("%s (checks=%d)", rep, checks)
+		if rep.Mean < prev {
+			t.Errorf("recall decreased: checks=%d gives %v, previous budget gave %v", checks, rep.Mean, prev)
+		}
+		prev = rep.Mean
+	}
+	if prev != 1.0 {
+		t.Errorf("recall at checks=N should be exactly 1.0 (all points examined), got %v", prev)
+	}
+}
+
+func TestKmtreeDefaultBudgetRecall(t *testing.T) {
+	// Acceptance criterion: measured recall ≥ 0.95 at the default Checks
+	// budget on the Session2000x64 shape.
+	ds, queries := testData(t, 2000, 64)
+	b, _ := New("kmtree")
+	if err := b.Build(context.Background(), ds.View(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MeasureRecall(context.Background(), b, ds.View(), queries, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s (default budget)", rep)
+	if rep.Mean < 0.95 {
+		t.Errorf("kmtree default-budget recall = %v, want >= 0.95", rep.Mean)
+	}
+}
+
+func TestKmtreeDeterministic(t *testing.T) {
+	ds, queries := testData(t, 800, 24)
+	run := func() [][]Candidate {
+		b, _ := New("kmtree")
+		if err := b.Build(context.Background(), ds.View(), Options{Checks: 200}); err != nil {
+			t.Fatal(err)
+		}
+		var out [][]Candidate
+		for _, q := range queries {
+			cs, _, err := b.KNN(context.Background(), q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, cs)
+		}
+		return out
+	}
+	a, bres := run(), run()
+	for qi := range a {
+		for i := range a[qi] {
+			if a[qi][i] != bres[qi][i] {
+				t.Fatalf("q%d rank %d differs across identical builds: %+v vs %+v", qi, i, a[qi][i], bres[qi][i])
+			}
+		}
+	}
+}
+
+func TestKNNRespectsCancellationAllBackends(t *testing.T) {
+	ds, queries := testData(t, 3000, 32)
+	for _, name := range Names() {
+		b, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Build(context.Background(), ds.View(), Options{Workers: 1}); err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // canceled before the query starts: every backend must notice
+		if _, _, err := b.KNN(ctx, queries[0], 10); err == nil {
+			t.Errorf("%s: KNN with canceled context returned nil error", name)
+		}
+	}
+}
+
+func TestBuildRespectsCancellationAllBackends(t *testing.T) {
+	ds, _ := testData(t, 3000, 32)
+	for _, name := range Names() {
+		b, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := b.Build(ctx, ds.View(), Options{Workers: 1}); err == nil {
+			t.Errorf("%s: Build with canceled context returned nil error", name)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	ds, queries := testData(t, 1000, 16)
+	for _, name := range Names() {
+		b, _ := New(name)
+		if err := b.Build(context.Background(), ds.View(), Options{}); err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+		_, st, err := b.KNN(context.Background(), queries[0], 10)
+		if err != nil {
+			t.Fatalf("%s: KNN: %v", name, err)
+		}
+		if st.Scanned == 0 && st.Refined == 0 && st.Nodes == 0 {
+			t.Errorf("%s: all Stats counters zero", name)
+		}
+	}
+}
+
+func TestMeasureRecallErrors(t *testing.T) {
+	ds, queries := testData(t, 100, 8)
+	b, _ := New("exact")
+	if _, err := MeasureRecall(context.Background(), nil, ds.View(), queries, 5); err == nil {
+		t.Error("nil backend should fail")
+	}
+	if err := b.Build(context.Background(), ds.View(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureRecall(context.Background(), b, ds.View(), nil, 5); err == nil {
+		t.Error("no queries should fail")
+	}
+	if _, err := MeasureRecall(context.Background(), b, ds.View(), queries, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}

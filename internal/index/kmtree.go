@@ -1,0 +1,370 @@
+package index
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"innsearch/internal/dataset"
+)
+
+func init() {
+	Register("kmtree", func() Backend { return &kmtreeBackend{} })
+}
+
+// Default k-means tree tunables (see Options).
+const (
+	defaultBranching = 16
+	defaultLeafSize  = 32
+	defaultChecks    = 512
+	defaultSeed      = 1
+	kmeansMaxIters   = 10
+)
+
+// kmtreeBackend is the priority-search k-means tree of Muja & Lowe
+// (FLANN): points are clustered hierarchically by k-means with a fixed
+// branching factor; a query descends best-first, always entering the
+// child whose center is closest and pushing the siblings onto a priority
+// queue keyed by their center distance. Leaves pop off the queue in
+// center-distance order until the Checks budget of examined points is
+// spent.
+//
+// The backend is approximate: the examined set is a deterministic
+// sequence prefixed by the budget, so recall is monotone non-decreasing
+// in Checks (a larger budget examines a superset) — the property the
+// recall tests pin. Results among the examined points are exact L2 in
+// the engine's strict total order.
+type kmtreeBackend struct {
+	src   Source
+	root  *kmNode
+	opts  Options
+	nodes int
+}
+
+// kmNode is one tree node: internal nodes hold child clusters, leaves
+// hold row positions. Centers are owned copies (k-means means are not
+// data rows).
+type kmNode struct {
+	center   []float64
+	children []*kmNode
+	points   []int
+}
+
+func (b *kmtreeBackend) Name() string { return "kmtree" }
+func (b *kmtreeBackend) Exact() bool  { return false }
+
+func (b *kmtreeBackend) Build(ctx context.Context, src Source, opts Options) error {
+	if src == nil || src.N() == 0 {
+		return dataset.ErrEmpty
+	}
+	if opts.Branching == 0 {
+		opts.Branching = defaultBranching
+	}
+	if opts.LeafSize == 0 {
+		opts.LeafSize = defaultLeafSize
+	}
+	if opts.Checks == 0 {
+		opts.Checks = defaultChecks
+	}
+	if opts.Seed == 0 {
+		opts.Seed = defaultSeed
+	}
+	if opts.Branching < 2 {
+		return fmt.Errorf("index: kmtree branching %d < 2", opts.Branching)
+	}
+	if opts.LeafSize < 1 {
+		return fmt.Errorf("index: kmtree leaf size %d < 1", opts.LeafSize)
+	}
+	all := make([]int, src.N())
+	for i := range all {
+		all[i] = i
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	b.src = src
+	b.opts = opts
+	b.nodes = 0
+	root, err := b.buildNode(ctx, all, rng)
+	if err != nil {
+		return err
+	}
+	b.root = root
+	return nil
+}
+
+// buildNode recursively clusters rows into a subtree.
+func (b *kmtreeBackend) buildNode(ctx context.Context, rows []int, rng *rand.Rand) (*kmNode, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.nodes++
+	n := &kmNode{center: b.centroid(rows)}
+	if len(rows) <= b.opts.LeafSize {
+		n.points = rows
+		return n, nil
+	}
+	groups := b.kmeans(rows, rng)
+	if len(groups) < 2 {
+		// Clustering collapsed (e.g. all points identical): stop splitting.
+		n.points = rows
+		return n, nil
+	}
+	for _, g := range groups {
+		child, err := b.buildNode(ctx, g, rng)
+		if err != nil {
+			return nil, err
+		}
+		n.children = append(n.children, child)
+	}
+	return n, nil
+}
+
+// centroid returns the mean of the rows as an owned vector.
+func (b *kmtreeBackend) centroid(rows []int) []float64 {
+	d := b.src.Dim()
+	c := make([]float64, d)
+	for _, r := range rows {
+		p := b.src.Point(r)
+		for j := 0; j < d; j++ {
+			c[j] += p[j]
+		}
+	}
+	inv := 1 / float64(len(rows))
+	for j := 0; j < d; j++ {
+		c[j] *= inv
+	}
+	return c
+}
+
+// kmeans partitions rows into up to Branching non-empty groups by Lloyd
+// iteration from a deterministic random-row seeding. Empty clusters are
+// dropped. Ties in assignment go to the lowest center index, so the
+// partition is a pure function of (rows, rng state).
+func (b *kmtreeBackend) kmeans(rows []int, rng *rand.Rand) [][]int {
+	kc := b.opts.Branching
+	if kc > len(rows) {
+		kc = len(rows)
+	}
+	d := b.src.Dim()
+	// Seed centers from distinct random rows (Fisher–Yates prefix).
+	perm := rng.Perm(len(rows))[:kc]
+	centers := make([][]float64, kc)
+	for i, pi := range perm {
+		centers[i] = append(make([]float64, 0, d), b.src.Point(rows[pi])...)
+	}
+	assign := make([]int, len(rows))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < kmeansMaxIters; iter++ {
+		changed := false
+		for ri, r := range rows {
+			p := b.src.Point(r)
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centers {
+				if dist := sqDist(p, c); dist < bestD {
+					best, bestD = ci, dist
+				}
+			}
+			if assign[ri] != best {
+				assign[ri] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, kc)
+		for ci := range centers {
+			for j := range centers[ci] {
+				centers[ci][j] = 0
+			}
+		}
+		for ri, r := range rows {
+			ci := assign[ri]
+			counts[ci]++
+			p := b.src.Point(r)
+			for j := 0; j < d; j++ {
+				centers[ci][j] += p[j]
+			}
+		}
+		for ci := range centers {
+			if counts[ci] == 0 {
+				continue // empty cluster keeps its (zeroed) center; dropped below
+			}
+			inv := 1 / float64(counts[ci])
+			for j := range centers[ci] {
+				centers[ci][j] *= inv
+			}
+		}
+	}
+	groups := make([][]int, kc)
+	for ri, r := range rows {
+		ci := assign[ri]
+		groups[ci] = append(groups[ci], r)
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// branchItem is one pending subtree on the search frontier, keyed by the
+// squared distance from the query to its center; seq breaks distance
+// ties in insertion order, which makes the traversal — and therefore the
+// examined-point sequence — fully deterministic.
+type branchItem struct {
+	node *kmNode
+	dist float64
+	seq  int
+}
+
+type branchQueue []branchItem
+
+func (q branchQueue) Len() int { return len(q) }
+func (q branchQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].seq < q[j].seq
+}
+func (q branchQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *branchQueue) Push(x interface{}) { *q = append(*q, x.(branchItem)) }
+func (q *branchQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+func (b *kmtreeBackend) KNN(ctx context.Context, q []float64, k int) ([]Candidate, Stats, error) {
+	if b.root == nil {
+		return nil, Stats{}, errors.New("index: kmtree backend not built")
+	}
+	if len(q) != b.src.Dim() {
+		return nil, Stats{}, fmt.Errorf("index: query dim %d, index dim %d", len(q), b.src.Dim())
+	}
+	if k <= 0 {
+		return nil, Stats{}, errors.New("index: k must be positive")
+	}
+	n := b.src.N()
+	if k > n {
+		k = n
+	}
+	checks := b.opts.Checks
+	if checks < k {
+		checks = k // always examine at least k points
+	}
+
+	dists := make(map[int]float64, checks+b.opts.LeafSize)
+	st := Stats{}
+	seq := 0
+	pq := branchQueue{{node: b.root, dist: 0, seq: seq}}
+	heap.Init(&pq)
+	examined := 0
+	for len(pq) > 0 && examined < checks {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
+		item := heap.Pop(&pq).(branchItem)
+		node := item.node
+		// Descend to a leaf, pushing the farther siblings at each level.
+		for len(node.children) > 0 {
+			st.Nodes++
+			best, bestD := 0, math.Inf(1)
+			childD := make([]float64, len(node.children))
+			for ci, c := range node.children {
+				childD[ci] = sqDist(q, c.center)
+				if childD[ci] < bestD {
+					best, bestD = ci, childD[ci]
+				}
+			}
+			for ci, c := range node.children {
+				if ci == best {
+					continue
+				}
+				seq++
+				heap.Push(&pq, branchItem{node: c, dist: childD[ci], seq: seq})
+			}
+			node = node.children[best]
+		}
+		st.Nodes++
+		for _, r := range node.points {
+			if _, seen := dists[r]; seen {
+				continue
+			}
+			dists[r] = l2(q, b.src.Point(r))
+			examined++
+		}
+	}
+	st.Scanned = examined
+	st.Refined = examined
+
+	// Bounded top-k over the examined set in the engine's strict order.
+	flat := make([]Candidate, 0, len(dists))
+	for r, d := range dists {
+		flat = append(flat, Candidate{Pos: r, ID: b.src.ID(r), Dist: d})
+	}
+	out := topK(flat, k)
+	return out, st, nil
+}
+
+// topK sorts candidates ascending by (Dist, Pos) and returns the first k.
+func topK(cs []Candidate, k int) []Candidate {
+	less := func(a, b Candidate) bool {
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		return a.Pos < b.Pos
+	}
+	// Insertion-friendly: full sort is fine, the examined set is small
+	// (≈ Checks points).
+	sortCandidates(cs, less)
+	if k > len(cs) {
+		k = len(cs)
+	}
+	return cs[:k]
+}
+
+func sortCandidates(cs []Candidate, less func(a, b Candidate) bool) {
+	// Heapsort keeps this allocation-free and deterministic.
+	n := len(cs)
+	down := func(i, n int) {
+		for {
+			kid := 2*i + 1
+			if kid >= n {
+				return
+			}
+			if r := kid + 1; r < n && less(cs[kid], cs[r]) {
+				kid = r
+			}
+			if !less(cs[i], cs[kid]) {
+				return
+			}
+			cs[i], cs[kid] = cs[kid], cs[i]
+			i = kid
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		down(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		cs[0], cs[end] = cs[end], cs[0]
+		down(0, end)
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

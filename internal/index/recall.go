@@ -1,0 +1,83 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// RecallReport is the outcome of one MeasureRecall run: the mean recall
+// over the query set plus the per-query values and the accumulated work
+// counters, so harnesses can print the full distribution.
+type RecallReport struct {
+	Backend  string
+	K        int
+	Queries  int
+	Mean     float64
+	PerQuery []float64
+	Work     Stats
+}
+
+// String formats the report for the recall harness's one-line output.
+func (r RecallReport) String() string {
+	return fmt.Sprintf("recall(%s, k=%d, queries=%d) = %.4f", r.Backend, r.K, r.Queries, r.Mean)
+}
+
+// MeasureRecall runs backend.KNN for every query and scores each k-set
+// against the exact L2 reference (a full scan over src with the engine's
+// strict total order). Recall of one query is |returned ∩ true| / k by
+// row position; the report's Mean averages over queries. The backend must
+// already be built over src.
+//
+// Exact backends must measure 1.0 by construction; approximate backends
+// report their true operating point — the honesty contract of the
+// ann-benchmarks discipline.
+func MeasureRecall(ctx context.Context, backend Backend, src Source, queries [][]float64, k int) (RecallReport, error) {
+	if backend == nil {
+		return RecallReport{}, errors.New("index: nil backend")
+	}
+	if src == nil || src.N() == 0 {
+		return RecallReport{}, errors.New("index: empty source")
+	}
+	if k <= 0 {
+		return RecallReport{}, errors.New("index: k must be positive")
+	}
+	if len(queries) == 0 {
+		return RecallReport{}, errors.New("index: no queries")
+	}
+	if k > src.N() {
+		k = src.N()
+	}
+	rep := RecallReport{Backend: backend.Name(), K: k, Queries: len(queries)}
+	rep.PerQuery = make([]float64, len(queries))
+	dists := make([]float64, src.N())
+	for qi, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return RecallReport{}, err
+		}
+		got, st, err := backend.KNN(ctx, q, k)
+		if err != nil {
+			return RecallReport{}, fmt.Errorf("index: KNN query %d: %w", qi, err)
+		}
+		rep.Work.Add(st)
+		// Exact reference: full scan, bounded top-k.
+		for i := 0; i < src.N(); i++ {
+			dists[i] = l2(q, src.Point(i))
+		}
+		truth := selectSmallest(src, dists, k)
+		trueSet := make(map[int]bool, k)
+		for _, c := range truth {
+			trueSet[c.Pos] = true
+		}
+		hits := 0
+		for _, c := range got {
+			if trueSet[c.Pos] {
+				hits++
+			}
+		}
+		rep.PerQuery[qi] = float64(hits) / float64(len(truth))
+		rep.Mean += rep.PerQuery[qi]
+	}
+	rep.Mean /= float64(len(queries))
+	return rep, nil
+}

@@ -66,6 +66,30 @@ func (s *Subspace) AxisAligned() bool {
 	return ok
 }
 
+// Identity reports whether s is exactly the full space with the standard
+// basis in natural order — what FullSpace constructs. Projection through
+// an identity subspace is the identity map and its projected distance is
+// plain L2 over the ambient coordinates in natural accumulation order, so
+// callers (the engine's candidate-generation gate) may substitute an
+// L2-based index without changing a single bit of the ranking. A permuted
+// axis basis is NOT an identity: it changes the floating-point
+// accumulation order.
+func (s *Subspace) Identity() bool {
+	if len(s.basis) != s.ambient {
+		return false
+	}
+	axes, ok := s.axisIndices()
+	if !ok {
+		return false
+	}
+	for i, a := range axes {
+		if a != i {
+			return false
+		}
+	}
+	return true
+}
+
 // NewSubspace orthonormalizes the given spanning vectors (modified copies;
 // the inputs are not mutated) via modified Gram–Schmidt and returns the
 // resulting subspace. Vectors that are numerically dependent on earlier

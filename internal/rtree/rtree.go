@@ -10,13 +10,30 @@ package rtree
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"innsearch/internal/dataset"
+	"innsearch/internal/linalg"
 )
+
+// Source is the row-accessor interface the tree builds over: any indexed
+// collection of points with original row IDs. Both *dataset.Dataset and
+// *dataset.View satisfy it, so the tree reads rows in place from the
+// shared immutable store — no per-row copies.
+type Source interface {
+	N() int
+	Dim() int
+	Point(i int) linalg.Vector
+	ID(i int) int
+}
+
+// ctxCheckEvery is how many frontier pops a search does between context
+// polls.
+const ctxCheckEvery = 256
 
 // Degree bounds: each node holds in [minEntries, maxEntries] children.
 const (
@@ -29,10 +46,12 @@ type rect struct {
 	lo, hi []float64
 }
 
+// pointRect views a point as its degenerate rectangle without copying:
+// both faces alias the row's backing storage. This is safe because every
+// mutation of a rect goes through clone() first (enlarge is only ever
+// called on cloned storage), so build cost is zero allocations per row.
 func pointRect(p []float64) rect {
-	lo := append([]float64(nil), p...)
-	hi := append([]float64(nil), p...)
-	return rect{lo: lo, hi: hi}
+	return rect{lo: p, hi: p}
 }
 
 func (r rect) clone() rect {
@@ -99,9 +118,9 @@ type node struct {
 	entries  []int   // leaf nodes: dataset positions
 }
 
-// Tree is an R-tree over a dataset's points.
+// Tree is an R-tree over a point source.
 type Tree struct {
-	ds    *dataset.Dataset
+	src   Source
 	root  *node
 	dim   int
 	size  int
@@ -116,15 +135,27 @@ type Stats struct {
 	TotalNodes int
 }
 
-// Build bulk-inserts every point of ds.
-func Build(ds *dataset.Dataset) (*Tree, error) {
-	if ds == nil || ds.N() == 0 {
+// Build inserts every point of src. It is BuildContext with a background
+// context.
+func Build(src Source) (*Tree, error) {
+	return BuildContext(context.Background(), src)
+}
+
+// BuildContext is Build with cooperative cancellation: the insertion loop
+// polls ctx between row blocks.
+func BuildContext(ctx context.Context, src Source) (*Tree, error) {
+	if src == nil || src.N() == 0 {
 		return nil, dataset.ErrEmpty
 	}
-	t := &Tree{ds: ds, dim: ds.Dim()}
+	t := &Tree{src: src, dim: src.Dim()}
 	t.root = &node{leaf: true}
 	t.nodes = 1
-	for i := 0; i < ds.N(); i++ {
+	for i := 0; i < src.N(); i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t.insert(i)
 	}
 	return t, nil
@@ -138,7 +169,7 @@ func (t *Tree) NodeCount() int { return t.nodes }
 
 // insert adds dataset position i.
 func (t *Tree) insert(i int) {
-	r := pointRect(t.ds.Point(i))
+	r := pointRect(t.src.Point(i))
 	leaf := t.chooseLeaf(t.root, r)
 	leaf.entries = append(leaf.entries, i)
 	if len(leaf.mbr.lo) == 0 {
@@ -243,7 +274,7 @@ func (t *Tree) pathTo(n, target *node) []*node {
 // split performs Guttman's quadratic split on an overflowing node.
 func (t *Tree) split(n *node) (*node, *node) {
 	if n.leaf {
-		groups := quadraticSplit(len(n.entries), func(i int) rect { return pointRect(t.ds.Point(n.entries[i])) })
+		groups := quadraticSplit(len(n.entries), func(i int) rect { return pointRect(t.src.Point(n.entries[i])) })
 		a := &node{leaf: true}
 		b := &node{leaf: true}
 		for _, i := range groups[0] {
@@ -328,7 +359,7 @@ func (t *Tree) recomputeMBR(n *node) {
 	}
 	if n.leaf {
 		for _, e := range n.entries {
-			grow(pointRect(t.ds.Point(e)))
+			grow(pointRect(t.src.Point(e)))
 		}
 	} else {
 		for _, c := range n.children {
@@ -361,8 +392,20 @@ type frontierItem struct {
 }
 type frontier []frontierItem
 
-func (f frontier) Len() int            { return len(f) }
-func (f frontier) Less(i, j int) bool  { return f[i].minDist < f[j].minDist }
+func (f frontier) Len() int { return len(f) }
+func (f frontier) Less(i, j int) bool {
+	if f[i].minDist != f[j].minDist {
+		return f[i].minDist < f[j].minDist
+	}
+	// Equal distance: expand nodes before emitting points (a node at the
+	// same distance may still contain an equal-distance point with a
+	// smaller position), then emit points in ascending position — the
+	// engine's strict total order, so the returned k-set is deterministic.
+	if (f[i].n == nil) != (f[j].n == nil) {
+		return f[i].n != nil
+	}
+	return f[i].pos < f[j].pos
+}
 func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
 func (f *frontier) Push(x interface{}) { *f = append(*f, x.(frontierItem)) }
 func (f *frontier) Pop() interface{} {
@@ -373,11 +416,18 @@ func (f *frontier) Pop() interface{} {
 	return x
 }
 
-// Search returns the exact k nearest neighbors of query under L2, using
-// best-first traversal (Hjaltason–Samet): the frontier pops nodes and
-// points by ascending minimum distance, so the first k points popped are
-// the answer.
+// Search returns the exact k nearest neighbors of query under L2. It is
+// SearchContext with a background context.
 func (t *Tree) Search(query []float64, k int) ([]Neighbor, Stats, error) {
+	return t.SearchContext(context.Background(), query, k)
+}
+
+// SearchContext returns the exact k nearest neighbors of query under L2,
+// using best-first traversal (Hjaltason–Samet): the frontier pops nodes
+// and points by ascending minimum distance, so the first k points popped
+// are the answer. The traversal polls ctx between frontier-pop blocks and
+// returns its error once canceled.
+func (t *Tree) SearchContext(ctx context.Context, query []float64, k int) ([]Neighbor, Stats, error) {
 	if len(query) != t.dim {
 		return nil, Stats{}, fmt.Errorf("rtree: query dim %d, index dim %d", len(query), t.dim)
 	}
@@ -391,12 +441,19 @@ func (t *Tree) Search(query []float64, k int) ([]Neighbor, Stats, error) {
 	f := frontier{{n: t.root, minDist: t.root.mbr.minDist(query)}}
 	heap.Init(&f)
 	var out []Neighbor
+	pops := 0
 	for len(f) > 0 && len(out) < k {
+		if pops%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, Stats{}, err
+			}
+		}
+		pops++
 		item := heap.Pop(&f).(frontierItem)
 		if item.n == nil {
 			out = append(out, Neighbor{
 				Pos:  item.pos,
-				ID:   t.ds.ID(item.pos),
+				ID:   t.src.ID(item.pos),
 				Dist: math.Sqrt(item.minDist),
 			})
 			continue
@@ -404,7 +461,7 @@ func (t *Tree) Search(query []float64, k int) ([]Neighbor, Stats, error) {
 		st.NodesVisited++
 		if item.n.leaf {
 			for _, e := range item.n.entries {
-				heap.Push(&f, frontierItem{n: nil, pos: e, minDist: sqDist(query, t.ds.Point(e))})
+				heap.Push(&f, frontierItem{n: nil, pos: e, minDist: sqDist(query, t.src.Point(e))})
 			}
 		} else {
 			for _, c := range item.n.children {

@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -184,6 +185,7 @@ func TestPropertyRTreeExactness(t *testing.T) {
 
 func BenchmarkRTreeBuild5000x20(b *testing.B) {
 	ds := uniformDS(b, 5000, 20, 5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Build(ds); err != nil {
@@ -205,4 +207,57 @@ func BenchmarkRTreeSearch5000x20(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// sinkDist defeats dead-code elimination in the allocation probes below.
+var sinkDist float64
+
+// TestPointRectAliasesRow pins the zero-copy representation: a point's
+// degenerate rectangle shares the row's backing storage on both faces.
+func TestPointRectAliasesRow(t *testing.T) {
+	p := []float64{1, 2, 3}
+	r := pointRect(p)
+	p[1] = 42
+	if r.lo[1] != 42 || r.hi[1] != 42 {
+		t.Errorf("pointRect copied the row: lo=%v hi=%v", r.lo, r.hi)
+	}
+}
+
+// TestPointRectAllocFree asserts the per-row access path — viewing a row
+// as its rectangle and computing a minimum distance — allocates nothing.
+func TestPointRectAllocFree(t *testing.T) {
+	ds := uniformDS(t, 256, 32, 9)
+	q := ds.PointCopy(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			r := pointRect(ds.Point(i))
+			sinkDist += r.minDist(q)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pointRect+minDist allocated %v times per 64-row block, want 0", allocs)
+	}
+}
+
+// TestBuildRetainsNoRowCopies bounds the tree's retained memory below one
+// raw copy of the point data: entries are row positions and only node
+// MBRs own storage, so the old copy-per-row build cost cannot sneak back.
+func TestBuildRetainsNoRowCopies(t *testing.T) {
+	const n, d = 2000, 64
+	ds := uniformDS(t, n, d, 11)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	tr, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	retained := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	raw := int64(n * d * 8)
+	if retained >= raw {
+		t.Errorf("tree retains %d bytes, not below one raw data copy (%d bytes)", retained, raw)
+	}
+	runtime.KeepAlive(tr)
 }

@@ -30,6 +30,10 @@ func (b metricsBridge) Emit(e telemetry.Event) {
 		b.m.iteration.Observe(e.DurationMS * sec)
 	case telemetry.EventProjectionStage:
 		b.m.projectionStage.Observe(e.DurationMS * sec)
+	case telemetry.EventIndexBuild:
+		b.m.indexBuild.Observe(e.DurationMS * sec)
+	case telemetry.EventCandidateGen:
+		b.m.candidateGen.Observe(e.DurationMS * sec)
 	}
 }
 
@@ -85,6 +89,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Histogram("innsearch_iteration_duration_seconds", "Major-iteration duration across hosted sessions.", m.iteration.Snapshot())
 	p.Histogram("innsearch_batch_search_seconds", "End-to-end duration of /v1/search requests.", m.batchSearch.Snapshot())
 	p.Histogram("innsearch_projection_stage_seconds", "Per-halving-stage cost of the graded projection search.", m.projectionStage.Snapshot())
+	p.Histogram("innsearch_index_build_seconds", "Candidate-generation index build time per view generation.", m.indexBuild.Snapshot())
+	p.Histogram("innsearch_candidate_gen_seconds", "Candidate-generation query time per nearest-s scan.", m.candidateGen.Snapshot())
 
 	_ = p.Err() // the client is gone if writing failed; nothing to do
 }

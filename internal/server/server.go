@@ -38,6 +38,7 @@ import (
 
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
+	"innsearch/internal/index"
 	"innsearch/internal/parallel"
 	"innsearch/internal/server/wire"
 	"innsearch/internal/telemetry"
@@ -72,6 +73,10 @@ type Config struct {
 	// BatchWorkers bounds concurrent sessions of one /v1/search call
 	// (default 0 = GOMAXPROCS).
 	BatchWorkers int
+	// Index names the default candidate-generation backend for sessions
+	// that do not request one over the wire ("" keeps candidate
+	// generation off; see internal/index.Names for the registry).
+	Index string
 	// SweepInterval overrides the TTL sweep cadence (default TTL/4);
 	// tests use it to observe eviction quickly.
 	SweepInterval time.Duration
@@ -137,6 +142,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: dataset %q is empty", name)
 		}
 		residentBytes += ds.Store().Bytes()
+	}
+	if cfg.Index != "" {
+		if _, err := index.New(cfg.Index); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	m := newMetrics()
 	base, stop := context.WithCancel(context.Background())
@@ -250,7 +260,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	poolActive, poolQueued := parallel.Stats()
 	writeJSON(w, http.StatusOK, s.metrics.snapshot(
-		s.store.active(), s.store.isDraining(), s.residentBytes, poolActive, poolQueued))
+		s.store.active(), s.store.isDraining(), s.residentBytes, poolActive, poolQueued, s.cfg.Index))
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -326,6 +336,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = s.cfg.SessionWorkers
+	}
+	if !cfg.Index.Enabled() && s.cfg.Index != "" {
+		cfg.Index = index.Config{Name: s.cfg.Index}
 	}
 	// The session ID is allocated before the engine so the tracer can stamp
 	// it (together with the creating request's ID) onto every trace event.

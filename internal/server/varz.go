@@ -42,12 +42,18 @@ type metrics struct {
 	// projectionStage times one halving stage of the graded projection
 	// search — the engine's hot path; its histogram is what makes the
 	// fast-path/exact cost difference visible on a dashboard.
+	// indexBuild and candidateGen time the optional candidate-generation
+	// index layer (core Config.Index): builds per view generation and
+	// KNN queries per nearest-s scan. Sessions without an index backend
+	// never observe into them, so both stay at count 0 by default.
 	viewLatency     *telemetry.Histogram
 	decisionWait    *telemetry.Histogram
 	kdeBuild        *telemetry.Histogram
 	iteration       *telemetry.Histogram
 	batchSearch     *telemetry.Histogram
 	projectionStage *telemetry.Histogram
+	indexBuild      *telemetry.Histogram
+	candidateGen    *telemetry.Histogram
 }
 
 func newMetrics() *metrics {
@@ -62,6 +68,8 @@ func newMetrics() *metrics {
 		iteration:       telemetry.NewHistogram(machine),
 		batchSearch:     telemetry.NewHistogram(machine),
 		projectionStage: telemetry.NewHistogram(machine),
+		indexBuild:      telemetry.NewHistogram(machine),
+		candidateGen:    telemetry.NewHistogram(machine),
 	}
 }
 
@@ -114,6 +122,9 @@ type varz struct {
 	// pool's instantaneous occupancy gauges.
 	ParallelActiveWorkers int64 `json:"parallel_active_workers"`
 	ParallelQueuedTasks   int64 `json:"parallel_queued_tasks"`
+	// IndexBackend is the server's default candidate-generation backend
+	// ("" when sessions run the plain exact scan unless they opt in).
+	IndexBackend string `json:"index_backend"`
 	// ViewLatency is the engine-side cost of building a view. Decision
 	// wait — what this field used to (mis)measure — now has its own entry.
 	ViewLatency  latencyVarz `json:"view_latency"`
@@ -124,9 +135,14 @@ type varz struct {
 	// ProjectionStage is the per-halving-stage cost of the graded
 	// projection search across hosted sessions.
 	ProjectionStage latencyVarz `json:"projection_stage"`
+	// IndexBuild and CandidateGen time the optional candidate-generation
+	// index layer; both stay at count 0 unless sessions set an index
+	// backend.
+	IndexBuild   latencyVarz `json:"index_build"`
+	CandidateGen latencyVarz `json:"candidate_gen"`
 }
 
-func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolActive, poolQueued int64) varz {
+func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolActive, poolQueued int64, indexBackend string) varz {
 	return varz{
 		ActiveSessions:    active,
 		Draining:          draining,
@@ -147,6 +163,7 @@ func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolA
 		LiveSessionViews:      m.LiveSessionViews.Load(),
 		ParallelActiveWorkers: poolActive,
 		ParallelQueuedTasks:   poolQueued,
+		IndexBackend:          indexBackend,
 
 		ViewLatency:     toLatencyVarz(m.viewLatency.Snapshot()),
 		DecisionWait:    toLatencyVarz(m.decisionWait.Snapshot()),
@@ -154,5 +171,7 @@ func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolA
 		Iteration:       toLatencyVarz(m.iteration.Snapshot()),
 		BatchSearch:     toLatencyVarz(m.batchSearch.Snapshot()),
 		ProjectionStage: toLatencyVarz(m.projectionStage.Snapshot()),
+		IndexBuild:      toLatencyVarz(m.indexBuild.Snapshot()),
+		CandidateGen:    toLatencyVarz(m.candidateGen.Snapshot()),
 	}
 }

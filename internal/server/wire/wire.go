@@ -13,10 +13,13 @@ package wire
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"innsearch/internal/core"
 	"innsearch/internal/grid"
+	"innsearch/internal/index"
 	"innsearch/internal/kde"
 )
 
@@ -265,6 +268,10 @@ type SessionConfig struct {
 	OverlapThreshold   float64 `json:"overlap_threshold,omitempty"`
 	StageSupportFactor int     `json:"stage_support_factor,omitempty"`
 	DisableGrading     bool    `json:"disable_grading,omitempty"`
+	// Index names the candidate-generation backend for the session's
+	// nearest-s scans ("" disables; see index.Names for the registry).
+	// Backend tuning stays at engine defaults over the wire.
+	Index string `json:"index,omitempty"`
 }
 
 // ToCore decodes the config for the session engine.
@@ -289,6 +296,12 @@ func (c SessionConfig) ToCore() (core.Config, error) {
 		cfg.Mode = core.ModeAuto
 	default:
 		return core.Config{}, fmt.Errorf("wire: unknown projection mode %q (want arbitrary, axis, or auto)", c.Mode)
+	}
+	if c.Index != "" {
+		if !slices.Contains(index.Names(), c.Index) {
+			return core.Config{}, fmt.Errorf("wire: unknown index backend %q (want one of %s)", c.Index, strings.Join(index.Names(), ", "))
+		}
+		cfg.Index = index.Config{Name: c.Index}
 	}
 	return cfg, nil
 }

@@ -66,6 +66,15 @@ const (
 	// EventPointsDropped reports the pruning at the end of a major
 	// iteration: how many points were removed and how many remain.
 	EventPointsDropped EventType = "points_dropped"
+	// EventIndexBuild times one candidate-generation index build
+	// (Config.Index): Backend names the backend, N and Dim the view it
+	// was built over. Sessions rebuild lazily whenever their view
+	// advances, so one session emits one per view generation consulted.
+	EventIndexBuild EventType = "index_build"
+	// EventCandidateGen times one candidate-generation query against the
+	// built index: Picked is the candidate count returned, Scanned and
+	// Refined the backend's work counters (see index.Stats).
+	EventCandidateGen EventType = "candidate_gen"
 )
 
 // Event is one trace record. It is a flat value struct — no maps, no
@@ -114,6 +123,12 @@ type Event struct {
 	Dropped int `json:"dropped,omitempty"`
 	// Overlap is the top-s overlap fraction of an iteration event.
 	Overlap float64 `json:"overlap,omitempty"`
+	// Backend names the candidate-generation backend of an index_build or
+	// candidate_gen event; Scanned and Refined carry its work counters
+	// (rows or approximations examined, exact distances computed).
+	Backend string `json:"backend,omitempty"`
+	Scanned int    `json:"scanned,omitempty"`
+	Refined int    `json:"refined,omitempty"`
 	// Iterations, Converged, ViewsShown and ViewsAnswered summarize the
 	// session on a session_end event.
 	Iterations    int  `json:"iterations,omitempty"`

@@ -229,7 +229,7 @@ func TestOracleSessionOnCase1(t *testing.T) {
 		Support:            int(0.005*2000) + 20,
 		GridSize:           32,
 		MaxMajorIterations: 3,
-		AxisParallel:       true, // Case 1's clusters live in original attributes
+		Mode:               core.ModeAxis, // Case 1's clusters live in original attributes
 	})
 	if err != nil {
 		t.Fatal(err)

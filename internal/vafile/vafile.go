@@ -10,25 +10,43 @@
 // which is precisely the paper's point: speed does not make the answer
 // meaningful. The experiments use it to show that the fraction of
 // approximations surviving the filter grows with dimensionality — the
-// curse hits the index, not just the scan.
+// curse hits the index, not just the scan. Since the candidate-generation
+// refactor it is also a first-class session backend (internal/index),
+// built zero-copy over a dataset view.
 package vafile
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"innsearch/internal/dataset"
+	"innsearch/internal/linalg"
 )
 
 // ErrBadBits is returned for unusable per-dimension bit widths.
 var ErrBadBits = errors.New("vafile: bits per dimension must be in [1, 16]")
 
-// Index is a VA-file over a dataset.
+// Source is the row-accessor interface the index builds over and refines
+// against: any indexed collection of points with original row IDs. Both
+// *dataset.Dataset and *dataset.View satisfy it, so the build reads rows
+// in place from the shared immutable store — no per-row copies.
+type Source interface {
+	N() int
+	Dim() int
+	Point(i int) linalg.Vector
+	ID(i int) int
+}
+
+// ctxCheckEvery is how many rows a scan processes between context polls.
+const ctxCheckEvery = 1024
+
+// Index is a VA-file over a point source.
 type Index struct {
-	ds   *dataset.Dataset
+	src  Source
 	bits int
 	// bounds[j] holds the 2^bits+1 partition boundaries of dimension j.
 	bounds [][]float64
@@ -48,19 +66,49 @@ type Stats struct {
 
 // Build constructs the index with the given bits per dimension, using
 // equally spaced partition boundaries over each dimension's range (the
-// original paper's default).
-func Build(ds *dataset.Dataset, bits int) (*Index, error) {
-	if ds == nil || ds.N() == 0 {
+// original paper's default). It is BuildContext with a background context.
+func Build(src Source, bits int) (*Index, error) {
+	return BuildContext(context.Background(), src, bits)
+}
+
+// BuildContext is Build with cooperative cancellation: the quantization
+// pass polls ctx between row blocks. Rows are read in place through the
+// source accessor; the only allocations are the boundary tables and the
+// packed cell array, so build cost is O(1) allocations per dimension —
+// never per row.
+func BuildContext(ctx context.Context, src Source, bits int) (*Index, error) {
+	if src == nil || src.N() == 0 {
 		return nil, dataset.ErrEmpty
 	}
 	if bits < 1 || bits > 16 {
 		return nil, fmt.Errorf("%w: %d", ErrBadBits, bits)
 	}
-	d := ds.Dim()
+	n := src.N()
+	d := src.Dim()
 	cellsPerDim := 1 << bits
-	idx := &Index{ds: ds, bits: bits, dim: d}
+	idx := &Index{src: src, bits: bits, dim: d}
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo[j] = math.Inf(1)
+		hi[j] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for j, x := range src.Point(i) {
+			if x < lo[j] {
+				lo[j] = x
+			}
+			if x > hi[j] {
+				hi[j] = x
+			}
+		}
+	}
 	idx.bounds = make([][]float64, d)
-	lo, hi := ds.Bounds()
 	for j := 0; j < d; j++ {
 		b := make([]float64, cellsPerDim+1)
 		span := hi[j] - lo[j]
@@ -72,9 +120,14 @@ func Build(ds *dataset.Dataset, bits int) (*Index, error) {
 		}
 		idx.bounds[j] = b
 	}
-	idx.cells = make([]uint16, ds.N()*d)
-	for i := 0; i < ds.N(); i++ {
-		p := ds.Point(i)
+	idx.cells = make([]uint16, n*d)
+	for i := 0; i < n; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		p := src.Point(i)
 		for j := 0; j < d; j++ {
 			idx.cells[i*d+j] = idx.cellOf(j, p[j])
 		}
@@ -97,7 +150,7 @@ func (idx *Index) cellOf(j int, x float64) uint16 {
 }
 
 // N returns the number of indexed points.
-func (idx *Index) N() int { return idx.ds.N() }
+func (idx *Index) N() int { return idx.src.N() }
 
 // Bits returns the per-dimension approximation width.
 func (idx *Index) Bits() int { return idx.bits }
@@ -109,11 +162,19 @@ type Neighbor struct {
 	Dist float64
 }
 
-// resultHeap keeps the k best candidates with the worst on top.
+// resultHeap keeps the k best candidates with the worst on top, ordered
+// lexicographically by (Dist, Pos) so distance ties resolve to the lowest
+// position — the same strict total order the engine's top-s selection
+// uses, which is what makes the returned k-set deterministic.
 type resultHeap []Neighbor
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].Pos > h[j].Pos
+}
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
 func (h *resultHeap) Pop() interface{} {
@@ -124,18 +185,25 @@ func (h *resultHeap) Pop() interface{} {
 	return x
 }
 
-// Search returns the exact k nearest neighbors of query under L2,
+// Search returns the exact k nearest neighbors of query under L2. It is
+// SearchContext with a background context.
+func (idx *Index) Search(query []float64, k int) ([]Neighbor, Stats, error) {
+	return idx.SearchContext(context.Background(), query, k)
+}
+
+// SearchContext returns the exact k nearest neighbors of query under L2,
 // two-phase: scan approximations accumulating candidates whose lower
 // bound beats the running k-th smallest upper bound, then refine
-// candidates in ascending lower-bound order.
-func (idx *Index) Search(query []float64, k int) ([]Neighbor, Stats, error) {
+// candidates in ascending lower-bound order. Both phases poll ctx between
+// row blocks and return its error once canceled.
+func (idx *Index) SearchContext(ctx context.Context, query []float64, k int) ([]Neighbor, Stats, error) {
 	if len(query) != idx.dim {
 		return nil, Stats{}, fmt.Errorf("vafile: query dim %d, index dim %d", len(query), idx.dim)
 	}
 	if k <= 0 {
 		return nil, Stats{}, errors.New("vafile: k must be positive")
 	}
-	n := idx.ds.N()
+	n := idx.src.N()
 	if k > n {
 		k = n
 	}
@@ -150,6 +218,11 @@ func (idx *Index) Search(query []float64, k int) ([]Neighbor, Stats, error) {
 	upperHeap := make(resultHeap, 0, k+1)
 	lowers := make([]float64, n)
 	for i := 0; i < n; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, Stats{}, err
+			}
+		}
 		lb, ub := idx.boundsFor(i, query)
 		lowers[i] = lb
 		if len(upperHeap) < k {
@@ -175,16 +248,21 @@ func (idx *Index) Search(query []float64, k int) ([]Neighbor, Stats, error) {
 	// Phase 2: refine in lower-bound order with early termination.
 	best := make(resultHeap, 0, k+1)
 	refined := 0
-	for _, c := range cands {
+	for ci, c := range cands {
+		if ci%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, Stats{}, err
+			}
+		}
 		if len(best) == k && c.lower > best[0].Dist {
 			break // no remaining candidate can improve the answer
 		}
 		refined++
-		d := l2(query, idx.ds.Point(c.pos))
+		d := l2(query, idx.src.Point(c.pos))
 		if len(best) < k {
-			heap.Push(&best, Neighbor{Pos: c.pos, ID: idx.ds.ID(c.pos), Dist: d})
-		} else if d < best[0].Dist {
-			best[0] = Neighbor{Pos: c.pos, ID: idx.ds.ID(c.pos), Dist: d}
+			heap.Push(&best, Neighbor{Pos: c.pos, ID: idx.src.ID(c.pos), Dist: d})
+		} else if d < best[0].Dist || (d == best[0].Dist && c.pos < best[0].Pos) {
+			best[0] = Neighbor{Pos: c.pos, ID: idx.src.ID(c.pos), Dist: d}
 			heap.Fix(&best, 0)
 		}
 	}

@@ -209,3 +209,57 @@ func BenchmarkVAFileSearch5000x20(b *testing.B) {
 		}
 	}
 }
+
+// Sinks defeat dead-code elimination in the allocation probes below.
+var sinkLower, sinkUpper float64
+
+// TestBuildAllocsIndependentOfRows pins the zero-copy build contract: rows
+// are read in place through the source accessor, so the only allocations
+// are the boundary tables and the packed cell array — a per-dimension
+// count that must not grow with the row count.
+func TestBuildAllocsIndependentOfRows(t *testing.T) {
+	small := uniformDS(t, 256, 16, 9)
+	big := uniformDS(t, 4096, 16, 9)
+	measure := func(ds *dataset.Dataset) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Build(ds, 6); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a, b := measure(small), measure(big)
+	if b > a+4 {
+		t.Errorf("build allocations grew with rows: %v at n=256 vs %v at n=4096", a, b)
+	}
+}
+
+// TestBoundsForAllocFree asserts the per-row approximation scan allocates
+// nothing — the property that keeps phase 1 of a query at two slices
+// total regardless of N.
+func TestBoundsForAllocFree(t *testing.T) {
+	ds := uniformDS(t, 512, 24, 10)
+	idx, err := Build(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.PointCopy(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			sinkLower, sinkUpper = idx.boundsFor(i, q)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("boundsFor allocated %v times per 64-row block, want 0", allocs)
+	}
+}
+
+func BenchmarkVAFileBuild2000x64(b *testing.B) {
+	ds := uniformDS(b, 2000, 64, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ds, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
