@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"innsearch/internal/cliutil"
 	"innsearch/internal/experiments"
 )
 
@@ -28,12 +29,12 @@ func main() {
 		queries       = flag.Int("queries", 10, "query points per dataset")
 		seed          = flag.Int64("seed", 20020612, "random seed")
 		grid          = flag.Int("grid", 48, "density grid resolution")
-		workers       = flag.Int("workers", 1, "engine workers inside each session (results are bit-identical at any count)")
 		outDir        = flag.String("out", "out", "directory for figure artifacts")
 		only          = flag.String("only", "", "comma-separated experiment names to run (default: all)")
 		skipAblations = flag.Bool("skip-ablations", false, "skip the ablation studies")
 		jsonOut       = flag.Bool("json", false, "emit tables as JSON lines instead of aligned text")
 	)
+	workers := cliutil.WorkersFlag(flag.CommandLine, 1, "inside each session")
 	flag.Parse()
 
 	cfg := experiments.Config{

@@ -4,15 +4,18 @@
 // query-centered projection; you place the density separator by typing a
 // fraction of the query's density (the Figure 6 adjustment loop), draw
 // polygonal separating lines, or skip views that show nothing useful.
-// Non-interactive drivers are available with -user=heuristic (label-blind
-// automation) and -user=oracle (uses the label column as ground truth).
+// Non-interactive drivers are available through the separator-policy
+// registry: -user=heuristic (label-blind automation), -user=noisyhuman
+// (seeded imperfect human), -user=oracle (uses the label column as ground
+// truth), -user=replay (re-drives a transcript recorded with -transcript).
 //
 // Usage:
 //
-//	innsearch -in data.csv [-query 0] [-user human|heuristic|oracle]
+//	innsearch -in data.csv [-query 0]
+//	          [-user human|heuristic|noisyhuman|oracle|replay] [-seed 1]
 //	          [-support 0] [-mode axis|arbitrary|auto] [-grid 48]
 //	          [-iters 3] [-workers 0] [-transcript session.json]
-//	          [-trace events.jsonl]
+//	          [-replay session.json] [-trace events.jsonl]
 //
 // -trace streams the engine's typed telemetry events (session boundaries,
 // iteration timings, projection and KDE builds, decision waits) as JSONL;
@@ -25,10 +28,10 @@ import (
 	"os"
 	"strings"
 
+	"innsearch/internal/cliutil"
 	"innsearch/internal/core"
 	"innsearch/internal/dataset"
 	"innsearch/internal/index"
-	"innsearch/internal/telemetry"
 	"innsearch/internal/user"
 )
 
@@ -36,17 +39,19 @@ func main() {
 	var (
 		in            = flag.String("in", "", "input CSV (required)")
 		query         = flag.Int("query", 0, "row index of the query point")
-		userArg       = flag.String("user", "human", "who answers the views: human, heuristic, oracle")
+		userArg       = flag.String("user", "human", "who answers the views: human, "+strings.Join(user.PolicyNames(), ", "))
+		seed          = flag.Int64("seed", 1, "seed for stochastic policies (noisyhuman)")
 		support       = flag.Int("support", 0, "support s (0 = dimensionality default)")
 		mode          = flag.String("mode", "axis", "projection family: axis, arbitrary, auto")
 		gridP         = flag.Int("grid", 48, "density grid resolution")
 		iters         = flag.Int("iters", 3, "maximum major iterations")
-		workers       = flag.Int("workers", 0, "engine worker goroutines (0 = all cores; results are bit-identical at any count)")
 		transcriptOut = flag.String("transcript", "", "record the session transcript (JSON) to this path")
+		replayPath    = flag.String("replay", "", "transcript JSON for -user=replay")
 		normalize     = flag.String("normalize", "none", "attribute normalization: none, minmax, zscore")
-		tracePath     = flag.String("trace", "", "append engine trace events as JSONL to this path (- for stderr)")
-		indexName     = flag.String("index", "", "candidate-generation index backend: "+strings.Join(index.Names(), ", ")+" (empty = plain exact scan)")
 	)
+	workers := cliutil.WorkersFlag(flag.CommandLine, 0, "for the session")
+	indexName := cliutil.IndexFlag(flag.CommandLine)
+	tracePath := cliutil.TraceFlag(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "innsearch: -in is required")
@@ -73,25 +78,31 @@ func main() {
 	}
 
 	var u core.User
-	switch *userArg {
-	case "human":
+	if *userArg == "human" {
 		u = &user.Terminal{In: os.Stdin, Out: os.Stdout}
-	case "heuristic":
-		u = &user.Heuristic{}
-	case "oracle":
-		if !ds.Labeled() {
-			fatalIf(fmt.Errorf("oracle user needs a labeled dataset"))
-		}
-		truth := ds.Label(*query)
-		var relevant []int
-		for i := 0; i < ds.N(); i++ {
-			if ds.Label(i) == truth {
-				relevant = append(relevant, ds.ID(i))
+	} else {
+		pcfg := user.PolicyConfig{Seed: *seed}
+		if *userArg == "oracle" {
+			if !ds.Labeled() {
+				fatalIf(fmt.Errorf("oracle user needs a labeled dataset"))
+			}
+			truth := ds.Label(*query)
+			for i := 0; i < ds.N(); i++ {
+				if ds.Label(i) == truth {
+					pcfg.Relevant = append(pcfg.Relevant, ds.ID(i))
+				}
 			}
 		}
-		u = user.NewOracle(relevant)
-	default:
-		fatalIf(fmt.Errorf("unknown user %q", *userArg))
+		if *replayPath != "" {
+			f, err := os.Open(*replayPath)
+			fatalIf(err)
+			pcfg.Transcript, err = core.LoadTranscript(f)
+			f.Close()
+			fatalIf(err)
+		}
+		var err error
+		u, err = user.NewPolicy(*userArg, pcfg)
+		fatalIf(err)
 	}
 
 	var pmode core.ProjectionMode
@@ -117,16 +128,10 @@ func main() {
 	if *transcriptOut != "" {
 		transcript, cfg.Observer = core.NewTranscript(true)
 	}
-	if *tracePath != "" {
-		if *tracePath == "-" {
-			cfg.Tracer = telemetry.NewJSONL(os.Stderr)
-		} else {
-			f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-			fatalIf(err)
-			defer f.Close()
-			cfg.Tracer = telemetry.NewJSONL(f)
-		}
-	}
+	tracer, closeTrace, err := cliutil.OpenTrace(*tracePath)
+	fatalIf(err)
+	defer closeTrace()
+	cfg.Tracer = tracer
 	sess, err := core.NewSession(ds, q, u, cfg)
 	fatalIf(err)
 	res, err := sess.Run()

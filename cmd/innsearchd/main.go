@@ -36,21 +36,18 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
-	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"innsearch/internal/cliutil"
 	"innsearch/internal/dataset"
-	"innsearch/internal/index"
 	"innsearch/internal/server"
 	"innsearch/internal/synth"
-	"innsearch/internal/telemetry"
 )
 
 // repeatedFlag collects every occurrence of a repeatable -flag.
@@ -70,14 +67,14 @@ func main() {
 		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "evict sessions idle this long")
 		viewTimeout  = flag.Duration("view-timeout", 5*time.Minute, "abort a session whose view waits this long for a decision (-1s disables)")
 		longPoll     = flag.Duration("long-poll", 30*time.Second, "cap on the view/result ?wait= long-poll")
-		workers      = flag.Int("workers", 1, "default engine workers per session (parallelism lives across sessions)")
 		batchWorkers = flag.Int("batch-workers", 0, "concurrent sessions per /v1/search call (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		logMode      = flag.String("log", "json", "request log format: json, text, or off")
-		tracePath    = flag.String("trace", "", "append engine trace events as JSONL to this file (- for stderr)")
-		indexName    = flag.String("index", "", "default candidate-generation index backend: "+strings.Join(index.Names(), ", ")+" (empty = plain exact scan)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (keep private; empty disables)")
 	)
+	workers := cliutil.WorkersFlag(flag.CommandLine, 1, "per session (parallelism lives across sessions)")
+	tracePath := cliutil.TraceFlag(flag.CommandLine)
+	indexName := cliutil.IndexFlag(flag.CommandLine)
 	flag.Var(&dataSpecs, "data", "preload a CSV dataset as name=path (repeatable)")
 	flag.Var(&synthSpecs, "synth", "preload a synthetic dataset as name=kind[:n=N][:d=D][:seed=S] (repeatable; kinds: case1, case2, uniform, gaussmix)")
 	flag.Parse()
@@ -95,18 +92,22 @@ func main() {
 		datasets[name] = ds
 	}
 	for _, spec := range synthSpecs {
-		name, ds, err := parseSynthSpec(spec)
-		if err != nil {
-			fatal(err)
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("-synth %q: want name=kind[:n=N][:d=D][:seed=S]", spec))
 		}
-		datasets[name] = ds
+		pd, err := synth.FromSpec(rest)
+		if err != nil {
+			fatal(fmt.Errorf("-synth %s: %w", name, err))
+		}
+		datasets[name] = pd.Data
 	}
 	if len(datasets) == 0 {
-		ds, err := buildSynth("case1", 2000, 20, 20020612)
+		pd, err := synth.FromSpec("case1")
 		if err != nil {
 			fatal(err)
 		}
-		datasets["demo"] = ds
+		datasets["demo"] = pd.Data
 		fmt.Println("innsearchd: no -data/-synth given; preloaded synthetic dataset \"demo\" (case1, n=2000)")
 	}
 
@@ -114,7 +115,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	trace, closeTrace, err := buildTrace(*tracePath)
+	trace, closeTrace, err := cliutil.OpenTrace(*tracePath)
 	if err != nil {
 		fatal(err)
 	}
@@ -188,22 +189,6 @@ func buildLogger(mode string) (*slog.Logger, error) {
 	}
 }
 
-// buildTrace opens the JSONL trace sink; "-" streams to stderr. The
-// returned closer flushes the file on shutdown.
-func buildTrace(path string) (telemetry.Tracer, func(), error) {
-	switch path {
-	case "":
-		return nil, func() {}, nil
-	case "-":
-		return telemetry.NewJSONL(os.Stderr), func() {}, nil
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("-trace: %w", err)
-	}
-	return telemetry.NewJSONL(f), func() { _ = f.Close() }, nil
-}
-
 // serveDebug exposes net/http/pprof on its own listener so profiling
 // never shares a port with the public API. The mux is explicit — the
 // package's init() side effects on http.DefaultServeMux are not relied
@@ -220,66 +205,6 @@ func serveDebug(addr string) {
 	fmt.Fprintf(os.Stderr, "innsearchd: pprof on http://%s/debug/pprof/\n", addr)
 	if err := s.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "innsearchd: debug listener:", err)
-	}
-}
-
-// parseSynthSpec reads "name=kind[:n=N][:d=D][:seed=S]".
-func parseSynthSpec(spec string) (string, *dataset.Dataset, error) {
-	name, rest, ok := strings.Cut(spec, "=")
-	if !ok {
-		return "", nil, fmt.Errorf("-synth %q: want name=kind[:n=N][:d=D][:seed=S]", spec)
-	}
-	parts := strings.Split(rest, ":")
-	kind := parts[0]
-	n, d, seed := 2000, 20, int64(20020612)
-	for _, part := range parts[1:] {
-		key, val, ok := strings.Cut(part, "=")
-		if !ok {
-			return "", nil, fmt.Errorf("-synth %s: bad option %q", name, part)
-		}
-		v, err := strconv.Atoi(val)
-		if err != nil {
-			return "", nil, fmt.Errorf("-synth %s: bad %s %q", name, key, val)
-		}
-		switch key {
-		case "n":
-			n = v
-		case "d":
-			d = v
-		case "seed":
-			seed = int64(v)
-		default:
-			return "", nil, fmt.Errorf("-synth %s: unknown option %q", name, key)
-		}
-	}
-	ds, err := buildSynth(kind, n, d, seed)
-	if err != nil {
-		return "", nil, fmt.Errorf("-synth %s: %w", name, err)
-	}
-	return name, ds, nil
-}
-
-func buildSynth(kind string, n, d int, seed int64) (*dataset.Dataset, error) {
-	rng := rand.New(rand.NewSource(seed))
-	switch kind {
-	case "case1":
-		pd, err := synth.Case1(n, rng)
-		if err != nil {
-			return nil, err
-		}
-		return pd.Data, nil
-	case "case2":
-		pd, err := synth.Case2(n, rng)
-		if err != nil {
-			return nil, err
-		}
-		return pd.Data, nil
-	case "uniform":
-		return synth.Uniform(n, d, 100, rng)
-	case "gaussmix":
-		return synth.GaussianMixture(n, d, 5, 100, 2, rng)
-	default:
-		return nil, fmt.Errorf("unknown synthetic kind %q (want case1, case2, uniform, gaussmix)", kind)
 	}
 }
 

@@ -1,0 +1,64 @@
+// Package cliutil holds the flag plumbing shared by the repository's
+// binaries. Before it existed, cmd/innsearch, cmd/innsearchd, and
+// cmd/experiments each hand-rolled their -workers/-index/-trace parsing
+// (and two of them duplicated the JSONL trace-sink opening verbatim);
+// factoring it here keeps the flags' semantics and help text identical
+// everywhere and gives new binaries — cmd/loadgen first — the same flags
+// for free.
+//
+// The helpers are composable rather than monolithic: each binary registers
+// exactly the flags whose backing machinery it supports, so no binary
+// silently accepts a flag it ignores.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"innsearch/internal/index"
+	"innsearch/internal/telemetry"
+)
+
+// WorkersFlag registers the standard -workers flag on fs. scope describes
+// what one worker count applies to ("per session", "inside each session",
+// …) so every binary's help reads consistently; results are bit-identical
+// at any worker count, and the help says so.
+func WorkersFlag(fs *flag.FlagSet, def int, scope string) *int {
+	zero := "all cores"
+	if def != 0 {
+		zero = fmt.Sprintf("%d", def)
+	}
+	return fs.Int("workers", def, fmt.Sprintf(
+		"engine worker goroutines %s (0 = %s; results are bit-identical at any count)", scope, zero))
+}
+
+// IndexFlag registers the standard -index flag on fs, with the live
+// backend registry in the help text.
+func IndexFlag(fs *flag.FlagSet) *string {
+	return fs.String("index", "",
+		"candidate-generation index backend: "+strings.Join(index.Names(), ", ")+" (empty = plain exact scan)")
+}
+
+// TraceFlag registers the standard -trace flag on fs.
+func TraceFlag(fs *flag.FlagSet) *string {
+	return fs.String("trace", "", "append trace events as JSONL to this file (- for stderr)")
+}
+
+// OpenTrace opens the JSONL trace sink a -trace value names: "" is a nil
+// tracer, "-" streams to stderr, anything else appends to that file. The
+// returned closer flushes the file on shutdown and is always safe to call.
+func OpenTrace(path string) (telemetry.Tracer, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return telemetry.NewJSONL(os.Stderr), func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, func() {}, fmt.Errorf("-trace: %w", err)
+	}
+	return telemetry.NewJSONL(f), func() { _ = f.Close() }, nil
+}

@@ -1,0 +1,386 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/server"
+	"innsearch/internal/server/wire"
+	"innsearch/internal/synth"
+)
+
+// fleetSpec is the synthetic dataset both the test servers and the
+// client-side ground truth regenerate — the deployment contract the
+// fleet relies on.
+const fleetSpec = "case1:n=400:seed=7"
+
+func fleetDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	pd, err := synth.FromSpec(fleetSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd.Data
+}
+
+func newFleetServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	if cfg.Datasets == nil {
+		cfg.Datasets = map[string]*dataset.Dataset{"fleet": fleetDataset(t)}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+// fastSession keeps fleet tests quick: axis mode, coarse grid, two major
+// iterations.
+var fastSession = wire.SessionConfig{
+	Mode:               "axis",
+	GridSize:           24,
+	MaxMajorIterations: 2,
+	Workers:            1,
+}
+
+func runFleet(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	return rep
+}
+
+// TestFleetDeterministic is the loadgen acceptance test: two seeded runs
+// against two fresh servers complete every session and produce identical
+// per-session decision sequences — latencies differ, decisions do not.
+func TestFleetDeterministic(t *testing.T) {
+	truth, err := TruthFromSpec(fleetSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Report {
+		ts := newFleetServer(t, server.Config{})
+		return runFleet(t, Config{
+			BaseURL:  ts.URL,
+			Policy:   "noisyhuman",
+			Seed:     42,
+			Phases:   []Phase{{Name: "burst", Sessions: 12}},
+			Session:  fastSession,
+			ViewWait: 5 * time.Second,
+			Truth:    truth,
+			Scrape:   true,
+		})
+	}
+	a, b := run(), run()
+
+	if a.Totals.Started != 12 || a.Totals.Done != 12 {
+		t.Fatalf("run A totals = %+v, want 12 started and done", a.Totals)
+	}
+	if a.Totals.Failed != 0 || a.Totals.Errors != 0 || a.Totals.Evicted != 0 {
+		t.Fatalf("run A had failures: %+v", a.Totals)
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatalf("session counts differ: %d vs %d", len(a.Sessions), len(b.Sessions))
+	}
+	for i := range a.Sessions {
+		sa, sb := a.Sessions[i], b.Sessions[i]
+		if sa.Index != sb.Index || sa.QueryRow != sb.QueryRow || sa.Seed != sb.Seed {
+			t.Fatalf("session %d identity differs: %+v vs %+v", i, sa, sb)
+		}
+		if !reflect.DeepEqual(sa.Decisions, sb.Decisions) {
+			t.Errorf("session %d decision sequences differ:\nA: %+v\nB: %+v", sa.Index, sa.Decisions, sb.Decisions)
+		}
+	}
+	// Sessions must have actually decided something, or the determinism
+	// comparison is vacuous.
+	var decisions int
+	for _, s := range a.Sessions {
+		decisions += len(s.Decisions)
+	}
+	if decisions == 0 {
+		t.Error("no decisions recorded across 12 done sessions")
+	}
+	// Scraping was on: phase-boundary + final snapshots with parsed samples.
+	if len(a.Server) < 2 {
+		t.Fatalf("got %d server snapshots, want ≥ 2", len(a.Server))
+	}
+	last := a.Server[len(a.Server)-1]
+	if last.Metrics["innsearch_sessions_done_total"] < 12 {
+		t.Errorf("final scrape sessions_done = %v, want ≥ 12", last.Metrics["innsearch_sessions_done_total"])
+	}
+	if last.Metrics["innsearch_decision_wait_seconds_count"] == 0 {
+		t.Error("final scrape shows no decision-wait observations")
+	}
+}
+
+// TestFleetOracleQuality checks the ground-truth loop end to end: oracle
+// sessions against planted clusters come back meaningful and score
+// perfect-recall-or-better-than-nothing precision/recall.
+func TestFleetOracleQuality(t *testing.T) {
+	truth, err := TruthFromSpec(fleetSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newFleetServer(t, server.Config{})
+	rep := runFleet(t, Config{
+		BaseURL: ts.URL,
+		Policy:  "oracle",
+		Seed:    7,
+		Phases:  []Phase{{Name: "burst", Sessions: 6}},
+		Session: fastSession,
+		Truth:   truth,
+	})
+	if rep.Totals.Done != 6 {
+		t.Fatalf("totals = %+v, want 6 done", rep.Totals)
+	}
+	if rep.Quality.Evaluated == 0 {
+		t.Fatal("oracle run evaluated no sessions against ground truth")
+	}
+	if rep.Quality.MeanPrecision <= 0 || rep.Quality.MeanRecall <= 0 {
+		t.Errorf("quality = %+v, want positive precision and recall", rep.Quality)
+	}
+}
+
+// TestFleetTruthMismatch: a wrong ground-truth spec must fail loudly, not
+// silently score nonsense.
+func TestFleetTruthMismatch(t *testing.T) {
+	truth, err := TruthFromSpec("case1:n=300:seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newFleetServer(t, server.Config{})
+	_, err = Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Phases:  []Phase{{Name: "x", Sessions: 1}},
+		Truth:   truth,
+	})
+	if err == nil {
+		t.Fatal("size-mismatched ground truth did not fail")
+	}
+}
+
+// jsonKeys returns the top-level keys of a marshaled value.
+func jsonKeys(t *testing.T, v any) []string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestReportSchema pins the report's JSON schema: downstream tooling
+// trends these reports, so renaming or dropping a field must fail a test,
+// and a strict re-decode must round-trip without unknown fields.
+func TestReportSchema(t *testing.T) {
+	ts := newFleetServer(t, server.Config{})
+	rep := runFleet(t, Config{
+		BaseURL:         ts.URL,
+		Policy:          "heuristic",
+		Seed:            1,
+		Phases:          []Phase{{Name: "burst", Sessions: 2}, {Name: "drain"}},
+		Session:         fastSession,
+		PreviewsPerView: 1,
+		Scrape:          true,
+	})
+	if rep.SchemaVersion != 1 {
+		t.Fatalf("schema_version = %d, want 1", rep.SchemaVersion)
+	}
+
+	want := map[string][]string{
+		"report": {
+			"base_url", "dataset", "phases", "policy", "quality", "schema_version",
+			"seed", "server", "sessions", "started_at", "totals", "wall_ms",
+		},
+		"phase": {
+			"create", "decision_rtt", "done", "duration_ms", "errors", "evicted",
+			"failed", "name", "preview_rtt", "rejected_429", "rejected_503",
+			"scheduled", "session", "shed", "started", "starts_per_sec", "view_wait",
+		},
+		"latency": {"count", "max_ms", "mean_ms", "p50_ms", "p95_ms", "p99_ms"},
+		"totals": {
+			"done", "errors", "evicted", "failed", "rejected_429", "rejected_503",
+			"scheduled", "shed", "started",
+		},
+		"quality": {"evaluated", "mean_precision", "mean_recall", "meaningful"},
+	}
+	got := map[string][]string{
+		"report":  jsonKeys(t, rep),
+		"phase":   jsonKeys(t, rep.Phases[0]),
+		"latency": jsonKeys(t, rep.Phases[0].Create),
+		"totals":  jsonKeys(t, rep.Totals),
+		"quality": jsonKeys(t, rep.Quality),
+	}
+	for name, w := range want {
+		if !reflect.DeepEqual(got[name], w) {
+			t.Errorf("%s keys = %v\nwant %v", name, got[name], w)
+		}
+	}
+
+	// The artifact must strict-decode back into the Go type: no field of
+	// the emitted JSON is unknown to the schema.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var back Report
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("strict re-decode: %v", err)
+	}
+	if back.Totals != rep.Totals {
+		t.Errorf("totals did not round-trip: %+v vs %+v", back.Totals, rep.Totals)
+	}
+
+	// Per-phase latency summaries carry real observations with ordered
+	// quantiles.
+	burst := rep.Phases[0]
+	if burst.Session.Count != 2 || burst.Create.Count != 2 {
+		t.Errorf("burst latency counts: session=%d create=%d, want 2", burst.Session.Count, burst.Create.Count)
+	}
+	for _, s := range []LatencySummary{burst.Create, burst.ViewWait, burst.DecisionRTT, burst.Session} {
+		if s.P50MS > s.P95MS || s.P95MS > s.P99MS || s.P99MS > s.MaxMS {
+			t.Errorf("quantiles out of order: %+v", s)
+		}
+	}
+	if burst.PreviewRTT.Count == 0 {
+		t.Error("PreviewsPerView=1 recorded no preview round-trips")
+	}
+}
+
+// varzView is the slice of /varz the stress test asserts on.
+type varzView struct {
+	ActiveSessions   int64 `json:"active_sessions"`
+	LiveSessionViews int64 `json:"live_session_views"`
+	SessionsEvicted  int64 `json:"sessions_evicted"`
+	SessionsRejected int64 `json:"sessions_rejected"`
+}
+
+func readVarz(t *testing.T, c *Client) varzView {
+	t.Helper()
+	raw, err := c.Varz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v varzView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestStressEvictionAndBackpressure churns a deliberately tiny server —
+// 6 session slots, ~300ms TTL — with a mix of full sessions and abandoned
+// ones, concurrently, and asserts the server's safety envelope: excess
+// creates get 429, abandoned sessions get evicted by the sweeper, and no
+// session leaks (live_session_views drains to zero). Run under -race in
+// CI, this is the concurrency stress test of the store's TTL/backpressure
+// paths driven through the real wire client.
+func TestStressEvictionAndBackpressure(t *testing.T) {
+	ts := newFleetServer(t, server.Config{
+		MaxSessions:   6,
+		SessionTTL:    300 * time.Millisecond,
+		SweepInterval: 50 * time.Millisecond,
+		LongPollWait:  2 * time.Second,
+	})
+	c := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	d := &driver{client: c, metrics: newPhaseMetrics()}
+	var (
+		mu                  sync.Mutex
+		rejected, abandoned int
+		states              = map[string]int{}
+	)
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(round, i int) {
+				defer wg.Done()
+				if i%2 == 0 {
+					// Abandoner: create, never poll, let the TTL reap it.
+					row := i
+					_, err := c.CreateSession(ctx, wire.CreateSessionRequest{
+						Dataset: "fleet", QueryRow: &row, User: "remote", Config: fastSession,
+					})
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						rejected++
+					} else {
+						abandoned++
+					}
+					return
+				}
+				rec := d.run(ctx, SessionSpec{
+					Index: round*8 + i, Dataset: "fleet", QueryRow: 100 + i,
+					Policy: "heuristic", Config: fastSession, ViewWait: 2 * time.Second,
+				})
+				mu.Lock()
+				states[rec.State]++
+				mu.Unlock()
+			}(round, i)
+		}
+		wg.Wait()
+		time.Sleep(150 * time.Millisecond) // let the sweeper catch up between rounds
+	}
+
+	if abandoned == 0 {
+		t.Fatal("no sessions were abandoned; the eviction path was never exercised")
+	}
+	if states[StateError] > 0 {
+		t.Errorf("driver sessions hit hard errors: %v", states)
+	}
+
+	// The sweeper must reap every abandoned session and release its view;
+	// poll /varz until the gauge drains (bounded by the test deadline).
+	deadline := time.Now().Add(10 * time.Second)
+	var v varzView
+	for {
+		v = readVarz(t, c)
+		if v.LiveSessionViews == 0 && v.ActiveSessions == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions leaked: varz = %+v", v)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if v.SessionsEvicted == 0 {
+		t.Errorf("varz = %+v: abandoned sessions were never evicted", v)
+	}
+	if v.SessionsRejected == 0 && rejected == 0 {
+		t.Errorf("varz = %+v, rejected = %d: capacity 6 never produced a 429 under 8-way churn", v, rejected)
+	}
+	t.Logf("stress: abandoned=%d rejected=%d states=%v varz=%+v", abandoned, rejected, states, v)
+}

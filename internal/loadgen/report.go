@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"time"
+
+	"innsearch/internal/telemetry"
+)
+
+// Report is the fleet's single JSON artifact. The schema is pinned by
+// TestReportSchema: fields are only added (with a SchemaVersion bump when
+// their meaning shifts), never silently renamed, so downstream tooling
+// can trend reports across revisions.
+type Report struct {
+	SchemaVersion int     `json:"schema_version"`
+	StartedAt     string  `json:"started_at"` // RFC 3339, UTC
+	WallMS        float64 `json:"wall_ms"`
+	BaseURL       string  `json:"base_url"`
+	Dataset       string  `json:"dataset"`
+	Policy        string  `json:"policy"`
+	Seed          int64   `json:"seed"`
+
+	Phases []PhaseReport `json:"phases"`
+	Totals Totals        `json:"totals"`
+	// Quality scores accepted clusters against planted ground truth
+	// (zero-valued when the run had none).
+	Quality Quality `json:"quality"`
+	// Server holds /metrics + /varz snapshots scraped at phase boundaries
+	// (empty unless Config.Scrape).
+	Server []ServerSnapshot `json:"server,omitempty"`
+	// Sessions is every scheduled-and-started session, ascending by
+	// index. Decision sequences here are the deterministic part of the
+	// run: equal seeds ⇒ equal sequences.
+	Sessions []SessionRecord `json:"sessions"`
+}
+
+// LatencySummary condenses one client-observed latency histogram.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// PhaseReport aggregates the sessions a phase started (outcomes are
+// attributed to the starting phase even when they complete later).
+type PhaseReport struct {
+	Name string `json:"name"`
+	// Scheduled = Started + Shed: every arrival the open-loop schedule
+	// produced, whether or not the concurrency cap admitted it.
+	Scheduled   int     `json:"scheduled"`
+	Started     int     `json:"started"`
+	Shed        int     `json:"shed"`
+	Done        int     `json:"done"`
+	Failed      int     `json:"failed"`
+	Evicted     int     `json:"evicted"`
+	Rejected429 int     `json:"rejected_429"`
+	Rejected503 int     `json:"rejected_503"`
+	Errors      int     `json:"errors"`
+	DurationMS  float64 `json:"duration_ms"`
+	// StartsPerSec is the achieved arrival rate (scheduled / duration).
+	StartsPerSec float64 `json:"starts_per_sec"`
+
+	Create      LatencySummary `json:"create"`
+	ViewWait    LatencySummary `json:"view_wait"`
+	PreviewRTT  LatencySummary `json:"preview_rtt"`
+	DecisionRTT LatencySummary `json:"decision_rtt"`
+	Session     LatencySummary `json:"session"`
+}
+
+// Totals sums outcome counts across phases.
+type Totals struct {
+	Scheduled   int `json:"scheduled"`
+	Started     int `json:"started"`
+	Shed        int `json:"shed"`
+	Done        int `json:"done"`
+	Failed      int `json:"failed"`
+	Evicted     int `json:"evicted"`
+	Rejected429 int `json:"rejected_429"`
+	Rejected503 int `json:"rejected_503"`
+	Errors      int `json:"errors"`
+}
+
+func (t *Totals) add(p *phaseTally) {
+	t.Scheduled += p.scheduled
+	t.Started += p.started
+	t.Shed += p.shed
+	t.Done += p.done
+	t.Failed += p.failed
+	t.Evicted += p.evicted
+	t.Rejected429 += p.rej429
+	t.Rejected503 += p.rej503
+	t.Errors += p.errCount
+}
+
+// Quality aggregates oracle-vs-result scores over the sessions that were
+// evaluable: done, diagnosed meaningful, query inside a planted cluster.
+type Quality struct {
+	// Evaluated counts scored sessions; Meaningful counts done sessions
+	// whose diagnosis accepted the result as a natural cluster.
+	Evaluated     int     `json:"evaluated"`
+	Meaningful    int     `json:"meaningful"`
+	MeanPrecision float64 `json:"mean_precision"`
+	MeanRecall    float64 `json:"mean_recall"`
+}
+
+// ServerSnapshot is the server's own telemetry at one phase boundary.
+type ServerSnapshot struct {
+	Phase   string             `json:"phase"`
+	Varz    json.RawMessage    `json:"varz,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// summarize reads a histogram into the report's millisecond summary
+// (observations are recorded in seconds).
+func summarize(h *telemetry.Histogram) LatencySummary {
+	s := h.Snapshot()
+	const toMS = 1e3
+	return LatencySummary{
+		Count:  s.Count,
+		MeanMS: s.Mean() * toMS,
+		P50MS:  s.Quantile(0.50) * toMS,
+		P95MS:  s.Quantile(0.95) * toMS,
+		P99MS:  s.Quantile(0.99) * toMS,
+		MaxMS:  s.Max * toMS,
+	}
+}
+
+func phaseReport(name string, t *phaseTally, m *phaseMetrics, elapsed time.Duration) PhaseReport {
+	pr := PhaseReport{
+		Name:        name,
+		Scheduled:   t.scheduled,
+		Started:     t.started,
+		Shed:        t.shed,
+		Done:        t.done,
+		Failed:      t.failed,
+		Evicted:     t.evicted,
+		Rejected429: t.rej429,
+		Rejected503: t.rej503,
+		Errors:      t.errCount,
+		DurationMS:  ms(elapsed),
+		Create:      summarize(m.create),
+		ViewWait:    summarize(m.viewWait),
+		PreviewRTT:  summarize(m.previewRTT),
+		DecisionRTT: summarize(m.decisionRTT),
+		Session:     summarize(m.session),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		pr.StartsPerSec = float64(t.scheduled) / secs
+	}
+	return pr
+}
+
+func scoreQuality(records []SessionRecord) Quality {
+	var q Quality
+	var sumP, sumR float64
+	for _, r := range records {
+		if r.Meaningful {
+			q.Meaningful++
+		}
+		if r.QualityEvaluated {
+			q.Evaluated++
+			sumP += r.Precision
+			sumR += r.Recall
+		}
+	}
+	if q.Evaluated > 0 {
+		q.MeanPrecision = sumP / float64(q.Evaluated)
+		q.MeanRecall = sumR / float64(q.Evaluated)
+	}
+	return q
+}

@@ -21,6 +21,7 @@ import (
 	"innsearch/internal/grid"
 	"innsearch/internal/index"
 	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
 )
 
 // Grid is the wire form of a kernel density grid: a p×p lattice of
@@ -86,6 +87,47 @@ func FromProfile(p *core.VisualProfile) Profile {
 		Grid:           FromGrid(p.Grid),
 		Points:         pts,
 		IDs:            p.IDs,
+	}
+}
+
+// ToGrid decodes the density grid back into the engine's in-memory form.
+// Density values round-trip exactly through JSON, so the decoded grid is
+// bit-identical to the one the server rendered.
+func (g Grid) ToGrid() *kde.Grid {
+	return &kde.Grid{
+		P:    g.P,
+		MinX: g.MinX, MaxX: g.MaxX, MinY: g.MinY, MaxY: g.MaxY,
+		Density: g.Density,
+		Hx:      g.Hx, Hy: g.Hy,
+		N: g.N,
+	}
+}
+
+// ToProfile decodes a served profile back into the engine's in-memory
+// form, so client-side simulated users (user.Oracle, user.Heuristic, the
+// load-generation policies) can read a remote view exactly as they read an
+// in-process one. Because every float64 round-trips exactly, local region
+// previews computed on the decoded grid select bit-identically the same
+// points the server's preview endpoint would. Projection is nil — the
+// server never ships the basis — which no simulated user consults.
+func (p Profile) ToProfile() *core.VisualProfile {
+	pts := linalg.NewMatrix(len(p.Points), 2)
+	for i, xy := range p.Points {
+		pts.Set(i, 0, xy[0])
+		pts.Set(i, 1, xy[1])
+	}
+	return &core.VisualProfile{
+		Major:          p.Major,
+		Minor:          p.Minor,
+		Grid:           p.Grid.ToGrid(),
+		QueryX:         p.QueryX,
+		QueryY:         p.QueryY,
+		QueryDensity:   p.QueryDensity,
+		Points:         pts,
+		IDs:            p.IDs,
+		Discrimination: p.Discrimination,
+		RemainingDim:   p.RemainingDim,
+		OriginalN:      p.OriginalN,
 	}
 }
 

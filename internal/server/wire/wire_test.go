@@ -187,3 +187,68 @@ func TestSessionConfigToCore(t *testing.T) {
 		t.Error("bogus mode accepted")
 	}
 }
+
+// TestProfileRoundTrip pins the inverse decode: a profile encoded for the
+// wire and decoded back must drive a simulated user bit-identically —
+// same grid densities, same point coordinates, same region selections.
+func TestProfileRoundTrip(t *testing.T) {
+	p := fixtureProfile(t)
+	enc := FromProfile(p)
+	// Through actual JSON, since the contract is about the bytes.
+	raw, err := json.Marshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var over Profile
+	if err := json.Unmarshal(raw, &over); err != nil {
+		t.Fatal(err)
+	}
+	got := over.ToProfile()
+	if got.Major != p.Major || got.Minor != p.Minor || got.RemainingDim != p.RemainingDim || got.OriginalN != p.OriginalN {
+		t.Fatalf("counters drifted: got %+v", got)
+	}
+	if got.QueryX != p.QueryX || got.QueryY != p.QueryY || got.QueryDensity != p.QueryDensity || got.Discrimination != p.Discrimination {
+		t.Fatalf("query fields drifted: got %+v", got)
+	}
+	if got.Grid.P != p.Grid.P || got.Grid.Hx != p.Grid.Hx || got.Grid.Hy != p.Grid.Hy || got.Grid.N != p.Grid.N {
+		t.Fatalf("grid header drifted: got %+v", got.Grid)
+	}
+	for i, d := range p.Grid.Density {
+		if got.Grid.Density[i] != d {
+			t.Fatalf("density[%d] = %v, want bit-identical %v", i, got.Grid.Density[i], d)
+		}
+	}
+	if got.Points.Rows != p.Points.Rows {
+		t.Fatalf("points rows = %d, want %d", got.Points.Rows, p.Points.Rows)
+	}
+	for i := 0; i < p.Points.Rows; i++ {
+		for j := 0; j < 2; j++ {
+			if got.Points.At(i, j) != p.Points.At(i, j) {
+				t.Fatalf("point (%d,%d) drifted", i, j)
+			}
+		}
+	}
+	if got.PeakRatio() != p.PeakRatio() {
+		t.Fatalf("peak ratio = %v, want %v", got.PeakRatio(), p.PeakRatio())
+	}
+	// A region preview computed on the decoded profile selects the same
+	// points as one computed on the original.
+	want, err := p.Region(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Region(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := want.SelectPoints(p.Points.Col(0), p.Points.Col(1))
+	hs := have.SelectPoints(got.Points.Col(0), got.Points.Col(1))
+	if len(ws) != len(hs) {
+		t.Fatalf("region selections differ: %v vs %v", ws, hs)
+	}
+	for i := range ws {
+		if ws[i] != hs[i] {
+			t.Fatalf("region selections differ at %d: %v vs %v", i, ws, hs)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// FromSpec builds a synthetic dataset from a compact textual spec of the
+// form "kind[:n=N][:d=D][:seed=S]" — the format of innsearchd's -synth
+// flag (minus the name= prefix) and loadgen's -synth ground-truth flag.
+// Kinds: case1, case2, uniform, gaussmix. Defaults: n=2000, d=20,
+// seed=20020612.
+//
+// The generation is deterministic in the spec: a loadgen client that
+// regenerates the same spec the server preloaded holds the identical
+// dataset, labels included, which is what makes client-side planted
+// ground truth (oracle policies, precision/recall scoring) possible
+// without shipping labels over the wire.
+func FromSpec(spec string) (*ProjectedData, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	n, d, seed := 2000, 20, int64(20020612)
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("synth: spec %q: bad option %q", spec, part)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("synth: spec %q: bad %s %q", spec, key, val)
+		}
+		switch key {
+		case "n":
+			n = v
+		case "d":
+			d = v
+		case "seed":
+			seed = int64(v)
+		default:
+			return nil, fmt.Errorf("synth: spec %q: unknown option %q", spec, key)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "case1":
+		return Case1(n, rng)
+	case "case2":
+		return Case2(n, rng)
+	case "uniform":
+		ds, err := Uniform(n, d, 100, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &ProjectedData{Data: ds}, nil
+	case "gaussmix":
+		ds, err := GaussianMixture(n, d, 5, 100, 2, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &ProjectedData{Data: ds}, nil
+	default:
+		return nil, fmt.Errorf("synth: unknown kind %q (want case1, case2, uniform, gaussmix)", kind)
+	}
+}

@@ -323,3 +323,41 @@ func TestGaussianMixture(t *testing.T) {
 		t.Error("negative domain accepted")
 	}
 }
+
+func TestFromSpec(t *testing.T) {
+	pd, err := FromSpec("case1:n=300:seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Data.N() != 300 || pd.Data.Dim() != 20 || !pd.Data.Labeled() {
+		t.Fatalf("case1 spec: n=%d dim=%d labeled=%v", pd.Data.N(), pd.Data.Dim(), pd.Data.Labeled())
+	}
+	// Same spec regenerates the identical dataset, labels included — the
+	// property client-side ground truth depends on.
+	again, err := FromSpec("case1:n=300:seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pd.Data.N(); i++ {
+		if pd.Data.Label(i) != again.Data.Label(i) {
+			t.Fatalf("label %d drifted across regenerations", i)
+		}
+		a, b := pd.Data.PointCopy(i), again.Data.PointCopy(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("point %d dim %d drifted across regenerations", i, j)
+			}
+		}
+	}
+	if _, err := FromSpec("uniform:n=50:d=4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromSpec("gaussmix:n=50:d=4:seed=1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"nope", "case1:n=x", "case1:q=3", "case1:n"} {
+		if _, err := FromSpec(bad); err == nil {
+			t.Errorf("FromSpec(%q) should fail", bad)
+		}
+	}
+}

@@ -137,6 +137,53 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts
+// by linear interpolation inside the bucket holding the target rank — the
+// same estimate a Prometheus histogram_quantile would give. Observations
+// in the +Inf bucket are attributed to the all-time maximum, so tail
+// quantiles stay finite. Returns 0 before any observation.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i == len(s.Bounds) {
+				return s.Max // +Inf bucket: the max is the best finite bound
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if hi > s.Max {
+				// The true maximum caps the bucket: a lone 3ms observation
+				// in the (1ms, 10ms] bucket should not report p99 ≈ 10ms.
+				hi = s.Max
+			}
+			if hi < lo {
+				return hi
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return s.Max
+}
+
 // Snapshot reads the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{

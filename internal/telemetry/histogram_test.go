@@ -123,3 +123,45 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("max = %v, want 0.006", s.Max)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// 100 observations spread uniformly through the (0.01, 0.1] bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(0.01 + float64(i)*0.0009)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got < 0.01 || got > 0.1 {
+		t.Fatalf("p50 = %v outside its bucket (0.01, 0.1]", got)
+	}
+	// Quantiles must be monotone in q.
+	prev := -1.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	// The top quantile never exceeds the observed maximum.
+	if got, max := s.Quantile(1), s.Max; got > max {
+		t.Fatalf("p100 = %v > max %v", got, max)
+	}
+}
+
+func TestHistogramQuantileCappedByMax(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	h.Observe(0.03) // lone observation in the (0.01, 0.1] bucket
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got > 0.03+1e-12 {
+		t.Fatalf("p99 = %v, want ≤ observed max 0.03", got)
+	}
+	// An observation beyond the last finite bound reports the max.
+	h.Observe(5)
+	if got := h.Snapshot().Quantile(1); got != 5 {
+		t.Fatalf("p100 with +Inf bucket = %v, want 5", got)
+	}
+}

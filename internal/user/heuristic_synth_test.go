@@ -1,0 +1,103 @@
+package user
+
+import (
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/core"
+	"innsearch/internal/synth"
+)
+
+// runHeuristicSession runs one full engine session on a planted-cluster
+// dataset with the label-blind Heuristic and returns the transcript plus
+// the result.
+func runHeuristicSession(t *testing.T, pd *synth.ProjectedData, queryRow int, mode core.ProjectionMode) (*core.Transcript, *core.Result) {
+	t.Helper()
+	tr, obs := core.NewTranscript(false)
+	sess, err := core.NewSession(pd.Data, pd.Data.PointCopy(queryRow), &Heuristic{}, core.Config{
+		Mode:               mode,
+		GridSize:           32,
+		MaxMajorIterations: 3,
+		Observer:           obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res
+}
+
+// acceptSkipMix summarizes a transcript as its per-view accept/skip
+// sequence (true = answered).
+func acceptSkipMix(tr *core.Transcript) (seq []bool, accepted int) {
+	for _, v := range tr.Views {
+		seq = append(seq, !v.Skipped)
+		if !v.Skipped {
+			accepted++
+		}
+	}
+	return seq, accepted
+}
+
+// TestHeuristicOnPlantedClusters drives the label-blind Heuristic through
+// full sessions on the paper's two synthetic workloads (Case 1
+// axis-parallel, Case 2 arbitrarily oriented planted clusters) and checks
+// that it terminates, answers at least one view on each (the planted
+// clusters are visually separable by construction), and reports a
+// deterministic accept/skip mix under a fixed seed.
+func TestHeuristicOnPlantedClusters(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(n int, rng *rand.Rand) (*synth.ProjectedData, error)
+		mode core.ProjectionMode
+	}{
+		{"case1_axis", synth.Case1, core.ModeAxis},
+		{"case2_arbitrary", synth.Case2, core.ModeArbitrary},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pd, err := tc.gen(600, rand.New(rand.NewSource(20020612)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Query inside the first planted cluster: the paper's protocol
+			// places the query in a known projected cluster.
+			queryRow := pd.Members(0)[0]
+
+			tr1, res1 := runHeuristicSession(t, pd, queryRow, tc.mode)
+			if res1.Iterations < 1 {
+				t.Fatalf("session terminated without completing an iteration: %+v", res1)
+			}
+			if res1.ViewsShown == 0 {
+				t.Fatal("session showed no views")
+			}
+			seq1, accepted1 := acceptSkipMix(tr1)
+			if accepted1 == 0 {
+				t.Errorf("heuristic answered 0/%d views on a planted-cluster dataset", len(seq1))
+			}
+			if accepted1 != res1.ViewsAnswered {
+				t.Errorf("transcript accepts %d != result ViewsAnswered %d", accepted1, res1.ViewsAnswered)
+			}
+
+			// Same seed, same dataset, same engine config: the accept/skip
+			// sequence must be identical — the Heuristic is deterministic
+			// and so is the engine.
+			tr2, res2 := runHeuristicSession(t, pd, queryRow, tc.mode)
+			seq2, accepted2 := acceptSkipMix(tr2)
+			if len(seq1) != len(seq2) || accepted1 != accepted2 {
+				t.Fatalf("rerun mix drifted: %d/%d vs %d/%d", accepted1, len(seq1), accepted2, len(seq2))
+			}
+			for i := range seq1 {
+				if seq1[i] != seq2[i] {
+					t.Fatalf("rerun accept/skip sequence diverged at view %d", i)
+				}
+			}
+			if res1.ViewsShown != res2.ViewsShown || res1.Iterations != res2.Iterations {
+				t.Fatalf("rerun session shape drifted: %+v vs %+v", res1, res2)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package user
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"innsearch/internal/core"
+	"innsearch/internal/grid"
+)
+
+// NoisyHuman simulates a realistic, imperfect human in the loop: it reads
+// views the way Heuristic does, but with seeded sloppiness layered on top —
+// an occasional ignored view, a perturbed separator height, and the
+// occasional bad accept of a view an attentive user would have skipped.
+// Unlike Noisy (which only degrades a base user), NoisyHuman also makes
+// the positive mistake of answering junk views, which is what stresses the
+// engine's cross-projection coherence cleanup under load.
+//
+// All randomness comes from Rng, so a seeded NoisyHuman produces an
+// identical decision sequence for an identical sequence of views — the
+// property the load fleet's determinism contract rests on. The number of
+// Rng draws per view depends only on the view's content and the base
+// user's (deterministic) answer, never on timing.
+type NoisyHuman struct {
+	// Base answers the views NoisyHuman doesn't mangle (default
+	// &Heuristic{}: the label-blind visual-intuition model).
+	Base core.User
+	// SkipProb is the chance of ignoring a view the base user would have
+	// answered (default 0.05).
+	SkipProb float64
+	// BadAcceptProb is the chance of answering a view the base user
+	// skipped, placing the separator at an uninformed height — the
+	// "looks good enough to me" error (default 0.05).
+	BadAcceptProb float64
+	// TauJitter is the relative magnitude of the multiplicative noise on
+	// answered separator heights, e.g. 0.15 → τ scaled by a factor in
+	// [0.85, 1.15] (default 0.15).
+	TauJitter float64
+	// Rng drives all the sloppiness; required.
+	Rng *rand.Rand
+}
+
+func (u *NoisyHuman) params() (skip, badAccept, jitter float64) {
+	skip = u.SkipProb
+	if skip == 0 {
+		skip = 0.05
+	}
+	badAccept = u.BadAcceptProb
+	if badAccept == 0 {
+		badAccept = 0.05
+	}
+	jitter = u.TauJitter
+	if jitter == 0 {
+		jitter = 0.15
+	}
+	return skip, badAccept, jitter
+}
+
+// SeparateCluster implements core.User.
+func (u *NoisyHuman) SeparateCluster(p *core.VisualProfile, preview func(tau float64) *grid.Region) core.Decision {
+	skipProb, badAcceptProb, tauJitter := u.params()
+	base := u.Base
+	if base == nil {
+		base = &Heuristic{}
+	}
+	// The skip draw happens up front so the Rng consumption per view is
+	// independent of whether it ends up being used.
+	skipDraw := u.Rng.Float64()
+	d := base.SeparateCluster(p, preview)
+	if d.Skip {
+		if u.Rng.Float64() < badAcceptProb && p.QueryDensity > 0 {
+			// Bad accept: separate at an uninformed fraction of the query
+			// density. Only views whose region is non-empty get the bogus
+			// answer — even a sloppy human notices selecting nothing.
+			tau := (0.3 + 0.5*u.Rng.Float64()) * p.QueryDensity
+			if reg := preview(tau); reg != nil && !reg.Empty() {
+				return core.Decision{Tau: tau, Confidence: 0.1}
+			}
+		}
+		return core.Decision{Skip: true}
+	}
+	if skipDraw < skipProb {
+		return core.Decision{Skip: true}
+	}
+	jitter := 1 + tauJitter*(2*u.Rng.Float64()-1)
+	if jitter < 0.05 {
+		jitter = 0.05
+	}
+	d.Tau *= jitter
+	return d
+}
+
+// PolicyConfig parameterizes NewPolicy. Zero values take the documented
+// defaults; fields irrelevant to the chosen policy are ignored.
+type PolicyConfig struct {
+	// Seed drives every random draw of stochastic policies (noisyhuman).
+	// Two policies built with the same seed produce identical decision
+	// sequences for identical view sequences.
+	Seed int64
+	// Relevant is the ground-truth set of original row IDs for the oracle
+	// policy; required by "oracle", ignored by the rest.
+	Relevant []int
+	// Transcript is the recorded session the replay policy re-drives;
+	// required by "replay", ignored by the rest.
+	Transcript *core.Transcript
+	// SkipProb, BadAcceptProb, and TauJitter tune the noisyhuman policy
+	// (0 takes the NoisyHuman defaults).
+	SkipProb      float64
+	BadAcceptProb float64
+	TauJitter     float64
+}
+
+// PolicyNames lists the separator policies NewPolicy accepts, in the
+// order they are documented.
+func PolicyNames() []string {
+	return []string{"heuristic", "noisyhuman", "oracle", "replay"}
+}
+
+// NewPolicy builds a named separator policy — the decomposition of the
+// interactive protocol into engine + pluggable decision policy that both
+// cmd/innsearch (in-process) and cmd/loadgen (over the wire) select from:
+//
+//	heuristic   label-blind visual intuition (Heuristic)
+//	noisyhuman  seeded Heuristic with skips, τ jitter, and bad accepts
+//	oracle      attentive user with planted ground truth (Oracle)
+//	replay      re-drives a recorded transcript's decisions (core.ReplayUser)
+//
+// Every policy is deterministic given its configuration: heuristic and
+// oracle by construction, noisyhuman via the seed, replay via the
+// transcript.
+func NewPolicy(name string, cfg PolicyConfig) (core.User, error) {
+	switch name {
+	case "heuristic":
+		return &Heuristic{}, nil
+	case "noisyhuman":
+		return &NoisyHuman{
+			SkipProb:      cfg.SkipProb,
+			BadAcceptProb: cfg.BadAcceptProb,
+			TauJitter:     cfg.TauJitter,
+			Rng:           rand.New(rand.NewSource(cfg.Seed)),
+		}, nil
+	case "oracle":
+		if len(cfg.Relevant) == 0 {
+			return nil, errors.New("user: oracle policy needs ground-truth relevant IDs (labeled dataset)")
+		}
+		return NewOracle(cfg.Relevant), nil
+	case "replay":
+		if cfg.Transcript == nil {
+			return nil, errors.New("user: replay policy needs a recorded transcript")
+		}
+		return &core.ReplayUser{Transcript: cfg.Transcript}, nil
+	default:
+		return nil, fmt.Errorf("user: unknown policy %q (want heuristic, noisyhuman, oracle, or replay)", name)
+	}
+}
