@@ -50,9 +50,12 @@ func main() {
 		normalize     = flag.String("normalize", "none", "attribute normalization: none, minmax, zscore")
 	)
 	workers := cliutil.WorkersFlag(flag.CommandLine, 0, "for the session")
+	shards := cliutil.ShardsFlag(flag.CommandLine, "for the session")
 	indexName := cliutil.IndexFlag(flag.CommandLine)
 	tracePath := cliutil.TraceFlag(flag.CommandLine)
 	flag.Parse()
+	fatalIf(cliutil.ValidateWorkers(*workers))
+	fatalIf(cliutil.ValidateShards(*shards))
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "innsearch: -in is required")
 		flag.Usage()
@@ -122,6 +125,7 @@ func main() {
 		GridSize:           *gridP,
 		MaxMajorIterations: *iters,
 		Workers:            *workers,
+		Shards:             *shards,
 		Index:              index.Config{Name: *indexName},
 	}
 	var transcript *core.Transcript

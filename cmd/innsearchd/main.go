@@ -73,11 +73,18 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (keep private; empty disables)")
 	)
 	workers := cliutil.WorkersFlag(flag.CommandLine, 1, "per session (parallelism lives across sessions)")
+	shards := cliutil.ShardsFlag(flag.CommandLine, "per session (default for sessions that do not request one)")
 	tracePath := cliutil.TraceFlag(flag.CommandLine)
 	indexName := cliutil.IndexFlag(flag.CommandLine)
 	flag.Var(&dataSpecs, "data", "preload a CSV dataset as name=path (repeatable)")
 	flag.Var(&synthSpecs, "synth", "preload a synthetic dataset as name=kind[:n=N][:d=D][:seed=S] (repeatable; kinds: case1, case2, uniform, gaussmix)")
 	flag.Parse()
+	if err := cliutil.ValidateWorkers(*workers); err != nil {
+		fatal(err)
+	}
+	if err := cliutil.ValidateShards(*shards); err != nil {
+		fatal(err)
+	}
 
 	datasets := make(map[string]*dataset.Dataset)
 	for _, spec := range dataSpecs {
@@ -130,6 +137,7 @@ func main() {
 		SessionWorkers: *workers,
 		BatchWorkers:   *batchWorkers,
 		Index:          *indexName,
+		Shards:         *shards,
 		Logger:         logger,
 		Trace:          trace,
 	})

@@ -77,9 +77,16 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress lines on stderr")
 	)
 	workers := cliutil.WorkersFlag(flag.CommandLine, 0, "inside each remote session (0 = server default)")
+	shards := cliutil.ShardsFlag(flag.CommandLine, "inside each remote session (0 = server default)")
 	indexName := cliutil.IndexFlag(flag.CommandLine)
 	flag.Var(&phaseSpecs, "phase", "fleet phase as name[:sessions=N][:rate=R][:dur=D][:cap=C], repeatable; no options = drain")
 	flag.Parse()
+	if err := cliutil.ValidateWorkers(*workers); err != nil {
+		fatal(err)
+	}
+	if err := cliutil.ValidateShards(*shards); err != nil {
+		fatal(err)
+	}
 
 	cfg := loadgen.Config{
 		BaseURL:         *baseURL,
@@ -94,6 +101,7 @@ func main() {
 		Scrape:          true,
 		Session: wire.SessionConfig{
 			Workers: *workers,
+			Shards:  *shards,
 			Index:   *indexName,
 		},
 	}

@@ -34,6 +34,33 @@ func WorkersFlag(fs *flag.FlagSet, def int, scope string) *int {
 		"engine worker goroutines %s (0 = %s; results are bit-identical at any count)", scope, zero))
 }
 
+// ShardsFlag registers the standard -shards flag on fs. scope describes
+// what one partition width applies to, matching WorkersFlag's phrasing.
+// 0 and 1 select the single-partition engine path (byte-identical to the
+// pre-shard engine); P ≥ 2 scatters the stage kernels over P row-disjoint
+// shards with deterministic in-order merges.
+func ShardsFlag(fs *flag.FlagSet, scope string) *int {
+	return fs.Int("shards", 0, fmt.Sprintf(
+		"engine partition width %s (0 or 1 = single partition; P >= 2 scatters stage kernels over P shards deterministically)", scope))
+}
+
+// ValidateWorkers rejects negative -workers values with a uniform error
+// (0 means "pick a default" everywhere, so only negatives are nonsense).
+func ValidateWorkers(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers: negative worker count %d", workers)
+	}
+	return nil
+}
+
+// ValidateShards rejects negative -shards values with a uniform error.
+func ValidateShards(shards int) error {
+	if shards < 0 {
+		return fmt.Errorf("-shards: negative shard count %d", shards)
+	}
+	return nil
+}
+
 // IndexFlag registers the standard -index flag on fs, with the live
 // backend registry in the help text.
 func IndexFlag(fs *flag.FlagSet) *string {

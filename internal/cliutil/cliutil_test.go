@@ -56,3 +56,28 @@ func TestOpenTrace(t *testing.T) {
 		closer() // must be safe even on error
 	}
 }
+
+func TestShardsFlagAndValidation(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	shards := ShardsFlag(fs, "per session")
+	if err := fs.Parse([]string{"-shards", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if *shards != 4 {
+		t.Fatalf("-shards parsed to %d, want 4", *shards)
+	}
+	for _, v := range []int{0, 1, 8} {
+		if err := ValidateShards(v); err != nil {
+			t.Errorf("ValidateShards(%d) = %v, want nil", v, err)
+		}
+		if err := ValidateWorkers(v); err != nil {
+			t.Errorf("ValidateWorkers(%d) = %v, want nil", v, err)
+		}
+	}
+	if err := ValidateShards(-1); err == nil {
+		t.Error("ValidateShards(-1) accepted")
+	}
+	if err := ValidateWorkers(-3); err == nil {
+		t.Error("ValidateWorkers(-3) accepted")
+	}
+}

@@ -202,3 +202,29 @@ func benchmarkSessionIndexed(b *testing.B, backend string) {
 func BenchmarkSession2000x64IndexExact(b *testing.B)  { benchmarkSessionIndexed(b, "exact") }
 func BenchmarkSession2000x64IndexVAFile(b *testing.B) { benchmarkSessionIndexed(b, "vafile") }
 func BenchmarkSession2000x64IndexKmtree(b *testing.B) { benchmarkSessionIndexed(b, "kmtree") }
+
+// benchmarkSessionSharded is BenchmarkSession2000x64 with the stage
+// kernels scattered over P shards — the session-time-vs-P series
+// EXPERIMENTS.md tabulates.
+func benchmarkSessionSharded(b *testing.B, shards, workers int) {
+	ds, q := benchDataset(b, 2000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+			Support: 64, GridSize: 48, MaxMajorIterations: 2,
+			Shards: shards, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSession2000x64Shards1(b *testing.B) { benchmarkSessionSharded(b, 1, 4) }
+func BenchmarkSession2000x64Shards2(b *testing.B) { benchmarkSessionSharded(b, 2, 4) }
+func BenchmarkSession2000x64Shards4(b *testing.B) { benchmarkSessionSharded(b, 4, 4) }
+func BenchmarkSession2000x64Shards8(b *testing.B) { benchmarkSessionSharded(b, 8, 4) }

@@ -8,6 +8,7 @@ import (
 	"innsearch/internal/dataset"
 	"innsearch/internal/index"
 	"innsearch/internal/linalg"
+	"innsearch/internal/shard"
 	"innsearch/internal/telemetry"
 )
 
@@ -20,11 +21,22 @@ import (
 // Sessions prune rows between major iterations, producing a new view;
 // the generator detects the view change and lazily rebuilds, emitting one
 // index_build trace event per build and one candidate_gen event per
-// query.
+// query. With a shared cache (Config.IndexCache) a build whose (view,
+// backend, options) key was already built by another session is reused
+// instead — no build runs, no index_build event fires, and the reuse is
+// counted in IndexStats.CacheHits. With a shard coordinator
+// (Config.Shards) the stage runs as per-shard backends scattered and
+// merged by the coordinator.
 type candGen struct {
 	cfg     index.Config
 	backend index.Backend
 	built   *dataset.View // view the backend was last built over
+
+	// cache shares built backends across sessions (nil: per-session).
+	cache *index.Cache
+	// coord routes the stage through per-shard backends (nil: one
+	// backend over the whole view).
+	coord *shard.Coordinator
 
 	// tr/major/minor are the owning session's tracer context, updated as
 	// the session advances (nil-safe; standalone use leaves them zero).
@@ -32,6 +44,7 @@ type candGen struct {
 	major, minor int
 
 	builds int
+	hits   int
 	calls  int
 	stats  index.Stats
 }
@@ -54,6 +67,9 @@ func newCandGen(cfg index.Config, workers int) (*candGen, error) {
 }
 
 // ensure (re)builds the backend when the session's view has advanced.
+// With a cache, the build is shared: a hit installs the other session's
+// backend (safe — backends allow concurrent KNN after Build) and a miss
+// builds a fresh instance, never re-Building a cached one in place.
 func (g *candGen) ensure(ctx context.Context, v *dataset.View) error {
 	if g.built == v {
 		return nil
@@ -62,27 +78,60 @@ func (g *candGen) ensure(ctx context.Context, v *dataset.View) error {
 	if g.tr.enabled() {
 		t0 = g.tr.now()
 	}
+	if g.cache != nil {
+		key := index.CacheKey{Source: v, Shard: 0, Shards: 1, Name: g.cfg.Name, Options: g.cfg.Options}
+		b, hit, err := g.cache.Get(ctx, key, func(ctx context.Context) (index.Backend, error) {
+			nb, err := index.New(g.cfg.Name)
+			if err != nil {
+				return nil, err
+			}
+			if err := nb.Build(ctx, v, g.cfg.Options); err != nil {
+				return nil, err
+			}
+			return nb, nil
+		})
+		if err != nil {
+			return fmt.Errorf("core: index build (%s): %w", g.cfg.Name, err)
+		}
+		g.backend = b
+		g.built = v
+		if hit {
+			g.hits++
+			return nil // nothing was built; no index_build event
+		}
+		g.builds++
+		g.emitBuild(v, t0)
+		return nil
+	}
 	if err := g.backend.Build(ctx, v, g.cfg.Options); err != nil {
 		return fmt.Errorf("core: index build (%s): %w", g.cfg.Name, err)
 	}
 	g.built = v
 	g.builds++
-	if g.tr.enabled() {
-		g.tr.emit(telemetry.Event{
-			Type:       telemetry.EventIndexBuild,
-			Major:      g.major,
-			Backend:    g.cfg.Name,
-			N:          v.N(),
-			Dim:        v.Dim(),
-			DurationMS: g.tr.since(t0),
-		})
-	}
+	g.emitBuild(v, t0)
 	return nil
+}
+
+func (g *candGen) emitBuild(v *dataset.View, t0 time.Time) {
+	if !g.tr.enabled() {
+		return
+	}
+	g.tr.emit(telemetry.Event{
+		Type:       telemetry.EventIndexBuild,
+		Major:      g.major,
+		Backend:    g.cfg.Name,
+		N:          v.N(),
+		Dim:        v.Dim(),
+		DurationMS: g.tr.since(t0),
+	})
 }
 
 // candidates returns the backend's k-candidate set for the ambient query
 // q against view v, building the index first if needed.
 func (g *candGen) candidates(ctx context.Context, v *dataset.View, q linalg.Vector, k int) ([]index.Candidate, error) {
+	if g.coord != nil {
+		return g.candidatesSharded(ctx, v, q, k)
+	}
 	if err := g.ensure(ctx, v); err != nil {
 		return nil, err
 	}
@@ -112,14 +161,85 @@ func (g *candGen) candidates(ctx context.Context, v *dataset.View, q linalg.Vect
 	return cands, nil
 }
 
+// candidatesSharded is the coordinator route: per-shard backends built by
+// EnsureIndex (shared through the cache when one is configured), queried
+// and merged under the engine's strict order. One index_build event
+// covers the scatter when at least one shard actually built; all-hit
+// ensures count a single cache hit instead.
+func (g *candGen) candidatesSharded(ctx context.Context, v *dataset.View, q linalg.Vector, k int) ([]index.Candidate, error) {
+	var t0 time.Time
+	if g.tr.enabled() {
+		t0 = g.tr.now()
+	}
+	builds, err := g.coord.EnsureIndex(ctx, v, g.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: index build (%s): %w", g.cfg.Name, err)
+	}
+	if builds != nil {
+		g.built = v
+		anyBuilt := false
+		for _, b := range builds {
+			if !b.Hit {
+				anyBuilt = true
+				break
+			}
+		}
+		if anyBuilt {
+			g.builds++
+			if g.tr.enabled() {
+				g.tr.emit(telemetry.Event{
+					Type:       telemetry.EventIndexBuild,
+					Major:      g.major,
+					Backend:    g.cfg.Name,
+					N:          v.N(),
+					Dim:        v.Dim(),
+					Shards:     len(builds),
+					DurationMS: g.tr.since(t0),
+				})
+			}
+		} else {
+			g.hits++
+		}
+	}
+	var t1 time.Time
+	if g.tr.enabled() {
+		t1 = g.tr.now()
+	}
+	cands, st, err := g.coord.Candidates(ctx, v, q, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate generation (%s): %w", g.cfg.Name, err)
+	}
+	g.calls++
+	g.stats.Add(st)
+	if g.tr.enabled() {
+		g.tr.emit(telemetry.Event{
+			Type:       telemetry.EventCandidateGen,
+			Major:      g.major,
+			Minor:      g.minor,
+			Backend:    g.cfg.Name,
+			N:          v.N(),
+			Shards:     g.coord.Shards(),
+			Picked:     len(cands),
+			Scanned:    st.Scanned,
+			Refined:    st.Refined,
+			DurationMS: g.tr.since(t1),
+		})
+	}
+	return cands, nil
+}
+
 // IndexStats reports the session's candidate-generation counters so far:
-// the backend name, index builds, KNN calls, and the summed work Stats.
-// Zero values throughout when no index is configured.
+// the backend name, index builds, cache reuses, KNN calls, and the summed
+// work Stats. Zero values throughout when no index is configured.
 type IndexStats struct {
 	Backend string
 	Builds  int
-	Queries int
-	Work    index.Stats
+	// CacheHits counts view changes served entirely from a shared
+	// backend cache — builds another session (or an earlier one on the
+	// same store) already paid for.
+	CacheHits int
+	Queries   int
+	Work      index.Stats
 }
 
 // IndexStats returns the session's accumulated candidate-generation
@@ -129,9 +249,10 @@ func (s *Session) IndexStats() IndexStats {
 		return IndexStats{}
 	}
 	return IndexStats{
-		Backend: s.gen.cfg.Name,
-		Builds:  s.gen.builds,
-		Queries: s.gen.calls,
-		Work:    s.gen.stats,
+		Backend:   s.gen.cfg.Name,
+		Builds:    s.gen.builds,
+		CacheHits: s.gen.hits,
+		Queries:   s.gen.calls,
+		Work:      s.gen.stats,
 	}
 }

@@ -61,7 +61,7 @@ func TestNearestPositionsEdgeCases(t *testing.T) {
 	ctx := context.Background()
 
 	for _, s := range []int{0, -3} {
-		got, err := nearestPositions(ctx, 1, v, q, full, s, scr, nil)
+		got, err := nearestPositions(ctx, 1, v, q, full, s, scr, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +69,7 @@ func TestNearestPositionsEdgeCases(t *testing.T) {
 			t.Errorf("s=%d: got %v, want empty", s, got)
 		}
 	}
-	got, err := nearestPositions(ctx, 1, v, q, full, 99, scr, nil)
+	got, err := nearestPositions(ctx, 1, v, q, full, 99, scr, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestNearestPositionsEdgeCases(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("s>n: got %v, want %v", got, want)
 	}
-	got, err = nearestPositions(ctx, 1, v, q, full, 3, scr, nil)
+	got, err = nearestPositions(ctx, 1, v, q, full, 3, scr, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

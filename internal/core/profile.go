@@ -8,6 +8,7 @@ import (
 	"innsearch/internal/grid"
 	"innsearch/internal/kde"
 	"innsearch/internal/linalg"
+	"innsearch/internal/shard"
 )
 
 // VisualProfile is everything the user sees for one query-centered
@@ -145,7 +146,7 @@ func BuildProfile(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, s
 // density-grid evaluation and the discrimination scan abort between row
 // shards once ctx is canceled. Parallelism is controlled by opts.Workers.
 func BuildProfileContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options) (*VisualProfile, error) {
-	return buildProfile(ctx, ds.View(), q, proj, support, opts, &searchScratch{}, nil)
+	return buildProfile(ctx, ds.View(), q, proj, support, opts, &searchScratch{}, nil, nil)
 }
 
 // buildProfile is the view-level implementation behind BuildProfile;
@@ -154,14 +155,21 @@ func BuildProfileContext(ctx context.Context, ds *dataset.Dataset, q linalg.Vect
 // float-operation order as the eager ProjectRows path, materialized once
 // and shared by the density estimate, the selection passes, and the
 // profile's Points field.
-func buildProfile(ctx context.Context, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options, scr *searchScratch, gen *candGen) (*VisualProfile, error) {
+func buildProfile(ctx context.Context, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, opts kde.Options, scr *searchScratch, gen *candGen, coord *shard.Coordinator) (*VisualProfile, error) {
 	pv, err := v.Compose(proj)
 	if err != nil {
 		return nil, fmt.Errorf("core: project data: %w", err)
 	}
 	pts := pv.Coords()
 	qp := proj.Project(q)
-	g, err := kde.Estimate2DContext(ctx, pts, opts)
+	var g *kde.Grid
+	if coord != nil {
+		// Sharded sessions scatter the density partials (extent, spread,
+		// lattice) over the coordinator and merge in shard order.
+		g, err = coord.Estimate2D(ctx, kde.MatrixXY{M: pts}, opts)
+	} else {
+		g, err = kde.Estimate2DContext(ctx, pts, opts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: density estimate: %w", err)
 	}
@@ -181,7 +189,7 @@ func buildProfile(ctx context.Context, v *dataset.View, q linalg.Vector, proj *l
 	if qy > g.MaxY {
 		qy = g.MaxY
 	}
-	disc, err := discriminationScoreContext(ctx, opts.Workers, v, q, proj, support, scr, gen)
+	disc, err := discriminationScoreContext(ctx, opts.Workers, v, q, proj, support, scr, gen, coord)
 	if err != nil {
 		return nil, err
 	}

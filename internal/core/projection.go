@@ -18,6 +18,7 @@ import (
 	"innsearch/internal/dataset"
 	"innsearch/internal/linalg"
 	"innsearch/internal/parallel"
+	"innsearch/internal/shard"
 	"innsearch/internal/telemetry"
 )
 
@@ -73,7 +74,13 @@ func (sc *searchScratch) floatBuf(n int) []float64 {
 // approximate backends trade that guarantee for work (see index.Backend).
 // Narrowed-subspace scans never consult the backend: its L2 ranking would
 // be wrong there.
-func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, sub *linalg.Subspace, s int, scr *searchScratch, gen *candGen) ([]int, error) {
+//
+// With a shard coordinator (coord non-nil) the scan runs as per-shard
+// top-s partials merged under the same strict order — the member set is
+// exactly the full scan's, because every distance comes from the same
+// kernel. The candidate-generator path likewise scatters over per-shard
+// backends through the coordinator (see candGen.candidates).
+func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, sub *linalg.Subspace, s int, scr *searchScratch, gen *candGen, coord *shard.Coordinator) ([]int, error) {
 	n := v.N()
 	if s < 0 {
 		s = 0
@@ -101,6 +108,17 @@ func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linal
 		}
 		// A backend returning fewer than s candidates falls through to the
 		// exact scan rather than silently shrinking the support.
+	}
+	if coord != nil {
+		cs, err := coord.Nearest(ctx, v, sub, qp, s)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, len(cs))
+		for i, c := range cs {
+			out[i] = c.Pos
+		}
+		return out, nil
 	}
 	cands := scr.candBuf(n)
 	err := parallel.ForShards(ctx, workers, n, func(_ context.Context, _, lo, hi int) error {
@@ -249,10 +267,18 @@ func clusterSubspace(ctx context.Context, cfg ProjectionSearch, v *dataset.View,
 
 	// fullCov is the fast path's Σ of the whole view, memoized on the view
 	// and shared by every stage, minor iteration, and projection family
-	// that scores directions in this coordinate system.
+	// that scores directions in this coordinate system. With a shard
+	// coordinator the moments come from the scattered two-pass kernels
+	// (merged in shard order) instead of the view's own single pass.
 	var fullCov *linalg.Matrix
 	if !cfg.Exact {
-		st, err := v.Stats(ctx, workers)
+		var st *dataset.ViewStats
+		var err error
+		if cfg.coord != nil {
+			st, err = cfg.coord.Stats(ctx, v)
+		} else {
+			st, err = v.Stats(ctx, workers)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: view stats: %w", err)
 		}
@@ -411,6 +437,12 @@ type ProjectionSearch struct {
 	// backend (Config.Index), consulted by the full-space nearest-s scans.
 	// Sessions set it; standalone callers keep the exact full scan.
 	gen *candGen
+
+	// coord, when non-nil, is the owning session's shard coordinator
+	// (Config.Shards): top-s scans and view moments run as scattered
+	// partials merged in shard order. Sessions set it; standalone callers
+	// keep the single-partition kernels.
+	coord *shard.Coordinator
 }
 
 // stageTrace is the session context a projection search stamps onto its
@@ -502,7 +534,7 @@ func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cf
 		if tracing {
 			t0 = cfg.trace.tr.now()
 		}
-		members, err := nearestPositions(ctx, cfg.Workers, v, q, ep, stageSupport, scr, cfg.gen)
+		members, err := nearestPositions(ctx, cfg.Workers, v, q, ep, stageSupport, scr, cfg.gen, cfg.coord)
 		if err != nil {
 			return nil, err
 		}
@@ -538,15 +570,15 @@ func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cf
 // the nearest points *within* the projection are tight in any view, good
 // or bad.
 func DiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) float64 {
-	score, _ := discriminationScoreContext(context.Background(), 1, ds.View(), q, proj, support, &searchScratch{}, nil)
+	score, _ := discriminationScoreContext(context.Background(), 1, ds.View(), q, proj, support, &searchScratch{}, nil, nil)
 	return score
 }
 
 // discriminationScoreContext is DiscriminationScore with cancellation, a
 // worker count for the full-space neighbor scan, and an optional
 // candidate generator pruning that scan.
-func discriminationScoreContext(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, scr *searchScratch, gen *candGen) (float64, error) {
-	members, err := nearestPositions(ctx, workers, v, q, linalg.FullSpace(v.Dim()), support, scr, gen)
+func discriminationScoreContext(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, proj *linalg.Subspace, support int, scr *searchScratch, gen *candGen, coord *shard.Coordinator) (float64, error) {
+	members, err := nearestPositions(ctx, workers, v, q, linalg.FullSpace(v.Dim()), support, scr, gen, coord)
 	if err != nil {
 		return 0, err
 	}
@@ -562,7 +594,7 @@ func discriminationScoreContext(ctx context.Context, workers int, v *dataset.Vie
 // expressive power (ModeAuto).
 func HoldoutDiscriminationScore(ds *dataset.Dataset, q linalg.Vector, proj *linalg.Subspace, support int) float64 {
 	v := ds.View()
-	all, err := nearestPositions(context.Background(), 1, v, q, linalg.FullSpace(v.Dim()), 2*support, &searchScratch{}, nil)
+	all, err := nearestPositions(context.Background(), 1, v, q, linalg.FullSpace(v.Dim()), 2*support, &searchScratch{}, nil, nil)
 	if err != nil {
 		return 0
 	}

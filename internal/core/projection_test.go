@@ -49,7 +49,7 @@ func TestNearestPositions(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub := linalg.FullSpace(2)
-	got, err := nearestPositions(context.Background(), 1, ds.View(), linalg.Vector{0, 0}, sub, 2, &searchScratch{}, nil)
+	got, err := nearestPositions(context.Background(), 1, ds.View(), linalg.Vector{0, 0}, sub, 2, &searchScratch{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +57,14 @@ func TestNearestPositions(t *testing.T) {
 		t.Errorf("nearest = %v", got)
 	}
 	// s > n clamps.
-	if got, err := nearestPositions(context.Background(), 1, ds.View(), linalg.Vector{0, 0}, sub, 99, &searchScratch{}, nil); err != nil || len(got) != 4 {
+	if got, err := nearestPositions(context.Background(), 1, ds.View(), linalg.Vector{0, 0}, sub, 99, &searchScratch{}, nil, nil); err != nil || len(got) != 4 {
 		t.Errorf("clamped = %v (err %v)", got, err)
 	}
 }
 
 func TestClusterSubspaceAxisParallel(t *testing.T) {
 	ds, q := clusterAndNoise(t, 500, 6, 1)
-	members, err := nearestPositions(context.Background(), 1, ds.View(), q, linalg.FullSpace(6), 60, &searchScratch{}, nil)
+	members, err := nearestPositions(context.Background(), 1, ds.View(), q, linalg.FullSpace(6), 60, &searchScratch{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"innsearch/internal/index"
 	"innsearch/internal/kde"
 	"innsearch/internal/linalg"
+	"innsearch/internal/shard"
 	"innsearch/internal/stats"
 	"innsearch/internal/telemetry"
 )
@@ -79,6 +80,21 @@ type Config struct {
 	// for sub-linear work — measure them with index.MeasureRecall before
 	// relying on a configuration.
 	Index index.Config
+	// IndexCache, when non-nil, shares built candidate backends across
+	// sessions whose views coincide (same store generation, same backend
+	// and options) — the first session pays the build, later ones reuse
+	// it. Nil keeps per-session builds. Serving layers inject one cache
+	// per server; results are unaffected either way.
+	IndexCache *index.Cache
+	// Shards is P, the number of row-disjoint partitions the session's
+	// stage kernels (moment statistics, top-s scans, density lattices,
+	// candidate generation) scatter over through a shard coordinator.
+	// Values ≤ 1 (the default) keep the single-partition kernels — that
+	// path is byte-identical to prior releases. Any fixed P ≥ 2 is
+	// deterministic across runs and worker counts and agrees with P=1 to
+	// ≤ 1e-10 relative (identical top-s member sets); see internal/shard
+	// for the partial/merge contract.
+	Shards int
 	// GridSize is the density grid resolution p (default 48).
 	GridSize int
 	// BandwidthScale multiplies the Silverman bandwidths (default 1).
@@ -225,6 +241,11 @@ type Session struct {
 	// index is configured — the zero-overhead full-scan path.
 	gen *candGen
 
+	// coord is the scatter-gather coordinator (Config.Shards ≥ 2), nil on
+	// the single-partition path — which therefore stays byte-identical to
+	// a coordinator-free build.
+	coord *shard.Coordinator
+
 	prevTop   []int
 	converged bool
 	finished  bool
@@ -282,8 +303,18 @@ func NewSession(ds *dataset.Dataset, query []float64, user User, cfg Config) (*S
 		originalN: ds.N(),
 		gen:       gen,
 	}
+	if cfg.Shards > 1 {
+		s.coord = shard.New(shard.Config{
+			Shards:  cfg.Shards,
+			Workers: cfg.Workers,
+			Tracer:  cfg.Tracer,
+			Cache:   cfg.IndexCache,
+		})
+	}
 	if s.gen != nil {
 		s.gen.tr = s.tr
+		s.gen.coord = s.coord
+		s.gen.cache = cfg.IndexCache
 	}
 	return s, nil
 }
@@ -457,6 +488,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 		Workers:     s.cfg.Workers,
 		Exact:       s.cfg.ExactProjection,
 		gen:         s.gen,
+		coord:       s.coord,
 	}
 	if s.gen != nil {
 		s.gen.major = s.iter
@@ -663,7 +695,7 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 			BandwidthScale: s.cfg.BandwidthScale,
 			Workers:        s.cfg.Workers,
 			Clock:          s.tr.clock(),
-		}, &s.scratch, s.gen)
+		}, &s.scratch, s.gen, s.coord)
 		if err != nil {
 			return nil, Decision{}, err
 		}

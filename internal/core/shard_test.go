@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"innsearch/internal/index"
+)
+
+// runSharded executes one full session over the shared parallel-test
+// fixture with the given config knobs and returns its result plus the
+// recorded transcript.
+func runSharded(t *testing.T, shards, workers int, cfg Config) (*Result, *Transcript) {
+	t.Helper()
+	ds, q, u := parallelTestData(t, 99)
+	tr, obs := NewTranscript(false)
+	cfg.Support = 40
+	cfg.Workers = workers
+	cfg.Shards = shards
+	cfg.Observer = obs
+	sess, err := NewSession(ds, q, u, cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	res, err := sess.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("RunContext(shards=%d, workers=%d): %v", shards, workers, err)
+	}
+	if res.ViewsShown == 0 {
+		t.Fatal("session showed no views; test data is degenerate")
+	}
+	return res, tr
+}
+
+// Shards: 1 must take the exact legacy single-partition path: results and
+// transcripts byte-identical to a config with no Shards field at all.
+func TestSessionShardsOneByteIdentical(t *testing.T) {
+	base, baseTr := runSharded(t, 0, 2, Config{})
+	one, oneTr := runSharded(t, 1, 2, Config{})
+	if !reflect.DeepEqual(base, one) {
+		t.Errorf("Shards:1 result differs from unsharded:\n base=%+v\n  one=%+v", base, one)
+	}
+	if !reflect.DeepEqual(baseTr, oneTr) {
+		t.Error("Shards:1 transcript differs from unsharded")
+	}
+}
+
+// A sharded session must be deterministic in the worker count: the shard
+// split depends only on (rows, P), partials merge in shard order, and
+// finishing arithmetic runs once — so workers 1, 4, and 8 agree bitwise.
+func TestSessionShardedDeterministicAcrossWorkers(t *testing.T) {
+	serial, serialTr := runSharded(t, 4, 1, Config{})
+	for _, workers := range []int{4, 8} {
+		par, parTr := runSharded(t, 4, workers, Config{})
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("Shards:4 result differs between workers=1 and workers=%d", workers)
+		}
+		if !reflect.DeepEqual(serialTr, parTr) {
+			t.Errorf("Shards:4 transcript differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// At P > 1 the merged moment and density sums re-associate, so floats may
+// differ in the last bits — but the accepted member sets must be identical
+// and every probability within 1e-10 of the unsharded run.
+func TestSessionShardedAgreesWithUnsharded(t *testing.T) {
+	base, _ := runSharded(t, 0, 2, Config{})
+	for _, shards := range []int{2, 4, 7} {
+		res, _ := runSharded(t, shards, 2, Config{})
+		if res.Iterations != base.Iterations || res.Converged != base.Converged ||
+			res.ViewsShown != base.ViewsShown || res.ViewsAnswered != base.ViewsAnswered {
+			t.Errorf("Shards:%d session shape differs: got {it=%d conv=%v shown=%d ans=%d}, want {it=%d conv=%v shown=%d ans=%d}",
+				shards, res.Iterations, res.Converged, res.ViewsShown, res.ViewsAnswered,
+				base.Iterations, base.Converged, base.ViewsShown, base.ViewsAnswered)
+		}
+		if len(res.Probabilities) != len(base.Probabilities) {
+			t.Fatalf("Shards:%d member set size %d, want %d", shards, len(res.Probabilities), len(base.Probabilities))
+		}
+		for id, p := range base.Probabilities {
+			got, ok := res.Probabilities[id]
+			if !ok {
+				t.Fatalf("Shards:%d member set is missing row %d", shards, id)
+			}
+			if diff := math.Abs(got - p); diff > 1e-10*math.Max(1, math.Abs(p)) {
+				t.Errorf("Shards:%d probability for row %d = %g, want %g (diff %g)", shards, id, got, p, diff)
+			}
+		}
+		gotIDs := neighborIDs(res)
+		wantIDs := neighborIDs(base)
+		if !reflect.DeepEqual(gotIDs, wantIDs) {
+			t.Errorf("Shards:%d neighbor ID set %v, want %v", shards, gotIDs, wantIDs)
+		}
+	}
+}
+
+func neighborIDs(r *Result) []int {
+	ids := make([]int, len(r.Neighbors))
+	for i, nb := range r.Neighbors {
+		ids[i] = nb.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// A canceled context must abort a sharded session cleanly.
+func TestSessionShardedCanceled(t *testing.T) {
+	ds, q, u := parallelTestData(t, 99)
+	sess, err := NewSession(ds, q, u, Config{Support: 40, Workers: 4, Shards: 4})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on canceled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+// Sharded candidate generation: a session with both Shards and an Index
+// backend routes full-space scans through per-shard backends; the result
+// must match the sharded session without an index bit-for-bit (the exact
+// backend is the same ranking), and a second session sharing the cache
+// must reuse every shard's backend.
+func TestSessionShardedWithIndex(t *testing.T) {
+	plain, _ := runSharded(t, 4, 2, Config{})
+	cache := index.NewCache(0)
+	idxCfg := Config{Index: index.Config{Name: "exact"}, IndexCache: cache}
+	indexed, _ := runSharded(t, 4, 2, idxCfg)
+	if !reflect.DeepEqual(plain, indexed) {
+		t.Error("Shards:4 with exact index differs from Shards:4 without")
+	}
+
+	ds, q, u := parallelTestData(t, 99)
+	first, err := NewSession(ds, q, u, Config{Support: 40, Workers: 2, Shards: 4, Index: index.Config{Name: "exact"}, IndexCache: cache})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if _, err := first.RunContext(context.Background()); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	st := first.IndexStats()
+	if st.Builds == 0 && st.CacheHits == 0 {
+		t.Fatal("indexed session recorded no builds and no cache reuse")
+	}
+
+	// A second session over the same dataset shares the root view pointer,
+	// so its first scatter must be served from the cache.
+	second, err := NewSession(ds, q, u, Config{Support: 40, Workers: 2, Shards: 4, Index: index.Config{Name: "exact"}, IndexCache: cache})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if _, err := second.RunContext(context.Background()); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if hits := second.IndexStats().CacheHits; hits == 0 {
+		t.Error("second session over the same dataset recorded no cache reuse")
+	}
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+
+	"innsearch/internal/linalg"
+)
+
+// This file holds the partial/merge decomposition of ViewStats — the
+// moment kernels a scatter-gather coordinator (internal/shard) runs per
+// shard and merges in ascending shard order. The decomposition is
+// two-pass around the global mean rather than a one-pass streaming merge:
+// pass one gathers per-shard column sums and fixes the global mean, pass
+// two gathers per-shard second moments centered on that mean. Centering
+// every shard on the same mean keeps the only sharding effect a
+// re-association of per-entry float additions, so a single partial over
+// the full row range reproduces Matrix.Mean / Matrix.CovarianceContext
+// bit for bit, and any shard count agrees to ≤ 1e-10 relative.
+//
+// Determinism rules (the merge contract):
+//   - a partial sweeps its rows in ascending view order;
+//   - partials are merged in ascending shard order, serially;
+//   - the finishing step (× 1/n, symmetrize) runs once, after the merge.
+//
+// All three kernels are plain-value in/out — a future remote shard can
+// compute its partial elsewhere and ship the MomentSums / moment matrix
+// over the wire.
+
+// statsCancelStride is how many rows a moment kernel sweeps between
+// context checks: frequent enough that a canceled session abandons a
+// scatter mid-shard, rare enough to stay off the profile.
+const statsCancelStride = 1024
+
+// MomentSums is the first-moment partial of a row range: the per-column
+// coordinate sums and the number of rows summed.
+type MomentSums struct {
+	N   int
+	Sum linalg.Vector
+}
+
+// ColumnSums accumulates the column sums of view rows [lo, hi) in
+// ascending order — the accumulation order of Matrix.Mean, so a full-range
+// partial finishes to the same mean bit for bit.
+func (v *View) ColumnSums(ctx context.Context, lo, hi int) (MomentSums, error) {
+	if err := checkRange(v, lo, hi); err != nil {
+		return MomentSums{}, err
+	}
+	sum := make(linalg.Vector, v.Dim())
+	for i := lo; i < hi; i++ {
+		if (i-lo)%statsCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return MomentSums{}, err
+			}
+		}
+		for j, x := range v.Point(i) {
+			sum[j] += x
+		}
+	}
+	return MomentSums{N: hi - lo, Sum: sum}, nil
+}
+
+// MergeMomentSums folds first-moment partials in the order given (the
+// ascending shard order). Dimensions must agree across partials.
+func MergeMomentSums(parts []MomentSums) (MomentSums, error) {
+	var out MomentSums
+	for k, p := range parts {
+		if p.Sum == nil {
+			continue
+		}
+		if out.Sum == nil {
+			out.Sum = append(linalg.Vector(nil), p.Sum...)
+			out.N = p.N
+			continue
+		}
+		if len(p.Sum) != len(out.Sum) {
+			return MomentSums{}, fmt.Errorf("dataset: merge moment partial %d with dim %d into %d", k, len(p.Sum), len(out.Sum))
+		}
+		for j, x := range p.Sum {
+			out.Sum[j] += x
+		}
+		out.N += p.N
+	}
+	return out, nil
+}
+
+// Mean finishes the first moment: sum × 1/n per column, exactly the
+// finishing multiply of Matrix.Mean. Returns nil for an empty partial.
+func (s MomentSums) Mean() linalg.Vector {
+	if s.N == 0 {
+		return nil
+	}
+	mean := append(linalg.Vector(nil), s.Sum...)
+	inv := 1 / float64(s.N)
+	for j := range mean {
+		mean[j] *= inv
+	}
+	return mean
+}
+
+// CenteredMoment accumulates the upper-triangular second moment of view
+// rows [lo, hi) about the given (global) mean: M2[a][b] = Σᵢ (xᵢₐ−μₐ)(xᵢᵦ−μᵦ)
+// for b ≥ a. Rows sweep in ascending order and the zero-deviation skip
+// matches Matrix.CovarianceContext, so each entry of a full-range partial
+// carries the identical addition sequence. The lower triangle is left
+// zero until FinishStats symmetrizes.
+func (v *View) CenteredMoment(ctx context.Context, lo, hi int, mean linalg.Vector) (*linalg.Matrix, error) {
+	if err := checkRange(v, lo, hi); err != nil {
+		return nil, err
+	}
+	d := v.Dim()
+	if len(mean) != d {
+		return nil, fmt.Errorf("%w: mean has dim %d, rows %d", linalg.ErrDimensionMismatch, len(mean), d)
+	}
+	m2 := linalg.NewMatrix(d, d)
+	for i := lo; i < hi; i++ {
+		if (i-lo)%statsCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row := v.Point(i)
+		for a := 0; a < d; a++ {
+			ca := row[a] - mean[a]
+			if ca == 0 {
+				continue
+			}
+			rowA := m2.Data[a*d:]
+			for b := a; b < d; b++ {
+				rowA[b] += ca * (row[b] - mean[b])
+			}
+		}
+	}
+	return m2, nil
+}
+
+// MergeCenteredMoments folds second-moment partials entrywise in the
+// order given (the ascending shard order).
+func MergeCenteredMoments(parts []*linalg.Matrix) (*linalg.Matrix, error) {
+	var out *linalg.Matrix
+	for k, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = linalg.NewMatrix(p.Rows, p.Cols)
+			copy(out.Data, p.Data)
+			continue
+		}
+		if p.Rows != out.Rows || p.Cols != out.Cols {
+			return nil, fmt.Errorf("dataset: merge moment matrix %d of shape %dx%d into %dx%d", k, p.Rows, p.Cols, out.Rows, out.Cols)
+		}
+		for i, x := range p.Data {
+			out.Data[i] += x
+		}
+	}
+	return out, nil
+}
+
+// FinishStats turns merged moment partials into ViewStats: mean from the
+// sums, covariance as M2 × 1/n symmetrized — the finishing arithmetic of
+// Matrix.CovarianceContext, including its n < 2 zero-matrix convention.
+func FinishStats(sums MomentSums, m2 *linalg.Matrix) (*ViewStats, error) {
+	mean := sums.Mean()
+	if mean == nil {
+		return nil, ErrEmpty
+	}
+	d := len(mean)
+	if m2.Rows != d || m2.Cols != d {
+		return nil, fmt.Errorf("%w: moment matrix %dx%d for dim %d", linalg.ErrDimensionMismatch, m2.Rows, m2.Cols, d)
+	}
+	cov := linalg.NewMatrix(d, d)
+	if sums.N >= 2 {
+		inv := 1 / float64(sums.N)
+		for a := 0; a < d; a++ {
+			for b := a; b < d; b++ {
+				val := m2.Data[a*d+b] * inv
+				cov.Set(a, b, val)
+				cov.Set(b, a, val)
+			}
+		}
+	}
+	return &ViewStats{Mean: mean, Cov: cov}, nil
+}
+
+// Base exposes the projection stage of a composed view: the view it reads
+// from and the subspace applied, or (nil, nil) for ambient views. The
+// shard coordinator uses it to mirror Stats' pull-through shortcut —
+// sharding the base sweep and projecting the merged moments — instead of
+// sweeping projected coordinates.
+func (v *View) Base() (*View, *linalg.Subspace) { return v.base, v.proj }
+
+func checkRange(v *View, lo, hi int) error {
+	if n := v.N(); lo < 0 || hi > n || lo > hi {
+		return fmt.Errorf("dataset: row range [%d,%d) outside [0,%d)", lo, hi, n)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package dataset
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/linalg"
+)
+
+// shardCuts splits [0, n) into p contiguous windows at random cut points.
+func shardCuts(r *rand.Rand, n, p int) [][2]int {
+	cuts := map[int]bool{}
+	for len(cuts) < p-1 {
+		cuts[1+r.Intn(n-1)] = true
+	}
+	bounds := []int{0}
+	for c := 1; c < n; c++ {
+		if cuts[c] {
+			bounds = append(bounds, c)
+		}
+	}
+	bounds = append(bounds, n)
+	out := make([][2]int, 0, p)
+	for i := 0; i+1 < len(bounds); i++ {
+		out = append(out, [2]int{bounds[i], bounds[i+1]})
+	}
+	return out
+}
+
+// TestMomentPartialFullRangeBitIdentical is the P=1 contract: one partial
+// over the whole view, finished, must reproduce Stats bit for bit.
+func TestMomentPartialFullRangeBitIdentical(t *testing.T) {
+	ds := randomViewDataset(t, 21, 300, 7)
+	v := ds.View()
+	ctx := context.Background()
+	want, err := v.Stats(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := v.ColumnSums(ctx, 0, v.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeMomentSums([]MomentSums{sums})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := v.CenteredMoment(ctx, 0, v.N(), merged.Mean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FinishStats(merged, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Mean {
+		if st.Mean[j] != want.Mean[j] {
+			t.Errorf("mean[%d] = %v, want %v (not bit-identical)", j, st.Mean[j], want.Mean[j])
+		}
+	}
+	for k := range want.Cov.Data {
+		if st.Cov.Data[k] != want.Cov.Data[k] {
+			t.Errorf("cov[%d] = %v, want %v (not bit-identical)", k, st.Cov.Data[k], want.Cov.Data[k])
+		}
+	}
+}
+
+// TestMomentMergeMatchesUnsharded is the property test over random shard
+// splits: merged partials must agree with the unsharded reference within
+// 1e-10 relative at any partition width.
+func TestMomentMergeMatchesUnsharded(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	ds := randomViewDataset(t, 22, 400, 6)
+	v := ds.View()
+	ctx := context.Background()
+	want, err := v.Stats(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := want.Cov.MaxAbs()
+	for trial := 0; trial < 20; trial++ {
+		p := 2 + r.Intn(7)
+		windows := shardCuts(r, v.N(), p)
+		var sumParts []MomentSums
+		for _, w := range windows {
+			s, err := v.ColumnSums(ctx, w[0], w[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumParts = append(sumParts, s)
+		}
+		merged, err := MergeMomentSums(sumParts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.N != v.N() {
+			t.Fatalf("trial %d: merged N = %d, want %d", trial, merged.N, v.N())
+		}
+		mean := merged.Mean()
+		m2s := make([]*linalg.Matrix, 0, len(windows))
+		for _, w := range windows {
+			m2, err := v.CenteredMoment(ctx, w[0], w[1], mean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2s = append(m2s, m2)
+		}
+		m2, err := MergeCenteredMoments(m2s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := FinishStats(merged, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Mean {
+			if d := math.Abs(st.Mean[j] - want.Mean[j]); d > 1e-10*math.Max(1, math.Abs(want.Mean[j])) {
+				t.Errorf("trial %d (p=%d): mean[%d] = %v, want %v", trial, p, j, st.Mean[j], want.Mean[j])
+			}
+		}
+		for k := range want.Cov.Data {
+			if d := math.Abs(st.Cov.Data[k] - want.Cov.Data[k]); d > 1e-10*scale {
+				t.Errorf("trial %d (p=%d): cov[%d] = %v, want %v", trial, p, k, st.Cov.Data[k], want.Cov.Data[k])
+			}
+		}
+	}
+}
+
+// TestStorePartition checks the shard views: disjoint contiguous row
+// windows covering the store, IDs resolving through, no point copies.
+func TestStorePartition(t *testing.T) {
+	ds := randomViewDataset(t, 23, 103, 4)
+	st := ds.Store()
+	shards, err := st.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(shards))
+	}
+	next := 0
+	for _, sh := range shards {
+		if sh.Store() != st {
+			t.Fatal("shard view does not pin the source store")
+		}
+		for i := 0; i < sh.N(); i++ {
+			if sh.ID(i) != next {
+				t.Fatalf("shard row resolves to ID %d, want %d", sh.ID(i), next)
+			}
+			if &sh.Point(i)[0] != &st.Row(next)[0] {
+				t.Fatal("shard row copied point data")
+			}
+			next++
+		}
+	}
+	if next != st.N() {
+		t.Fatalf("shards cover %d rows, store has %d", next, st.N())
+	}
+	one, err := st.Partition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].N() != st.N() {
+		t.Fatal("Partition(1) is not the identity view")
+	}
+	if _, err := st.Partition(0); err == nil {
+		t.Fatal("Partition(0) accepted")
+	}
+	many, err := st.Partition(st.N() + 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sh := range many {
+		if sh.N() == 0 {
+			t.Fatal("empty shard emitted")
+		}
+		total += sh.N()
+	}
+	if total != st.N() {
+		t.Fatalf("oversharded partition covers %d rows, want %d", total, st.N())
+	}
+}
+
+// TestMomentKernelCancellation checks that a canceled context aborts the
+// sweeps with the context's error.
+func TestMomentKernelCancellation(t *testing.T) {
+	ds := randomViewDataset(t, 24, 50, 3)
+	v := ds.View()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := v.ColumnSums(ctx, 0, v.N()); err == nil {
+		t.Error("ColumnSums ignored cancellation")
+	}
+	mean := make([]float64, v.Dim())
+	if _, err := v.CenteredMoment(ctx, 0, v.N(), mean); err == nil {
+		t.Error("CenteredMoment ignored cancellation")
+	}
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"fmt"
+
+	"innsearch/internal/parallel"
+)
+
+// Partition splits the store into p row-disjoint shard views over the
+// same backing array: shard i covers the contiguous row window
+// parallel.ShardBounds(n, p, i), so the split depends only on (n, p) —
+// never on worker counts — and two runs see identical shards. No point
+// data is copied, and every shard view pins the store (its generation):
+// a dataset that later normalizes swaps in a fresh store, leaving these
+// shards reading the values they were cut from. Partition(1) returns the
+// identity view of the whole store. p greater than n yields trailing
+// empty windows, which are dropped.
+func (st *Store) Partition(p int) ([]*View, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dataset: partition into %d shards", p)
+	}
+	if p == 1 {
+		return []*View{{store: st}}, nil
+	}
+	out := make([]*View, 0, p)
+	for i := 0; i < p; i++ {
+		lo, hi := parallel.ShardBounds(st.n, p, i)
+		if lo >= hi {
+			continue
+		}
+		rows := make([]int, hi-lo)
+		for r := range rows {
+			rows[r] = lo + r
+		}
+		out = append(out, &View{store: st, rows: rows})
+	}
+	return out, nil
+}

@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"innsearch/internal/linalg"
-	"innsearch/internal/parallel"
 	"innsearch/internal/stats"
 )
 
@@ -231,179 +230,44 @@ func Estimate2DSourceContext(ctx context.Context, points XYSource, opts Options)
 }
 
 // estimate2DSource is the shared implementation behind the public
-// estimators. opts must already be normalized — each entry point validates
-// and defaults the options exactly once before delegating here.
+// estimators, composed literally from the partial/merge kernels of
+// partial.go run as one full-range partial: extent → spread → grid plan →
+// lattice → finish. Composing the sharded kernels here (instead of
+// keeping a separate monolithic path) is what makes the P=1 sharded
+// estimate bit-identical to the unsharded one by construction. opts must
+// already be normalized — each entry point validates and defaults the
+// options exactly once before delegating here (PlanGrid re-normalizes,
+// which is idempotent).
 func estimate2DSource(ctx context.Context, points XYSource, opts Options) (*Grid, error) {
 	n := points.Len()
-	if n == 0 {
+	ext := CollectExtent(points, 0, n)
+	if ext.N == 0 {
 		return nil, fmt.Errorf("%w: no points", ErrBadInput)
 	}
-	xs := make([]float64, n)
-	ys := make([]float64, n)
-	for i := 0; i < n; i++ {
-		xs[i], ys[i] = points.XY(i)
+	if ext.BadRow >= 0 {
+		return nil, fmt.Errorf("%w: non-finite coordinate at row %d", ErrBadInput, ext.BadRow)
 	}
-	for i := range xs {
-		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
-			return nil, fmt.Errorf("%w: non-finite coordinate at row %d", ErrBadInput, i)
-		}
-	}
-	hx, err := SilvermanBandwidth(xs)
+	meanX, meanY := ext.Mean()
+	spr := CollectSpread(points, 0, n, meanX, meanY)
+	g, err := PlanGrid(ext, spr, opts)
 	if err != nil {
 		return nil, err
 	}
-	hy, err := SilvermanBandwidth(ys)
-	if err != nil {
-		return nil, err
-	}
-	hx *= opts.BandwidthScale
-	hy *= opts.BandwidthScale
-
-	loX, hiX, _ := stats.MinMax(xs)
-	loY, hiY, _ := stats.MinMax(ys)
-	g := &Grid{
-		P:    opts.GridSize,
-		MinX: loX - opts.MarginBandwidths*hx,
-		MaxX: hiX + opts.MarginBandwidths*hx,
-		MinY: loY - opts.MarginBandwidths*hy,
-		MaxY: hiY + opts.MarginBandwidths*hy,
-		Hx:   hx, Hy: hy, N: n,
-	}
-	if g.MaxX == g.MinX {
-		g.MinX -= 0.5
-		g.MaxX += 0.5
-	}
-	if g.MaxY == g.MinY {
-		g.MinY -= 0.5
-		g.MaxY += 0.5
-	}
-	g.Density = make([]float64, g.P*g.P)
-	g.Binned = !opts.Exact
-
-	var start time.Time
-	if opts.Clock != nil {
-		start = opts.Clock()
-	}
+	_, stop := stamp(opts)
 	if opts.Exact {
-		err = estimateExact(ctx, g, xs, ys, opts.Workers)
+		lattice, err := ExactPartial(ctx, g, points, 0, n, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		FinishExact(g, lattice)
 	} else {
-		err = estimateBinned(ctx, g, xs, ys, opts.Workers)
+		weights := BinnedPartial(g, points, 0, n)
+		if err := FinishBinned(ctx, g, weights, opts.Workers); err != nil {
+			return nil, err
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	if opts.Clock != nil {
-		g.BuildTime = opts.Clock().Sub(start)
-	}
+	stop(g)
 	return g, nil
-}
-
-// estimateExact is the O(N·p²) direct evaluation of the Gaussian product
-// kernel estimate f(z) = (1/N) Σᵢ K_hx(z_x − x_i)·K_hy(z_y − y_i). Grid
-// rows are sharded across workers; every node's sum runs over the points
-// in the same order as the serial loop, so the result is bit-identical at
-// any worker count.
-func estimateExact(ctx context.Context, g *Grid, xs, ys []float64, workers int) error {
-	n := len(xs)
-	invN := 1 / float64(n)
-	cx := 1 / (math.Sqrt(2*math.Pi) * g.Hx)
-	cy := 1 / (math.Sqrt(2*math.Pi) * g.Hy)
-	return parallel.ForShards(ctx, workers, g.P, func(_ context.Context, _, lo, hi int) error {
-		for iy := lo; iy < hi; iy++ {
-			gy := g.Y(iy)
-			for ix := 0; ix < g.P; ix++ {
-				gx := g.X(ix)
-				var sum float64
-				for i := 0; i < n; i++ {
-					dx := (gx - xs[i]) / g.Hx
-					dy := (gy - ys[i]) / g.Hy
-					sum += math.Exp(-(dx*dx + dy*dy) / 2)
-				}
-				g.Set(ix, iy, sum*invN*cx*cy)
-			}
-		}
-		return nil
-	})
-}
-
-// estimateBinned distributes each point onto its four surrounding grid
-// nodes with bilinear (cloud-in-cell) weights and then convolves the
-// weight lattice with the separable Gaussian kernel, truncated at five
-// bandwidths. For the grid sizes used interactively (p ≈ 32–96) this is
-// one to two orders of magnitude faster than the exact path while
-// agreeing to a fraction of a percent.
-//
-// The point-binning scatter stays serial (its accumulation order is part
-// of the determinism contract); the two separable convolutions shard grid
-// rows and columns across workers, each output element computed exactly as
-// in the serial path.
-func estimateBinned(ctx context.Context, g *Grid, xs, ys []float64, workers int) error {
-	p := g.P
-	weights := make([]float64, p*p)
-	sx, sy := g.StepX(), g.StepY()
-	for i := range xs {
-		fx := (xs[i] - g.MinX) / sx
-		fy := (ys[i] - g.MinY) / sy
-		ix := int(fx)
-		iy := int(fy)
-		if ix < 0 {
-			ix = 0
-		}
-		if iy < 0 {
-			iy = 0
-		}
-		if ix > p-2 {
-			ix = p - 2
-		}
-		if iy > p-2 {
-			iy = p - 2
-		}
-		rx := fx - float64(ix)
-		ry := fy - float64(iy)
-		if rx < 0 {
-			rx = 0
-		} else if rx > 1 {
-			rx = 1
-		}
-		if ry < 0 {
-			ry = 0
-		} else if ry > 1 {
-			ry = 1
-		}
-		weights[iy*p+ix] += (1 - rx) * (1 - ry)
-		weights[iy*p+ix+1] += rx * (1 - ry)
-		weights[(iy+1)*p+ix] += (1 - rx) * ry
-		weights[(iy+1)*p+ix+1] += rx * ry
-	}
-
-	kx := gaussianTaps(g.Hx, sx)
-	ky := gaussianTaps(g.Hy, sy)
-
-	// Convolve rows with kx, then columns with ky.
-	tmp := make([]float64, p*p)
-	out := g.Density
-	err := parallel.ForShards(ctx, workers, p, func(_ context.Context, _, lo, hi int) error {
-		convolveRows(weights, tmp, p, kx, lo, hi)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	err = parallel.ForShards(ctx, workers, p, func(_ context.Context, _, lo, hi int) error {
-		convolveCols(tmp, out, p, ky, lo, hi)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-
-	invN := 1 / float64(len(xs))
-	cx := 1 / (math.Sqrt(2*math.Pi) * g.Hx)
-	cy := 1 / (math.Sqrt(2*math.Pi) * g.Hy)
-	for i := range out {
-		out[i] *= invN * cx * cy
-	}
-	return nil
 }
 
 // gaussianTaps samples exp(−(k·step)²/(2h²)) for k = −R…R with R = ⌈5h/step⌉.

@@ -1,0 +1,366 @@
+package kde
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"innsearch/internal/parallel"
+)
+
+// This file is the partial/merge decomposition of the 2-D density
+// estimate — the kernels a scatter-gather coordinator (internal/shard)
+// runs over row-disjoint shards of the projected points and merges in
+// ascending shard order. The estimate splits into three scatterable
+// passes plus a finishing step that runs once on the merged state:
+//
+//	extent   — per-shard count, coordinate sums, min/max, finiteness
+//	spread   — per-shard squared deviations about the global mean
+//	lattice  — per-shard grid contributions (CIC weights, or raw exact
+//	           node sums), merged by entrywise addition
+//	finish   — bandwidths → grid geometry → convolution/normalization
+//
+// Determinism rules: each partial sweeps its rows in ascending order,
+// partials merge in ascending shard order, and the finish runs once
+// after the merge. A single partial over the full row range therefore
+// carries exactly the accumulation order of the unsharded estimator —
+// estimate2DSource is literally composed from these kernels — so P=1 is
+// bit-identical by construction, and any P reassociates only per-entry
+// float additions (≤ 1e-10 relative). All partial states are plain
+// values a remote shard could ship over a wire.
+
+// Extent is the first-pass density partial over a row range: row count,
+// per-axis coordinate sums (for the global mean), exact min/max, the
+// first row's coordinates (the Silverman zero-spread fallback anchors on
+// them), and the first non-finite row, if any.
+type Extent struct {
+	N                      int
+	SumX, SumY             float64
+	MinX, MaxX, MinY, MaxY float64
+	X0, Y0                 float64
+	// BadRow is the index of the first non-finite coordinate in the
+	// range, or -1. Merged extents keep the smallest across shards.
+	BadRow int
+}
+
+// CollectExtent sweeps rows [lo, hi) of points in ascending order. An
+// empty range yields Extent{N: 0, BadRow: -1}.
+func CollectExtent(points XYSource, lo, hi int) Extent {
+	e := Extent{BadRow: -1}
+	for i := lo; i < hi; i++ {
+		x, y := points.XY(i)
+		if e.BadRow < 0 && (math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0)) {
+			e.BadRow = i
+		}
+		if e.N == 0 {
+			e.MinX, e.MaxX, e.MinY, e.MaxY = x, x, y, y
+			e.X0, e.Y0 = x, y
+		} else {
+			if x < e.MinX {
+				e.MinX = x
+			}
+			if x > e.MaxX {
+				e.MaxX = x
+			}
+			if y < e.MinY {
+				e.MinY = y
+			}
+			if y > e.MaxY {
+				e.MaxY = y
+			}
+		}
+		e.SumX += x
+		e.SumY += y
+		e.N++
+	}
+	return e
+}
+
+// Mean finishes the extent's first moment: sum / n per axis, the
+// arithmetic of stats.Mean.
+func (e Extent) Mean() (mx, my float64) {
+	return e.SumX / float64(e.N), e.SumY / float64(e.N)
+}
+
+// MergeExtents folds extent partials in the order given (ascending shard
+// order). Min/max are exact under any grouping; the sums reassociate.
+func MergeExtents(parts []Extent) Extent {
+	out := Extent{BadRow: -1}
+	for _, p := range parts {
+		if p.N == 0 {
+			continue
+		}
+		if out.N == 0 {
+			out = p
+			continue
+		}
+		if p.MinX < out.MinX {
+			out.MinX = p.MinX
+		}
+		if p.MaxX > out.MaxX {
+			out.MaxX = p.MaxX
+		}
+		if p.MinY < out.MinY {
+			out.MinY = p.MinY
+		}
+		if p.MaxY > out.MaxY {
+			out.MaxY = p.MaxY
+		}
+		out.SumX += p.SumX
+		out.SumY += p.SumY
+		out.N += p.N
+		if p.BadRow >= 0 && (out.BadRow < 0 || p.BadRow < out.BadRow) {
+			out.BadRow = p.BadRow
+		}
+	}
+	return out
+}
+
+// Spread is the second-pass density partial: per-axis sums of squared
+// deviations about the global mean fixed by the merged extents.
+type Spread struct {
+	N        int
+	SqX, SqY float64
+}
+
+// CollectSpread sweeps rows [lo, hi) in ascending order, accumulating
+// squared deviations about (meanX, meanY) — the centered pass of
+// stats.Variance with the mean hoisted out.
+func CollectSpread(points XYSource, lo, hi int, meanX, meanY float64) Spread {
+	var s Spread
+	for i := lo; i < hi; i++ {
+		x, y := points.XY(i)
+		dx := x - meanX
+		s.SqX += dx * dx
+		dy := y - meanY
+		s.SqY += dy * dy
+		s.N++
+	}
+	return s
+}
+
+// MergeSpreads folds spread partials in the order given.
+func MergeSpreads(parts []Spread) Spread {
+	var out Spread
+	for _, p := range parts {
+		out.SqX += p.SqX
+		out.SqY += p.SqY
+		out.N += p.N
+	}
+	return out
+}
+
+// silvermanFromSpread is SilvermanBandwidth computed from merged moments
+// instead of a sample slice: sd = √(sq/n), with the same constant-sample
+// fallback anchored on the first row's coordinate.
+func silvermanFromSpread(sq float64, n int, first float64) float64 {
+	sd := math.Sqrt(sq / float64(n))
+	if sd > 0 {
+		return 1.06 * sd * math.Pow(float64(n), -0.2)
+	}
+	scale := math.Abs(first)
+	if scale < 1 {
+		scale = 1
+	}
+	return 1e-3 * scale
+}
+
+// PlanGrid turns merged extent and spread partials into the grid the
+// lattice pass scatters into: Silverman bandwidths (× BandwidthScale),
+// margin-widened bounds with the degenerate-extent fallback, resolution,
+// and a zeroed density lattice. opts is normalized here, so callers may
+// pass options as-is.
+func PlanGrid(ext Extent, spr Spread, opts Options) (*Grid, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if ext.N == 0 {
+		return nil, fmt.Errorf("%w: no points", ErrBadInput)
+	}
+	if ext.BadRow >= 0 {
+		return nil, fmt.Errorf("%w: non-finite coordinate at row %d", ErrBadInput, ext.BadRow)
+	}
+	if spr.N != ext.N {
+		return nil, fmt.Errorf("%w: spread over %d rows, extent over %d", ErrBadInput, spr.N, ext.N)
+	}
+	hx := silvermanFromSpread(spr.SqX, ext.N, ext.X0) * opts.BandwidthScale
+	hy := silvermanFromSpread(spr.SqY, ext.N, ext.Y0) * opts.BandwidthScale
+	g := &Grid{
+		P:    opts.GridSize,
+		MinX: ext.MinX - opts.MarginBandwidths*hx,
+		MaxX: ext.MaxX + opts.MarginBandwidths*hx,
+		MinY: ext.MinY - opts.MarginBandwidths*hy,
+		MaxY: ext.MaxY + opts.MarginBandwidths*hy,
+		Hx:   hx, Hy: hy, N: ext.N,
+	}
+	if g.MaxX == g.MinX {
+		g.MinX -= 0.5
+		g.MaxX += 0.5
+	}
+	if g.MaxY == g.MinY {
+		g.MinY -= 0.5
+		g.MaxY += 0.5
+	}
+	g.Density = make([]float64, g.P*g.P)
+	g.Binned = !opts.Exact
+	return g, nil
+}
+
+// BinnedPartial scatters rows [lo, hi) onto a fresh weight lattice with
+// bilinear cloud-in-cell weights — the binned estimator's serial scatter
+// restricted to one shard's rows, in ascending order.
+func BinnedPartial(g *Grid, points XYSource, lo, hi int) []float64 {
+	p := g.P
+	weights := make([]float64, p*p)
+	sx, sy := g.StepX(), g.StepY()
+	for i := lo; i < hi; i++ {
+		x, y := points.XY(i)
+		fx := (x - g.MinX) / sx
+		fy := (y - g.MinY) / sy
+		ix := int(fx)
+		iy := int(fy)
+		if ix < 0 {
+			ix = 0
+		}
+		if iy < 0 {
+			iy = 0
+		}
+		if ix > p-2 {
+			ix = p - 2
+		}
+		if iy > p-2 {
+			iy = p - 2
+		}
+		rx := fx - float64(ix)
+		ry := fy - float64(iy)
+		if rx < 0 {
+			rx = 0
+		} else if rx > 1 {
+			rx = 1
+		}
+		if ry < 0 {
+			ry = 0
+		} else if ry > 1 {
+			ry = 1
+		}
+		weights[iy*p+ix] += (1 - rx) * (1 - ry)
+		weights[iy*p+ix+1] += rx * (1 - ry)
+		weights[(iy+1)*p+ix] += (1 - rx) * ry
+		weights[(iy+1)*p+ix+1] += rx * ry
+	}
+	return weights
+}
+
+// ExactPartial computes raw per-node kernel sums over rows [lo, hi) — the
+// exact estimator's point loop restricted to one shard, before the 1/N
+// normalization (which Finish applies once, after the merge). Grid rows
+// shard across workers; each node's sum runs the shard's points in
+// ascending order.
+func ExactPartial(ctx context.Context, g *Grid, points XYSource, lo, hi, workers int) ([]float64, error) {
+	m := hi - lo
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	for i := 0; i < m; i++ {
+		xs[i], ys[i] = points.XY(lo + i)
+	}
+	lattice := make([]float64, g.P*g.P)
+	err := parallel.ForShards(ctx, workers, g.P, func(_ context.Context, _, rlo, rhi int) error {
+		for iy := rlo; iy < rhi; iy++ {
+			gy := g.Y(iy)
+			for ix := 0; ix < g.P; ix++ {
+				gx := g.X(ix)
+				var sum float64
+				for i := 0; i < m; i++ {
+					dx := (gx - xs[i]) / g.Hx
+					dy := (gy - ys[i]) / g.Hy
+					sum += math.Exp(-(dx*dx + dy*dy) / 2)
+				}
+				lattice[iy*g.P+ix] = sum
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lattice, nil
+}
+
+// MergeLattices folds lattice partials (CIC weights or exact node sums)
+// by entrywise addition in the order given.
+func MergeLattices(parts [][]float64) ([]float64, error) {
+	var out []float64
+	for k, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = append([]float64(nil), p...)
+			continue
+		}
+		if len(p) != len(out) {
+			return nil, fmt.Errorf("%w: merge lattice %d of %d cells into %d", ErrBadInput, k, len(p), len(out))
+		}
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	return out, nil
+}
+
+// FinishExact normalizes a merged exact lattice into g's densities:
+// node sum × (1/N) × cx × cy, the exact estimator's per-node finish.
+func FinishExact(g *Grid, lattice []float64) {
+	invN := 1 / float64(g.N)
+	cx := 1 / (math.Sqrt(2*math.Pi) * g.Hx)
+	cy := 1 / (math.Sqrt(2*math.Pi) * g.Hy)
+	for iy := 0; iy < g.P; iy++ {
+		for ix := 0; ix < g.P; ix++ {
+			g.Set(ix, iy, lattice[iy*g.P+ix]*invN*cx*cy)
+		}
+	}
+}
+
+// FinishBinned convolves a merged CIC weight lattice with the separable
+// Gaussian taps and normalizes into g's densities — the binned
+// estimator's convolution and scaling, bit-identical at any worker count.
+func FinishBinned(ctx context.Context, g *Grid, weights []float64, workers int) error {
+	p := g.P
+	kx := gaussianTaps(g.Hx, g.StepX())
+	ky := gaussianTaps(g.Hy, g.StepY())
+	tmp := make([]float64, p*p)
+	out := g.Density
+	err := parallel.ForShards(ctx, workers, p, func(_ context.Context, _, lo, hi int) error {
+		convolveRows(weights, tmp, p, kx, lo, hi)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	err = parallel.ForShards(ctx, workers, p, func(_ context.Context, _, lo, hi int) error {
+		convolveCols(tmp, out, p, ky, lo, hi)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	invN := 1 / float64(g.N)
+	cx := 1 / (math.Sqrt(2*math.Pi) * g.Hx)
+	cy := 1 / (math.Sqrt(2*math.Pi) * g.Hy)
+	for i := range out {
+		out[i] *= invN * cx * cy
+	}
+	return nil
+}
+
+// stamp records the density evaluation wall time when a clock is
+// configured; shared by the composed estimators.
+func stamp(opts Options) (start time.Time, stop func(*Grid)) {
+	if opts.Clock == nil {
+		return time.Time{}, func(*Grid) {}
+	}
+	start = opts.Clock()
+	return start, func(g *Grid) { g.BuildTime = opts.Clock().Sub(start) }
+}

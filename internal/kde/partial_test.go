@@ -1,0 +1,154 @@
+package kde
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"innsearch/internal/linalg"
+)
+
+func randomXY(t *testing.T, seed int64, n int) MatrixXY {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, r.NormFloat64()*3+1)
+		m.Set(i, 1, r.Float64()*10-5)
+	}
+	return MatrixXY{M: m}
+}
+
+// estimateSharded runs the full partial/merge pipeline over the given
+// row windows — the coordinator's composition, inlined for testing.
+func estimateSharded(t *testing.T, src XYSource, windows [][2]int, opts Options) *Grid {
+	t.Helper()
+	exts := make([]Extent, len(windows))
+	for k, w := range windows {
+		exts[k] = CollectExtent(src, w[0], w[1])
+	}
+	ext := MergeExtents(exts)
+	meanX, meanY := ext.Mean()
+	sprs := make([]Spread, len(windows))
+	for k, w := range windows {
+		sprs[k] = CollectSpread(src, w[0], w[1], meanX, meanY)
+	}
+	g, err := PlanGrid(ext, MergeSpreads(sprs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]float64, len(windows))
+	for k, w := range windows {
+		if opts.Exact {
+			parts[k], err = ExactPartial(context.Background(), g, src, w[0], w[1], 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			parts[k] = BinnedPartial(g, src, w[0], w[1])
+		}
+	}
+	lattice, err := MergeLattices(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Exact {
+		FinishExact(g, lattice)
+	} else {
+		if err := FinishBinned(context.Background(), g, lattice, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestPartialSingleShardBitIdentical is the P=1 contract at the kernel
+// level: one full-range partial, merged and finished, must reproduce the
+// unsharded estimator bit for bit — for both estimators.
+func TestPartialSingleShardBitIdentical(t *testing.T) {
+	src := randomXY(t, 41, 500)
+	for _, exact := range []bool{false, true} {
+		opts := Options{GridSize: 32, Exact: exact}
+		want, err := Estimate2DSourceContext(context.Background(), src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := estimateSharded(t, src, [][2]int{{0, src.Len()}}, opts)
+		if got.MinX != want.MinX || got.MaxX != want.MaxX || got.Hx != want.Hx || got.Hy != want.Hy {
+			t.Fatalf("exact=%v: grid geometry differs: got %+v bounds, want %+v", exact,
+				[4]float64{got.MinX, got.MaxX, got.MinY, got.MaxY},
+				[4]float64{want.MinX, want.MaxX, want.MinY, want.MaxY})
+		}
+		for i := range want.Density {
+			if got.Density[i] != want.Density[i] {
+				t.Fatalf("exact=%v: density[%d] = %v, want %v (not bit-identical)", exact, i, got.Density[i], want.Density[i])
+			}
+		}
+	}
+}
+
+// TestPartialMergeMatchesUnsharded is the property test over random shard
+// splits: the merged estimate must agree with the unsharded reference to
+// ≤ 1e-10 relative at any partition width, for both estimators.
+func TestPartialMergeMatchesUnsharded(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	src := randomXY(t, 43, 600)
+	n := src.Len()
+	for _, exact := range []bool{false, true} {
+		opts := Options{GridSize: 24, Exact: exact}
+		want, err := Estimate2DSourceContext(context.Background(), src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := want.MaxDensity()
+		for trial := 0; trial < 8; trial++ {
+			p := 2 + r.Intn(6)
+			cuts := map[int]bool{}
+			for len(cuts) < p-1 {
+				cuts[1+r.Intn(n-1)] = true
+			}
+			var windows [][2]int
+			lo := 0
+			for c := 1; c <= n; c++ {
+				if c == n || cuts[c] {
+					windows = append(windows, [2]int{lo, c})
+					lo = c
+				}
+			}
+			got := estimateSharded(t, src, windows, opts)
+			for i := range want.Density {
+				if d := math.Abs(got.Density[i] - want.Density[i]); d > 1e-10*scale {
+					t.Fatalf("exact=%v trial %d (p=%d): density[%d] = %v, want %v (Δ %v)",
+						exact, trial, p, i, got.Density[i], want.Density[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialNonFinitePropagates checks the finiteness contract: the
+// merged extent carries the globally-first bad row and PlanGrid rejects
+// it with the estimator's error.
+func TestPartialNonFinitePropagates(t *testing.T) {
+	src := randomXY(t, 44, 100)
+	src.M.Set(57, 1, math.NaN())
+	src.M.Set(80, 0, math.Inf(1))
+	a := CollectExtent(src, 0, 50)
+	b := CollectExtent(src, 50, 100)
+	ext := MergeExtents([]Extent{a, b})
+	if ext.BadRow != 57 {
+		t.Fatalf("merged BadRow = %d, want 57", ext.BadRow)
+	}
+	if _, err := PlanGrid(ext, Spread{N: ext.N}, Options{}); err == nil {
+		t.Fatal("PlanGrid accepted a non-finite extent")
+	}
+}
+
+// TestMergeLatticesShapeMismatch checks that incompatible lattices are
+// rejected.
+func TestMergeLatticesShapeMismatch(t *testing.T) {
+	if _, err := MergeLattices([][]float64{make([]float64, 4), make([]float64, 9)}); err == nil {
+		t.Fatal("mismatched lattice sizes accepted")
+	}
+}

@@ -34,6 +34,8 @@ func (b metricsBridge) Emit(e telemetry.Event) {
 		b.m.indexBuild.Observe(e.DurationMS * sec)
 	case telemetry.EventCandidateGen:
 		b.m.candidateGen.Observe(e.DurationMS * sec)
+	case telemetry.EventShardGather:
+		b.m.observeShardGather(e.Shard, e.DurationMS*sec)
 	}
 }
 
@@ -91,6 +93,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Histogram("innsearch_projection_stage_seconds", "Per-halving-stage cost of the graded projection search.", m.projectionStage.Snapshot())
 	p.Histogram("innsearch_index_build_seconds", "Candidate-generation index build time per view generation.", m.indexBuild.Snapshot())
 	p.Histogram("innsearch_candidate_gen_seconds", "Candidate-generation query time per nearest-s scan.", m.candidateGen.Snapshot())
+	p.Histogram("innsearch_shard_gather_seconds", "Per-shard partial gather latency across sharded sessions, merged over shard indices.", m.shardGatherMerged().Snapshot())
 
 	_ = p.Err() // the client is gone if writing failed; nothing to do
 }

@@ -42,6 +42,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// sessions themselves run serially), so the server's batch bound —
 	// not the per-session default — applies here.
 	cfg.Workers = s.cfg.BatchWorkers
+	if cfg.Shards == 0 {
+		cfg.Shards = s.cfg.Shards
+	}
+	cfg.IndexCache = s.idxCache
 	// Batch sessions share one tracer stamped with the request ID (no
 	// session ID — the engine allocates none for batch queries). The
 	// histogram and trace sinks are concurrency-safe, so concurrent batch

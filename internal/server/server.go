@@ -77,6 +77,12 @@ type Config struct {
 	// that do not request one over the wire ("" keeps candidate
 	// generation off; see internal/index.Names for the registry).
 	Index string
+	// Shards is the default engine partition width for sessions that do
+	// not request one over the wire (0 or 1: the single-partition path,
+	// byte-identical to pre-shard behavior; P ≥ 2: stage kernels scatter
+	// over P row-disjoint shards and merge deterministically). Negative
+	// values are rejected at construction.
+	Shards int
 	// SweepInterval overrides the TTL sweep cadence (default TTL/4);
 	// tests use it to observe eviction quickly.
 	SweepInterval time.Duration
@@ -125,6 +131,11 @@ type Server struct {
 	stop    context.CancelFunc
 	logger  *slog.Logger
 	trace   telemetry.Tracer
+	// idxCache shares candidate-generation backends across every hosted
+	// session (interactive, batch, sharded): sessions over the same view
+	// of the same resident dataset reuse one build per (view, shard,
+	// backend, options) key instead of rebuilding per session.
+	idxCache *index.Cache
 	// residentBytes is the summed footprint of the preloaded immutable
 	// point stores, exported as the resident_dataset_bytes gauge.
 	residentBytes int64
@@ -148,6 +159,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("server: negative shard count %d", cfg.Shards)
+	}
 	m := newMetrics()
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
@@ -158,6 +172,7 @@ func New(cfg Config) (*Server, error) {
 		stop:          stop,
 		logger:        cfg.Logger,
 		trace:         cfg.Trace,
+		idxCache:      index.NewCache(0),
 		residentBytes: residentBytes,
 	}
 	mux := http.NewServeMux()
@@ -260,7 +275,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	poolActive, poolQueued := parallel.Stats()
 	writeJSON(w, http.StatusOK, s.metrics.snapshot(
-		s.store.active(), s.store.isDraining(), s.residentBytes, poolActive, poolQueued, s.cfg.Index))
+		s.store.active(), s.store.isDraining(), s.residentBytes, poolActive, poolQueued, s.cfg.Index, s.cfg.Shards))
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -340,6 +355,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if !cfg.Index.Enabled() && s.cfg.Index != "" {
 		cfg.Index = index.Config{Name: s.cfg.Index}
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = s.cfg.Shards
+	}
+	cfg.IndexCache = s.idxCache
 	// The session ID is allocated before the engine so the tracer can stamp
 	// it (together with the creating request's ID) onto every trace event.
 	id := newSessionID()

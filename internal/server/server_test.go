@@ -274,7 +274,7 @@ func TestConcurrentSessions(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	v := srv.metrics.snapshot(srv.store.active(), false, srv.residentBytes, 0, 0, "")
+	v := srv.metrics.snapshot(srv.store.active(), false, srv.residentBytes, 0, 0, "", 0)
 	if v.SessionsDone != sessions {
 		t.Errorf("varz sessions_done = %d, want %d", v.SessionsDone, sessions)
 	}

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"innsearch/internal/telemetry"
@@ -54,6 +57,16 @@ type metrics struct {
 	projectionStage *telemetry.Histogram
 	indexBuild      *telemetry.Histogram
 	candidateGen    *telemetry.Histogram
+
+	// shardGather holds one latency histogram per shard index, fed by the
+	// coordinator's shard_gather trace events across all sharded sessions.
+	// The map grows lazily to the widest partition any session used; the
+	// /metrics exposition folds the per-shard series into one family with
+	// Histogram.Merge at scrape time, and /varz reports both the merged
+	// series and the per-shard breakdown.
+	shardMu       sync.Mutex
+	shardGather   map[int]*telemetry.Histogram
+	machineBounds []float64
 }
 
 func newMetrics() *metrics {
@@ -70,7 +83,68 @@ func newMetrics() *metrics {
 		projectionStage: telemetry.NewHistogram(machine),
 		indexBuild:      telemetry.NewHistogram(machine),
 		candidateGen:    telemetry.NewHistogram(machine),
+
+		shardGather:   make(map[int]*telemetry.Histogram),
+		machineBounds: machine,
 	}
+}
+
+// observeShardGather records one shard's partial-gather latency (seconds).
+func (m *metrics) observeShardGather(shard int, sec float64) {
+	if shard < 0 {
+		return
+	}
+	m.shardMu.Lock()
+	h, ok := m.shardGather[shard]
+	if !ok {
+		h = telemetry.NewHistogram(m.machineBounds)
+		m.shardGather[shard] = h
+	}
+	m.shardMu.Unlock()
+	h.Observe(sec)
+}
+
+// shardGatherMerged folds the per-shard gather histograms into a fresh
+// scratch histogram — the scrape-time aggregation a remote shard's
+// histogram would merge into the same way. The result has count 0 when no
+// sharded session has run, so the /metrics family is always present.
+func (m *metrics) shardGatherMerged() *telemetry.Histogram {
+	out := telemetry.NewHistogram(m.machineBounds)
+	m.shardMu.Lock()
+	hists := make([]*telemetry.Histogram, 0, len(m.shardGather))
+	for _, h := range m.shardGather {
+		hists = append(hists, h)
+	}
+	m.shardMu.Unlock()
+	for _, h := range hists {
+		_ = out.Merge(h) // identical bounds by construction
+	}
+	return out
+}
+
+// shardGatherByShard snapshots the per-shard gather histograms keyed by
+// shard index (strings, for JSON), for the /varz shard block. Nil until a
+// sharded session has gathered at least one partial.
+func (m *metrics) shardGatherByShard() map[string]latencyVarz {
+	m.shardMu.Lock()
+	ids := make([]int, 0, len(m.shardGather))
+	for id := range m.shardGather {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	hists := make([]*telemetry.Histogram, len(ids))
+	for i, id := range ids {
+		hists[i] = m.shardGather[id]
+	}
+	m.shardMu.Unlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make(map[string]latencyVarz, len(ids))
+	for i, id := range ids {
+		out[fmt.Sprintf("%d", id)] = toLatencyVarz(hists[i].Snapshot())
+	}
+	return out
 }
 
 // latencyVarz is the JSON rendering of one latency histogram, in
@@ -140,9 +214,23 @@ type varz struct {
 	// backend.
 	IndexBuild   latencyVarz `json:"index_build"`
 	CandidateGen latencyVarz `json:"candidate_gen"`
+	// Shard is the sharded-engine block: the server's default partition
+	// width and the partial-gather latencies the coordinator reported.
+	Shard shardVarz `json:"shard"`
 }
 
-func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolActive, poolQueued int64, indexBackend string) varz {
+// shardVarz is the /varz shard block. Gather is the per-shard gather
+// latency merged over all shard indices (telemetry.Histogram.Merge — the
+// same fold /metrics exposes as innsearch_shard_gather_seconds);
+// GatherByShard breaks it down per shard index and is omitted until a
+// sharded session has run.
+type shardVarz struct {
+	DefaultShards int                    `json:"default_shards"`
+	Gather        latencyVarz            `json:"gather"`
+	GatherByShard map[string]latencyVarz `json:"gather_by_shard,omitempty"`
+}
+
+func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolActive, poolQueued int64, indexBackend string, defaultShards int) varz {
 	return varz{
 		ActiveSessions:    active,
 		Draining:          draining,
@@ -173,5 +261,10 @@ func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolA
 		ProjectionStage: toLatencyVarz(m.projectionStage.Snapshot()),
 		IndexBuild:      toLatencyVarz(m.indexBuild.Snapshot()),
 		CandidateGen:    toLatencyVarz(m.candidateGen.Snapshot()),
+		Shard: shardVarz{
+			DefaultShards: defaultShards,
+			Gather:        toLatencyVarz(m.shardGatherMerged().Snapshot()),
+			GatherByShard: m.shardGatherByShard(),
+		},
 	}
 }

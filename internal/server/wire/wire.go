@@ -314,13 +314,27 @@ type SessionConfig struct {
 	// nearest-s scans ("" disables; see index.Names for the registry).
 	// Backend tuning stays at engine defaults over the wire.
 	Index string `json:"index,omitempty"`
+	// Shards is the engine partition width: 0 takes the server default,
+	// 1 forces the single-partition path (byte-identical to pre-shard
+	// sessions), P ≥ 2 scatters the stage kernels over P row-disjoint
+	// shards with deterministic in-order merges. Results at P ≥ 2 agree
+	// with P = 1 within float re-association (≤ 1e-10 relative) and
+	// select identical member sets.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ToCore decodes the config for the session engine.
 func (c SessionConfig) ToCore() (core.Config, error) {
+	if c.Workers < 0 {
+		return core.Config{}, fmt.Errorf("wire: negative workers %d", c.Workers)
+	}
+	if c.Shards < 0 {
+		return core.Config{}, fmt.Errorf("wire: negative shards %d", c.Shards)
+	}
 	cfg := core.Config{
 		Support:            c.Support,
 		Workers:            c.Workers,
+		Shards:             c.Shards,
 		GridSize:           c.GridSize,
 		BandwidthScale:     c.BandwidthScale,
 		MaxMajorIterations: c.MaxMajorIterations,

@@ -1,0 +1,424 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/index"
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+	"innsearch/internal/parallel"
+	"innsearch/internal/telemetry"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Shards is P, the number of row-disjoint partitions every stage
+	// scatters over. Values ≤ 1 are legal (the coordinator degenerates to
+	// one full-range shard), but sessions bypass the coordinator entirely
+	// at Shards ≤ 1 so the legacy single-partition path stays byte-level
+	// identical.
+	Shards int
+	// Workers bounds the goroutines running shard partials concurrently;
+	// ≤ 0 means GOMAXPROCS. Worker count never affects results — the
+	// partition depends only on (rows, Shards) and merges are serial.
+	Workers int
+	// Tracer, when non-nil, receives shard_scatter / shard_gather events.
+	Tracer telemetry.Tracer
+	// Cache, when non-nil, shares built per-shard index backends across
+	// sessions on the same view generation.
+	Cache *index.Cache
+}
+
+// Coordinator scatter-gathers stage partials over P row-disjoint shards
+// and merges them in ascending shard order. It is owned by a single
+// session goroutine, like the session itself: methods must not be called
+// concurrently (the parallelism lives inside the scatter).
+type Coordinator struct {
+	p       int
+	workers int
+	tr      telemetry.Tracer
+	cache   *index.Cache
+
+	// stats memoizes per-view statistics for the session's view chain —
+	// the sharded mirror of View.Stats' own memo, needed here because the
+	// sharded moments must not fall back to the view's unsharded pass.
+	stats map[*dataset.View]*dataset.ViewStats
+
+	// idxView/idxShards pin the shard set whose index backends are built,
+	// so candidate queries reuse builds until the view changes.
+	idxView   *dataset.View
+	idxShards []Shard
+
+	// mkShards overrides shard construction in tests (e.g. to inject a
+	// blocking shard and prove mid-scatter cancellation).
+	mkShards func(v *dataset.View, xy kde.XYSource, n int) []Shard
+}
+
+// New returns a coordinator for cfg.
+func New(cfg Config) *Coordinator {
+	return &Coordinator{
+		p:       cfg.Shards,
+		workers: cfg.Workers,
+		tr:      cfg.Tracer,
+		cache:   cfg.Cache,
+		stats:   make(map[*dataset.View]*dataset.ViewStats),
+	}
+}
+
+// Shards returns P as configured.
+func (c *Coordinator) Shards() int { return c.p }
+
+// shardsFor builds the stage's shard set: min(P, n) windows cut by
+// parallel.ShardBounds — a function of (n, P) only, never of workers, so
+// the partition (and therefore every merge) is identical across runs and
+// worker counts.
+func (c *Coordinator) shardsFor(v *dataset.View, xy kde.XYSource, n int) []Shard {
+	if c.mkShards != nil {
+		return c.mkShards(v, xy, n)
+	}
+	p := c.p
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	out := make([]Shard, p)
+	for i := range out {
+		lo, hi := parallel.ShardBounds(n, p, i)
+		out[i] = NewLocal(i, lo, hi, v, xy)
+	}
+	return out
+}
+
+// scatter fans run out over the shards with the session's worker budget
+// and waits for all of them. Telemetry: one shard_scatter event before
+// the fan-out, then — after the barrier, in ascending shard order (the
+// merge order) — one shard_gather event per shard carrying the partial's
+// wall time. Both are emitted from the calling goroutine, so injected
+// single-goroutine tracer clocks stay safe; the per-shard durations are
+// measured with the real clock inside the workers.
+func (c *Coordinator) scatter(ctx context.Context, stage string, shards []Shard, n int, run func(ctx context.Context, s Shard) error) error {
+	if c.tr != nil {
+		c.tr.Emit(telemetry.Event{
+			Type:   telemetry.EventShardScatter,
+			Stage:  stage,
+			Shards: len(shards),
+			N:      n,
+		})
+	}
+	durs := make([]time.Duration, len(shards))
+	err := parallel.For(ctx, c.workers, len(shards), func(ctx context.Context, i int) error {
+		start := time.Now()
+		err := run(ctx, shards[i])
+		durs[i] = time.Since(start)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if c.tr != nil {
+		for i, s := range shards {
+			lo, hi := s.Rows()
+			c.tr.Emit(telemetry.Event{
+				Type:       telemetry.EventShardGather,
+				Stage:      stage,
+				Shard:      s.ID(),
+				Shards:     len(shards),
+				N:          hi - lo,
+				DurationMS: float64(durs[i]) / float64(time.Millisecond),
+			})
+		}
+	}
+	return nil
+}
+
+// Stats is the sharded mirror of View.Stats: projected views pull their
+// base's statistics through the projection (no row data touched), ambient
+// views run the two-pass scattered moment kernels. Results are memoized
+// per view, like the view's own memo.
+func (c *Coordinator) Stats(ctx context.Context, v *dataset.View) (*dataset.ViewStats, error) {
+	if st, ok := c.stats[v]; ok {
+		return st, nil
+	}
+	base, proj := v.Base()
+	var st *dataset.ViewStats
+	if base != nil {
+		bst, err := c.Stats(ctx, base)
+		if err != nil {
+			return nil, err
+		}
+		cov, err := proj.PullThroughCov(bst.Cov)
+		if err != nil {
+			return nil, err
+		}
+		st = &dataset.ViewStats{Mean: proj.Project(bst.Mean), Cov: cov}
+	} else {
+		var err error
+		st, err = c.momentStats(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.stats[v] = st
+	return st, nil
+}
+
+// momentStats runs the two scattered moment passes: per-shard column sums
+// → global mean, then per-shard centered second moments about that mean,
+// merged in shard order and finished once.
+func (c *Coordinator) momentStats(ctx context.Context, v *dataset.View) (*dataset.ViewStats, error) {
+	n := v.N()
+	shards := c.shardsFor(v, nil, n)
+	sums := make([]dataset.MomentSums, len(shards))
+	err := c.scatter(ctx, "stats/sums", shards, n, func(ctx context.Context, s Shard) error {
+		ms, err := s.ColumnSums(ctx)
+		if err != nil {
+			return err
+		}
+		sums[s.ID()] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := dataset.MergeMomentSums(sums)
+	if err != nil {
+		return nil, err
+	}
+	mean := merged.Mean()
+	m2s := make([]*linalg.Matrix, len(shards))
+	err = c.scatter(ctx, "stats/moments", shards, n, func(ctx context.Context, s Shard) error {
+		m2, err := s.CenteredMoment(ctx, mean)
+		if err != nil {
+			return err
+		}
+		m2s[s.ID()] = m2
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m2, err := dataset.MergeCenteredMoments(m2s)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FinishStats(merged, m2)
+}
+
+// Nearest scatter-gathers the top-s stage: per-shard exact top-k under
+// the strict (dist, pos) order, merged by re-sorting the ≤ P·k survivors
+// under the same order and truncating — the member set is exactly the
+// unsharded top-k because every distance is computed by the same kernel.
+func (c *Coordinator) Nearest(ctx context.Context, v *dataset.View, sub *linalg.Subspace, qp linalg.Vector, k int) ([]Cand, error) {
+	n := v.N()
+	shards := c.shardsFor(v, nil, n)
+	parts := make([][]Cand, len(shards))
+	err := c.scatter(ctx, "nearest", shards, n, func(ctx context.Context, s Shard) error {
+		cs, err := s.Nearest(ctx, sub, qp, k)
+		if err != nil {
+			return err
+		}
+		parts[s.ID()] = cs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Cand
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(a, b int) bool { return candLess(all[a], all[b]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// Estimate2D scatter-gathers the density stage over src's rows: extent →
+// spread → lattice partials, merged in shard order, planned and finished
+// once — the composition Estimate2DSourceContext runs as a single
+// full-range partial.
+func (c *Coordinator) Estimate2D(ctx context.Context, src kde.XYSource, opts kde.Options) (*kde.Grid, error) {
+	n := src.Len()
+	shards := c.shardsFor(nil, src, n)
+	exts := make([]kde.Extent, len(shards))
+	err := c.scatter(ctx, "kde/extent", shards, n, func(ctx context.Context, s Shard) error {
+		e, err := s.DensityExtent(ctx)
+		if err != nil {
+			return err
+		}
+		exts[s.ID()] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ext := kde.MergeExtents(exts)
+	if ext.N == 0 || ext.BadRow >= 0 {
+		// PlanGrid produces the estimator's error for both degenerate
+		// merges (and for invalid options, checked first, as in the
+		// unsharded entry points).
+		_, err := kde.PlanGrid(ext, kde.Spread{N: ext.N}, opts)
+		if err == nil {
+			err = fmt.Errorf("shard: degenerate extent not rejected")
+		}
+		return nil, err
+	}
+	meanX, meanY := ext.Mean()
+	sprs := make([]kde.Spread, len(shards))
+	err = c.scatter(ctx, "kde/spread", shards, n, func(ctx context.Context, s Shard) error {
+		sp, err := s.DensitySpread(ctx, meanX, meanY)
+		if err != nil {
+			return err
+		}
+		sprs[s.ID()] = sp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, err := kde.PlanGrid(ext, kde.MergeSpreads(sprs), opts)
+	if err != nil {
+		return nil, err
+	}
+	var start time.Time
+	if opts.Clock != nil {
+		start = opts.Clock()
+	}
+	parts := make([][]float64, len(shards))
+	err = c.scatter(ctx, "kde/lattice", shards, n, func(ctx context.Context, s Shard) error {
+		l, err := s.DensityLattice(ctx, g)
+		if err != nil {
+			return err
+		}
+		parts[s.ID()] = l
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lattice, err := kde.MergeLattices(parts)
+	if err != nil {
+		return nil, err
+	}
+	if g.Binned {
+		if err := kde.FinishBinned(ctx, g, lattice, opts.Workers); err != nil {
+			return nil, err
+		}
+	} else {
+		kde.FinishExact(g, lattice)
+	}
+	if opts.Clock != nil {
+		g.BuildTime = opts.Clock().Sub(start)
+	}
+	return g, nil
+}
+
+// IndexBuild describes one shard's backend build from EnsureIndex.
+type IndexBuild struct {
+	Shard int
+	// N is the shard's row count.
+	N int
+	// Hit reports a cache reuse (no build ran).
+	Hit bool
+	// DurationMS is the build (or cache wait) wall time.
+	DurationMS float64
+}
+
+// EnsureIndex builds the per-shard candidate backends over v, reusing
+// them while the view is unchanged and sharing builds across sessions
+// through the cache when one is configured. It returns per-shard build
+// records (nil when the shard set was already in place).
+func (c *Coordinator) EnsureIndex(ctx context.Context, v *dataset.View, cfg index.Config) ([]IndexBuild, error) {
+	if c.idxView == v && c.idxShards != nil {
+		return nil, nil
+	}
+	n := v.N()
+	shards := c.shardsFor(v, nil, n)
+	builds := make([]IndexBuild, len(shards))
+	err := c.scatter(ctx, "index/build", shards, n, func(ctx context.Context, s Shard) error {
+		lo, hi := s.Rows()
+		start := time.Now()
+		hit := false
+		if l, ok := s.(*Local); ok && c.cache != nil {
+			key := index.CacheKey{Source: v, Shard: s.ID(), Shards: len(shards), Name: cfg.Name, Options: cfg.Options}
+			b, h, err := c.cache.Get(ctx, key, func(ctx context.Context) (index.Backend, error) {
+				if err := l.BuildIndex(ctx, cfg); err != nil {
+					return nil, err
+				}
+				return l.Backend(), nil
+			})
+			if err != nil {
+				return err
+			}
+			hit = h
+			l.SetBackend(b)
+		} else if err := s.BuildIndex(ctx, cfg); err != nil {
+			return err
+		}
+		builds[s.ID()] = IndexBuild{
+			Shard:      s.ID(),
+			N:          hi - lo,
+			Hit:        hit,
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.idxView, c.idxShards = v, shards
+	return builds, nil
+}
+
+// Candidates scatter-gathers the candidate-generation stage over the
+// backends EnsureIndex built: per-shard KNN with globally translated
+// positions, merged under (dist, pos) and truncated to k. Per-shard query
+// stats accumulate in shard order.
+func (c *Coordinator) Candidates(ctx context.Context, v *dataset.View, q linalg.Vector, k int) ([]index.Candidate, index.Stats, error) {
+	if c.idxView != v || c.idxShards == nil {
+		return nil, index.Stats{}, fmt.Errorf("shard: Candidates before EnsureIndex for this view")
+	}
+	shards := c.idxShards
+	parts := make([][]index.Candidate, len(shards))
+	stats := make([]index.Stats, len(shards))
+	err := c.scatter(ctx, "candidates", shards, v.N(), func(ctx context.Context, s Shard) error {
+		cs, st, err := s.Candidates(ctx, q, k)
+		if err != nil {
+			return err
+		}
+		parts[s.ID()], stats[s.ID()] = cs, st
+		return nil
+	})
+	if err != nil {
+		return nil, index.Stats{}, err
+	}
+	var all []index.Candidate
+	var total index.Stats
+	for i, p := range parts {
+		all = append(all, p...)
+		total.Add(stats[i])
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist != all[b].Dist {
+			return all[a].Dist < all[b].Dist
+		}
+		return all[a].Pos < all[b].Pos
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, total, nil
+}
+
+// InvalidateIndex drops the coordinator's built shard backends (the view
+// changed, e.g. rows were pruned).
+func (c *Coordinator) InvalidateIndex() {
+	c.idxView, c.idxShards = nil, nil
+}

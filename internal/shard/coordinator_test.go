@@ -1,0 +1,430 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/index"
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+	"innsearch/internal/telemetry"
+)
+
+func testDataset(t *testing.T, seed int64, n, d int) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64() * float64(j+1)
+		}
+		rows[i] = row
+	}
+	ds, err := dataset.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func testXY(t *testing.T, seed int64, n int) kde.MatrixXY {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, r.NormFloat64()*2+1)
+		m.Set(i, 1, r.Float64()*8-4)
+	}
+	return kde.MatrixXY{M: m}
+}
+
+// recordTracer collects events for assertions; Emit may be called from
+// the coordinator's driving goroutine only, but a mutex keeps it safe for
+// any future concurrent use.
+type recordTracer struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+func (r *recordTracer) Emit(e telemetry.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *recordTracer) Now() time.Time { return time.Now() }
+
+// TestCoordinatorStatsParity checks the stats stage against View.Stats:
+// bit-identical at P=1, ≤ 1e-10 relative at P=4, pull-through for
+// projected views, and per-view memoization.
+func TestCoordinatorStatsParity(t *testing.T) {
+	ctx := context.Background()
+	v := testDataset(t, 7, 500, 6).View()
+	want, err := v.Stats(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := New(Config{Shards: 1})
+	got1, err := c1.Stats(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Mean {
+		if got1.Mean[j] != want.Mean[j] {
+			t.Fatalf("P=1 mean[%d] = %v, want %v (not bit-identical)", j, got1.Mean[j], want.Mean[j])
+		}
+	}
+	for i := range want.Cov.Data {
+		if got1.Cov.Data[i] != want.Cov.Data[i] {
+			t.Fatalf("P=1 cov[%d] = %v, want %v (not bit-identical)", i, got1.Cov.Data[i], want.Cov.Data[i])
+		}
+	}
+
+	c4 := New(Config{Shards: 4, Workers: 4})
+	got4, err := c4.Stats(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := want.Cov.MaxAbs()
+	for i := range want.Cov.Data {
+		if d := math.Abs(got4.Cov.Data[i] - want.Cov.Data[i]); d > 1e-10*scale {
+			t.Fatalf("P=4 cov[%d] off by %v", i, d)
+		}
+	}
+
+	// Projected views pull through the base's sharded stats.
+	sub, err := linalg.AxisSubspace(6, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := v.Compose(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP, err := pv.Stats(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotP, err := c4.Stats(ctx, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pscale := wantP.Cov.MaxAbs()
+	for i := range wantP.Cov.Data {
+		if d := math.Abs(gotP.Cov.Data[i] - wantP.Cov.Data[i]); d > 1e-10*pscale {
+			t.Fatalf("projected cov[%d] off by %v", i, d)
+		}
+	}
+
+	// Memoized: same pointer on the second ask.
+	again, err := c4.Stats(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got4 {
+		t.Fatal("stats were recomputed instead of memoized")
+	}
+}
+
+// TestCoordinatorNearestParity checks the top-s stage: the sharded merge
+// must return exactly the unsharded top-k (positions and distances
+// bitwise) in the strict (dist, pos) order.
+func TestCoordinatorNearestParity(t *testing.T) {
+	ctx := context.Background()
+	v := testDataset(t, 11, 400, 5).View()
+	sub, err := linalg.AxisSubspace(5, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := append(linalg.Vector(nil), v.Point(5)...)
+	qp := sub.Project(q)
+	const k = 17
+
+	want := make([]Cand, 0, v.N())
+	for i := 0; i < v.N(); i++ {
+		want = append(want, Cand{Pos: i, Dist: sub.ProjDistTo(qp, v.Point(i))})
+	}
+	sort.Slice(want, func(a, b int) bool { return candLess(want[a], want[b]) })
+	want = want[:k]
+
+	for _, p := range []int{1, 4, 7} {
+		c := New(Config{Shards: p, Workers: 3})
+		got, err := c.Nearest(ctx, v, sub, qp, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("P=%d: nearest = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestCoordinatorEstimate2DParity checks the density stage against the
+// unsharded estimator for both estimators: bit-identical at P=1,
+// ≤ 1e-10 relative at P=5, identical grid geometry at any P.
+func TestCoordinatorEstimate2DParity(t *testing.T) {
+	ctx := context.Background()
+	src := testXY(t, 13, 600)
+	for _, exact := range []bool{false, true} {
+		opts := kde.Options{GridSize: 24, Exact: exact}
+		want, err := kde.Estimate2DSourceContext(ctx, src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got1, err := New(Config{Shards: 1}).Estimate2D(ctx, src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Density {
+			if got1.Density[i] != want.Density[i] {
+				t.Fatalf("exact=%v P=1: density[%d] not bit-identical", exact, i)
+			}
+		}
+
+		got5, err := New(Config{Shards: 5, Workers: 3}).Estimate2D(ctx, src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Geometry derives from the merged coordinate sums (mean →
+		// bandwidth → margins), so at P>1 it agrees to tolerance, not
+		// bitwise.
+		relClose := func(a, b float64) bool {
+			return math.Abs(a-b) <= 1e-10*math.Max(math.Abs(a), math.Abs(b))
+		}
+		if !relClose(got5.MinX, want.MinX) || !relClose(got5.MaxX, want.MaxX) ||
+			!relClose(got5.Hx, want.Hx) || !relClose(got5.Hy, want.Hy) {
+			t.Fatalf("exact=%v P=5: grid geometry differs", exact)
+		}
+		scale := want.MaxDensity()
+		for i := range want.Density {
+			if d := math.Abs(got5.Density[i] - want.Density[i]); d > 1e-10*scale {
+				t.Fatalf("exact=%v P=5: density[%d] off by %v", exact, i, d)
+			}
+		}
+	}
+}
+
+// TestCoordinatorDeterministicAcrossWorkers is the acceptance-criteria
+// determinism check: at fixed P every stage's result is bitwise identical
+// at worker counts 1, 4 and 8.
+func TestCoordinatorDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	v := testDataset(t, 17, 300, 4).View()
+	src := testXY(t, 19, 300)
+	sub, err := linalg.AxisSubspace(4, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := sub.Project(append(linalg.Vector(nil), v.Point(0)...))
+
+	type result struct {
+		stats   *dataset.ViewStats
+		near    []Cand
+		density []float64
+	}
+	run := func(workers int) result {
+		c := New(Config{Shards: 3, Workers: workers})
+		st, err := c.Stats(ctx, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		near, err := c.Nearest(ctx, v, sub, qp, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := c.Estimate2D(ctx, src, kde.Options{GridSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{stats: st, near: near, density: g.Density}
+	}
+	base := run(1)
+	for _, w := range []int{4, 8} {
+		got := run(w)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: results differ from workers=1 at fixed P", w)
+		}
+	}
+}
+
+// blockingShard wedges its first stats partial until its context is
+// canceled — the fake remote shard of the cancellation acceptance test.
+type blockingShard struct {
+	*Local
+	started chan struct{}
+}
+
+func (b *blockingShard) ColumnSums(ctx context.Context) (dataset.MomentSums, error) {
+	close(b.started)
+	<-ctx.Done()
+	return dataset.MomentSums{}, ctx.Err()
+}
+
+// TestCoordinatorCancellationMidScatter checks that canceling the session
+// context while a scatter is in flight aborts the stage with the
+// context's error instead of hanging on the barrier.
+func TestCoordinatorCancellationMidScatter(t *testing.T) {
+	v := testDataset(t, 23, 200, 3).View()
+	c := New(Config{Shards: 2, Workers: 2})
+	blocked := &blockingShard{Local: NewLocal(1, 100, 200, v, nil), started: make(chan struct{})}
+	c.mkShards = func(view *dataset.View, _ kde.XYSource, n int) []Shard {
+		return []Shard{NewLocal(0, 0, 100, view, nil), blocked}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Stats(ctx, v)
+		errc <- err
+	}()
+	<-blocked.started
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not abort a mid-scatter cancellation")
+	}
+
+	// A pre-canceled context never starts the scatter.
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	c2 := New(Config{Shards: 2})
+	if _, err := c2.Stats(pre, v); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Stats: got %v, want context.Canceled", err)
+	}
+}
+
+// TestCoordinatorTelemetry checks the event protocol: per sharded stage
+// one shard_scatter followed by exactly P shard_gather events in
+// ascending shard order, with shard row counts summing to n.
+func TestCoordinatorTelemetry(t *testing.T) {
+	ctx := context.Background()
+	v := testDataset(t, 29, 250, 4).View()
+	tr := &recordTracer{}
+	c := New(Config{Shards: 4, Workers: 2, Tracer: tr})
+	if _, err := c.Stats(ctx, v); err != nil {
+		t.Fatal(err)
+	}
+
+	wantStages := []string{"stats/sums", "stats/moments"}
+	i := 0
+	for _, stage := range wantStages {
+		if i >= len(tr.events) {
+			t.Fatalf("missing scatter for stage %q", stage)
+		}
+		e := tr.events[i]
+		if e.Type != telemetry.EventShardScatter || e.Stage != stage || e.Shards != 4 || e.N != 250 {
+			t.Fatalf("event %d = %+v, want scatter of %q over 4 shards / 250 rows", i, e, stage)
+		}
+		i++
+		rows := 0
+		for s := 0; s < 4; s++ {
+			g := tr.events[i]
+			if g.Type != telemetry.EventShardGather || g.Stage != stage || g.Shard != s {
+				t.Fatalf("event %d = %+v, want gather of %q shard %d", i, g, stage, s)
+			}
+			rows += g.N
+			i++
+		}
+		if rows != 250 {
+			t.Fatalf("stage %q gathered %d rows, want 250", stage, rows)
+		}
+	}
+	if i != len(tr.events) {
+		t.Fatalf("unexpected trailing events: %+v", tr.events[i:])
+	}
+}
+
+// TestCoordinatorIndexStage checks candidate generation: per-shard exact
+// backends must reproduce the unsharded exact top-k member set, builds
+// are reused while the view is unchanged, and a shared cache turns a
+// second coordinator's builds into hits.
+func TestCoordinatorIndexStage(t *testing.T) {
+	ctx := context.Background()
+	v := testDataset(t, 31, 300, 4).View()
+	cfg := index.Config{Name: "exact"}
+	q := append(linalg.Vector(nil), v.Point(42)...)
+	const k = 9
+
+	ref, err := index.New("exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Build(ctx, windowSource{v: v, lo: 0, hi: v.N()}, cfg.Options); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ref.KNN(ctx, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := index.NewCache(0)
+	c := New(Config{Shards: 4, Workers: 2, Cache: cache})
+	if _, _, err := c.Candidates(ctx, v, q, k); err == nil {
+		t.Fatal("Candidates before EnsureIndex succeeded")
+	}
+	builds, err := c.EnsureIndex(ctx, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(builds) != 4 {
+		t.Fatalf("%d builds, want 4", len(builds))
+	}
+	for _, b := range builds {
+		if b.Hit {
+			t.Fatalf("shard %d build was a cache hit on a cold cache", b.Shard)
+		}
+	}
+	got, _, err := c.Candidates(ctx, v, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded candidates = %v, want %v", got, want)
+	}
+
+	// Unchanged view: no rebuild.
+	if again, err := c.EnsureIndex(ctx, v, cfg); err != nil || again != nil {
+		t.Fatalf("re-ensure: builds=%v err=%v, want nil/nil", again, err)
+	}
+
+	// A second coordinator sharing the cache hits every shard.
+	c2 := New(Config{Shards: 4, Workers: 2, Cache: cache})
+	builds2, err := c2.EnsureIndex(ctx, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range builds2 {
+		if !b.Hit {
+			t.Fatalf("shard %d rebuilt despite a warm shared cache", b.Shard)
+		}
+	}
+	got2, _, err := c2.Candidates(ctx, v, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("cache-served candidates differ")
+	}
+
+	// InvalidateIndex drops the shard set; the next ensure rebuilds (all
+	// hits, served by the cache).
+	c.InvalidateIndex()
+	if builds3, err := c.EnsureIndex(ctx, v, cfg); err != nil || builds3 == nil {
+		t.Fatalf("ensure after invalidate: builds=%v err=%v", builds3, err)
+	}
+}

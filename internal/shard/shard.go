@@ -1,0 +1,269 @@
+// Package shard is the scatter-gather layer of the engine: a Coordinator
+// that runs every per-row stage kernel — moment statistics, top-s nearest
+// positions, density-grid contributions, candidate generation — as
+// partial(shard) → mergeInOrder(partials) over P row-disjoint shards of
+// the session's current working set.
+//
+// The merge layer is the point of the package (the FLANN distributed-
+// matching shape: any local algorithm plus a merge): Shard is an
+// interface whose methods take and return plain values, so a future
+// remote shard can compute its partials in another process and ship them
+// over a wire. This package ships the in-process implementation, Local,
+// which reads a row window of a dataset view in place.
+//
+// Determinism contract (shared with the kernels in internal/dataset and
+// internal/kde):
+//
+//   - the shard split depends only on (rows, P) via parallel.ShardBounds,
+//     never on worker counts;
+//   - each partial sweeps its rows in ascending order;
+//   - partials merge serially in ascending shard order;
+//   - any finishing arithmetic runs once, after the merge.
+//
+// Under these rules a P-sharded stage is bit-identical across runs and
+// worker counts for fixed P; P=1 reproduces the unsharded kernels bit
+// for bit (sessions bypass the coordinator entirely at Shards ≤ 1, so
+// the parity there is trivially byte-level); and different P disagree
+// only by re-association of per-entry float additions (≤ 1e-10
+// relative), with top-s membership exactly preserved.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/index"
+	"innsearch/internal/kde"
+	"innsearch/internal/linalg"
+)
+
+// Cand is one nearest-position candidate: a row position in the stage's
+// input view and its exact projected distance to the query.
+type Cand struct {
+	Pos  int
+	Dist float64
+}
+
+// candLess is the engine's strict total order on candidates: ascending
+// distance, ascending position on ties — the tie-break that makes top-s
+// merges deterministic.
+func candLess(a, b Cand) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Pos < b.Pos
+}
+
+// Shard executes stage partials over one row window of the session's
+// working set. Methods take and return plain values (vectors, moment
+// structs, lattices, candidate lists) so that an implementation backed by
+// a remote process only needs a serializable view of its own rows; Local
+// is the in-process implementation. Every method honors context
+// cancellation.
+type Shard interface {
+	// ID is the shard's index in the partition (0 … P−1); merges fold
+	// results in ascending ID order.
+	ID() int
+	// Rows returns the shard's row window [lo, hi) in the stage input.
+	Rows() (lo, hi int)
+
+	// ColumnSums is the first-moment stats partial (dataset.ColumnSums).
+	ColumnSums(ctx context.Context) (dataset.MomentSums, error)
+	// CenteredMoment is the second-moment stats partial about the global
+	// mean (dataset.CenteredMoment).
+	CenteredMoment(ctx context.Context, mean linalg.Vector) (*linalg.Matrix, error)
+
+	// Nearest returns the shard's k nearest rows to the projected query
+	// qp under sub's projected distance, ascending (dist, pos).
+	Nearest(ctx context.Context, sub *linalg.Subspace, qp linalg.Vector, k int) ([]Cand, error)
+
+	// DensityExtent, DensitySpread and DensityLattice are the three
+	// density partials (kde.CollectExtent / CollectSpread, and
+	// kde.BinnedPartial or kde.ExactPartial per the grid's estimator).
+	DensityExtent(ctx context.Context) (kde.Extent, error)
+	DensitySpread(ctx context.Context, meanX, meanY float64) (kde.Spread, error)
+	DensityLattice(ctx context.Context, g *kde.Grid) ([]float64, error)
+
+	// BuildIndex (re)builds the shard's candidate-generation backend over
+	// its rows; Candidates queries it for up to k candidates with
+	// positions global to the stage input.
+	BuildIndex(ctx context.Context, cfg index.Config) error
+	Candidates(ctx context.Context, q linalg.Vector, k int) ([]index.Candidate, index.Stats, error)
+}
+
+// cancelStride is how many rows Local's sweep kernels process between
+// context checks, so a canceled session abandons a scatter mid-shard.
+const cancelStride = 1024
+
+// Local is the in-process Shard: a row window over a dataset view (the
+// stats and nearest stages), an XY source (the density stages), or both.
+// Locals are cheap to construct — the coordinator builds a fresh set per
+// stage input — except when they carry a built index backend, which the
+// coordinator reuses across calls (and shares across sessions through
+// index.Cache).
+type Local struct {
+	id, lo, hi int
+	view       *dataset.View
+	xy         kde.XYSource
+	backend    index.Backend
+}
+
+// NewLocal returns a Local shard with the given ID over rows [lo, hi) of
+// view v (may be nil for density-only shards) and XY source xy (may be
+// nil for view-only shards).
+func NewLocal(id int, lo, hi int, v *dataset.View, xy kde.XYSource) *Local {
+	return &Local{id: id, lo: lo, hi: hi, view: v, xy: xy}
+}
+
+// ID implements Shard.
+func (l *Local) ID() int { return l.id }
+
+// Rows implements Shard.
+func (l *Local) Rows() (lo, hi int) { return l.lo, l.hi }
+
+func (l *Local) needView(stage string) error {
+	if l.view == nil {
+		return fmt.Errorf("shard %d: %s stage on a shard without a view", l.id, stage)
+	}
+	return nil
+}
+
+func (l *Local) needXY(stage string) error {
+	if l.xy == nil {
+		return fmt.Errorf("shard %d: %s stage on a shard without coordinates", l.id, stage)
+	}
+	return nil
+}
+
+// ColumnSums implements Shard.
+func (l *Local) ColumnSums(ctx context.Context) (dataset.MomentSums, error) {
+	if err := l.needView("stats"); err != nil {
+		return dataset.MomentSums{}, err
+	}
+	return l.view.ColumnSums(ctx, l.lo, l.hi)
+}
+
+// CenteredMoment implements Shard.
+func (l *Local) CenteredMoment(ctx context.Context, mean linalg.Vector) (*linalg.Matrix, error) {
+	if err := l.needView("stats"); err != nil {
+		return nil, err
+	}
+	return l.view.CenteredMoment(ctx, l.lo, l.hi, mean)
+}
+
+// Nearest implements Shard: an ascending sweep of the window computing
+// exact projected distances, finished with the strict (dist, pos) order.
+func (l *Local) Nearest(ctx context.Context, sub *linalg.Subspace, qp linalg.Vector, k int) ([]Cand, error) {
+	if err := l.needView("nearest"); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	cands := make([]Cand, 0, l.hi-l.lo)
+	for i := l.lo; i < l.hi; i++ {
+		if (i-l.lo)%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		cands = append(cands, Cand{Pos: i, Dist: sub.ProjDistTo(qp, l.view.Point(i))})
+	}
+	sort.Slice(cands, func(a, b int) bool { return candLess(cands[a], cands[b]) })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands, nil
+}
+
+// DensityExtent implements Shard.
+func (l *Local) DensityExtent(ctx context.Context) (kde.Extent, error) {
+	if err := l.needXY("density"); err != nil {
+		return kde.Extent{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return kde.Extent{}, err
+	}
+	return kde.CollectExtent(l.xy, l.lo, l.hi), nil
+}
+
+// DensitySpread implements Shard.
+func (l *Local) DensitySpread(ctx context.Context, meanX, meanY float64) (kde.Spread, error) {
+	if err := l.needXY("density"); err != nil {
+		return kde.Spread{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return kde.Spread{}, err
+	}
+	return kde.CollectSpread(l.xy, l.lo, l.hi, meanX, meanY), nil
+}
+
+// DensityLattice implements Shard, choosing the estimator the grid was
+// planned for: CIC weights for binned grids, raw node sums for exact.
+func (l *Local) DensityLattice(ctx context.Context, g *kde.Grid) ([]float64, error) {
+	if err := l.needXY("density"); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if g.Binned {
+		return kde.BinnedPartial(g, l.xy, l.lo, l.hi), nil
+	}
+	// Parallelism lives across shards; within a shard the exact kernel
+	// runs serially.
+	return kde.ExactPartial(ctx, g, l.xy, l.lo, l.hi, 1)
+}
+
+// windowSource adapts the shard's view window to index.Source: positions
+// are local to the window, IDs resolve through to original rows.
+type windowSource struct {
+	v      *dataset.View
+	lo, hi int
+}
+
+func (s windowSource) N() int                    { return s.hi - s.lo }
+func (s windowSource) Dim() int                  { return s.v.Dim() }
+func (s windowSource) Point(i int) linalg.Vector { return s.v.Point(s.lo + i) }
+func (s windowSource) ID(i int) int              { return s.v.ID(s.lo + i) }
+
+// BuildIndex implements Shard.
+func (l *Local) BuildIndex(ctx context.Context, cfg index.Config) error {
+	if err := l.needView("candidates"); err != nil {
+		return err
+	}
+	b, err := index.New(cfg.Name)
+	if err != nil {
+		return err
+	}
+	if err := b.Build(ctx, windowSource{v: l.view, lo: l.lo, hi: l.hi}, cfg.Options); err != nil {
+		return err
+	}
+	l.backend = b
+	return nil
+}
+
+// SetBackend installs an already built backend (an index.Cache hit) in
+// place of BuildIndex.
+func (l *Local) SetBackend(b index.Backend) { l.backend = b }
+
+// Backend returns the shard's built backend, or nil.
+func (l *Local) Backend() index.Backend { return l.backend }
+
+// Candidates implements Shard, translating window-local positions to
+// stage-global ones.
+func (l *Local) Candidates(ctx context.Context, q linalg.Vector, k int) ([]index.Candidate, index.Stats, error) {
+	if l.backend == nil {
+		return nil, index.Stats{}, fmt.Errorf("shard %d: candidates before BuildIndex", l.id)
+	}
+	cands, st, err := l.backend.KNN(ctx, q, k)
+	if err != nil {
+		return nil, st, err
+	}
+	for i := range cands {
+		cands[i].Pos += l.lo
+	}
+	return cands, st, nil
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,50 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.win.observe(v)
+}
+
+// Merge folds another histogram's observations into h: bucket counts and
+// the sum add, the maxima fold, and o's rolling-window maximum is
+// re-observed into h's window at merge time. The two histograms must
+// share identical bucket bounds. Merge reads o through a snapshot, so o
+// may keep observing concurrently; h is typically a scrape-time scratch
+// aggregating per-shard histograms (the shard gather latency exposition).
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("telemetry: merge histogram with %d bounds into %d", len(o.bounds), len(h.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("telemetry: merge histograms with mismatched bound %d: %v vs %v", i, o.bounds[i], h.bounds[i])
+		}
+	}
+	s := o.Snapshot()
+	for i := range h.counts {
+		h.counts[i].Add(s.Counts[i])
+	}
+	h.count.Add(s.Count)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+s.Sum)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= s.Max {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(s.Max)) {
+			break
+		}
+	}
+	if s.WindowMax > 0 {
+		h.win.observe(s.WindowMax)
+	}
+	return nil
 }
 
 // HistogramSnapshot is a consistent-enough point-in-time read of a

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistogramMerge checks the aggregation used by the shard-latency
+// exposition: merging per-shard histograms into a scratch must add counts
+// and sums exactly and fold the maxima.
+func TestHistogramMerge(t *testing.T) {
+	bounds := ExponentialBounds(0.001, 2, 8)
+	a := NewHistogram(bounds)
+	b := NewHistogram(bounds)
+	for _, v := range []float64{0.0005, 0.003, 0.01} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{0.002, 0.5} {
+		b.Observe(v)
+	}
+	dst := NewHistogram(bounds)
+	if err := dst.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	s := dst.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("merged count = %d, want 5", s.Count)
+	}
+	want := 0.0005 + 0.003 + 0.01 + 0.002 + 0.5
+	if math.Abs(s.Sum-want) > 1e-12 {
+		t.Fatalf("merged sum = %v, want %v", s.Sum, want)
+	}
+	if s.Max != 0.5 {
+		t.Fatalf("merged max = %v, want 0.5", s.Max)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("bucket counts sum to %d, want 5", total)
+	}
+	// Per-bucket additivity: merging must agree with observing the union.
+	ref := NewHistogram(bounds)
+	for _, v := range []float64{0.0005, 0.003, 0.01, 0.002, 0.5} {
+		ref.Observe(v)
+	}
+	rs := ref.Snapshot()
+	for i := range rs.Counts {
+		if rs.Counts[i] != s.Counts[i] {
+			t.Fatalf("bucket %d: merged %d, direct %d", i, s.Counts[i], rs.Counts[i])
+		}
+	}
+}
+
+// TestHistogramMergeWindow checks the rolling-window max survives a merge:
+// the source's recent max is re-observed into the destination's window.
+func TestHistogramMergeWindow(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	bounds := []float64{1, 10}
+	src := NewHistogramWindow(bounds, time.Minute, clock)
+	src.Observe(7)
+	dst := NewHistogramWindow(bounds, time.Minute, clock)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Snapshot().WindowMax; got != 7 {
+		t.Fatalf("window max after merge = %v, want 7", got)
+	}
+}
+
+// TestHistogramMergeBoundsMismatch checks that incompatible layouts are
+// rejected instead of silently misbinned.
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3})
+	b := NewHistogram([]float64{1, 2})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge with fewer bounds accepted")
+	}
+	c := NewHistogram([]float64{1, 2, 4})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with shifted bounds accepted")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge should be a no-op, got %v", err)
+	}
+}

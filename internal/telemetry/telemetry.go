@@ -75,6 +75,17 @@ const (
 	// built index: Picked is the candidate count returned, Scanned and
 	// Refined the backend's work counters (see index.Stats).
 	EventCandidateGen EventType = "candidate_gen"
+	// EventShardScatter marks the fan-out of one engine stage across the
+	// session's shards: Stage names the stage kernel ("stats", "nearest",
+	// "kde", "candidates"), Shards the partition width, N the stage's
+	// input rows. Emitted once per scatter, before the partials run.
+	EventShardScatter EventType = "shard_scatter"
+	// EventShardGather reports one shard's partial completing: Shard is
+	// the shard index, Stage the stage kernel, DurationMS the partial's
+	// wall time, N the shard's row count. Emitted in ascending shard
+	// order after the scatter barrier (the merge order), so a trace reader
+	// sees scatter → gather·P per sharded stage.
+	EventShardGather EventType = "shard_gather"
 )
 
 // Event is one trace record. It is a flat value struct — no maps, no
@@ -129,6 +140,12 @@ type Event struct {
 	Backend string `json:"backend,omitempty"`
 	Scanned int    `json:"scanned,omitempty"`
 	Refined int    `json:"refined,omitempty"`
+	// Stage names the stage kernel of a shard_scatter/shard_gather event;
+	// Shard is the 0-based shard index of a gather (or per-shard
+	// index_build) and Shards the session's partition width.
+	Stage  string `json:"stage,omitempty"`
+	Shard  int    `json:"shard,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 	// Iterations, Converged, ViewsShown and ViewsAnswered summarize the
 	// session on a session_end event.
 	Iterations    int  `json:"iterations,omitempty"`
