@@ -14,12 +14,15 @@
 //	           [-drain-timeout 30s]
 //	           [-log text|json|off] [-trace events.jsonl]
 //	           [-debug-addr localhost:7208]
+//	           [-mutex-profile-fraction N] [-block-profile-rate N]
 //
 // Observability (see DESIGN.md "Observability"): every request gets an
 // X-Request-Id and one structured log line; GET /metrics serves Prometheus
-// text and GET /varz the JSON counters; -trace streams every engine trace
-// event as JSONL; -debug-addr exposes net/http/pprof on a separate
-// listener that should stay private.
+// text, GET /varz the JSON counters, and GET /debug/sessions the live
+// session table with span summaries; -trace streams every engine trace
+// event as JSONL (render with profileviz -spans); -debug-addr exposes
+// net/http/pprof on a separate listener that should stay private, with
+// mutex and block contention profiles enabled by the two sampling flags.
 //
 // Synthetic kinds: case1 (axis-parallel projected clusters, the paper's
 // first workload), case2 (arbitrarily oriented), uniform, gaussmix. With
@@ -40,6 +43,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -71,6 +75,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		logMode      = flag.String("log", "json", "request log format: json, text, or off")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (keep private; empty disables)")
+		mutexFrac    = flag.Int("mutex-profile-fraction", 0, "sample 1/N of mutex contention events for /debug/pprof/mutex (0 disables; needs -debug-addr)")
+		blockRate    = flag.Int("block-profile-rate", 0, "sample blocking events ≥ N ns for /debug/pprof/block (0 disables; needs -debug-addr)")
 	)
 	workers := cliutil.WorkersFlag(flag.CommandLine, 1, "per session (parallelism lives across sessions)")
 	shards := cliutil.ShardsFlag(flag.CommandLine, "per session (default for sessions that do not request one)")
@@ -146,6 +152,21 @@ func main() {
 	}
 	defer srv.Close()
 
+	// Contention profiling is opt-in and flag-gated: both profilers cost
+	// a sampled timestamp per contention event, so production servers run
+	// with them off unless a straggler hunt (see /debug/sessions and
+	// DESIGN.md "Causal tracing") needs lock- or channel-level evidence.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		fmt.Printf("innsearchd: mutex profiling on (1/%d of contention events)\n", *mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+		fmt.Printf("innsearchd: block profiling on (events ≥ %dns)\n", *blockRate)
+	}
+	if (*mutexFrac > 0 || *blockRate > 0) && *debugAddr == "" {
+		fmt.Fprintln(os.Stderr, "innsearchd: warning: contention profiling is on but -debug-addr is empty, so no listener serves the profiles")
+	}
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr)
 	}

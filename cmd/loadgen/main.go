@@ -174,6 +174,11 @@ func main() {
 	t := rep.Totals
 	fmt.Fprintf(os.Stderr, "loadgen: %d scheduled, %d done, %d failed, %d errors, %d evicted, %d rejected (429), %d shed in %.1fs\n",
 		t.Scheduled, t.Done, t.Failed, t.Errors, t.Evicted, t.Rejected429, t.Shed, rep.WallMS/1e3)
+	if len(rep.Stragglers) > 0 {
+		worst := rep.Stragglers[0]
+		fmt.Fprintf(os.Stderr, "loadgen: costliest sharded stage %q: %.1fms over %d scatters, straggler shard %d in %d/%d sessions\n",
+			worst.Stage, worst.TotalMS, worst.Scatters, worst.Straggler, worst.StragglerSessions, worst.Sessions)
+	}
 	if t.Failed > 0 || t.Errors > 0 {
 		os.Exit(1)
 	}

@@ -9,11 +9,18 @@
 //	profileviz -in data.csv [-query 0] [-axis] [-grid 48]
 //	           [-png profile.png] [-svg lateral.svg] [-tau-frac 0.5]
 //	profileviz -trace events.jsonl
+//	profileviz -spans events.jsonl [-html spans.html]
 //
 // The second form summarizes a JSONL engine trace (written by innsearch
 // -trace or innsearchd -trace): per-session stage timings, per-iteration
 // breakdowns, and decision waits — the operator's view of where an
 // interactive session spent its time.
+//
+// The third form reconstructs the causal span trees from the same trace
+// (DESIGN.md "Causal tracing") and renders, per session, a text waterfall
+// of the tree, the critical path, and the per-stage shard straggler
+// attribution; -html additionally writes a self-contained icicle
+// waterfall to share.
 package main
 
 import (
@@ -42,10 +49,16 @@ func main() {
 		tauFrac = flag.Float64("tau-frac", 0.5, "density separator height as a fraction of the query density (for the ASCII overlay)")
 		seed    = flag.Int64("seed", 1, "random seed for lateral sampling")
 		traceIn = flag.String("trace", "", "summarize a JSONL engine trace instead of rendering a profile (- for stdin)")
+		spansIn = flag.String("spans", "", "render the span trees of a JSONL engine trace: waterfall, critical path, stragglers (- for stdin)")
+		htmlOut = flag.String("html", "", "with -spans, also write a self-contained HTML waterfall to this path")
 	)
 	flag.Parse()
 	if *traceIn != "" {
 		fatalIf(summarizeTrace(*traceIn))
+		return
+	}
+	if *spansIn != "" {
+		fatalIf(summarizeSpans(*spansIn, *htmlOut))
 		return
 	}
 	if *in == "" {
@@ -226,6 +239,49 @@ func printSessionSummary(id string, events []telemetry.Event) {
 		fmt.Printf("  end: %d iterations, %d/%d views answered, %s, %.1fms total\n",
 			end.Iterations, end.ViewsAnswered, end.ViewsShown, verdict, end.DurationMS)
 	}
+}
+
+// summarizeSpans reconstructs the span trees of a JSONL trace and prints
+// each session's waterfall, critical path, and straggler attribution;
+// htmlOut, when set, additionally receives the HTML rendering.
+func summarizeSpans(path, htmlOut string) error {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	trees := telemetry.BuildSpanTrees(events)
+	if len(trees) == 0 {
+		return fmt.Errorf("no span-tagged events in %s (pre-span trace?)", path)
+	}
+	for _, t := range trees {
+		if err := viz.WriteSpanText(os.Stdout, t); err != nil {
+			return err
+		}
+	}
+	if htmlOut != "" {
+		out, err := os.Create(htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := viz.WriteSpanHTML(out, trees); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", htmlOut)
+	}
+	return nil
 }
 
 func fatalIf(err error) {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"innsearch/internal/dataset"
@@ -42,6 +43,10 @@ type candGen struct {
 	// the session advances (nil-safe; standalone use leaves them zero).
 	tr           tracer
 	major, minor int
+	// span is the stage span the session is currently inside (the view's
+	// /proj or /kde span); index_build and candidate_gen spans nest under
+	// it. Maintained only while tracing, like the coordinator's parent.
+	span string
 
 	builds int
 	hits   int
@@ -117,12 +122,17 @@ func (g *candGen) emitBuild(v *dataset.View, t0 time.Time) {
 		return
 	}
 	g.tr.emit(telemetry.Event{
+		Time:       t0,
 		Type:       telemetry.EventIndexBuild,
 		Major:      g.major,
+		Stage:      "index/build",
 		Backend:    g.cfg.Name,
 		N:          v.N(),
 		Dim:        v.Dim(),
+		Shards:     1,
 		DurationMS: g.tr.since(t0),
+		Span:       spanPath(g.span, "index_build#"+strconv.Itoa(g.builds)),
+		Parent:     g.span,
 	})
 }
 
@@ -147,15 +157,20 @@ func (g *candGen) candidates(ctx context.Context, v *dataset.View, q linalg.Vect
 	g.stats.Add(st)
 	if g.tr.enabled() {
 		g.tr.emit(telemetry.Event{
+			Time:       t0,
 			Type:       telemetry.EventCandidateGen,
 			Major:      g.major,
 			Minor:      g.minor,
+			Stage:      "candidates",
 			Backend:    g.cfg.Name,
 			N:          v.N(),
+			Shards:     1,
 			Picked:     len(cands),
 			Scanned:    st.Scanned,
 			Refined:    st.Refined,
 			DurationMS: g.tr.since(t0),
+			Span:       spanPath(g.span, "candidate_gen#"+strconv.Itoa(g.calls)),
+			Parent:     g.span,
 		})
 	}
 	return cands, nil
@@ -188,13 +203,17 @@ func (g *candGen) candidatesSharded(ctx context.Context, v *dataset.View, q lina
 			g.builds++
 			if g.tr.enabled() {
 				g.tr.emit(telemetry.Event{
+					Time:       t0,
 					Type:       telemetry.EventIndexBuild,
 					Major:      g.major,
+					Stage:      "index/build",
 					Backend:    g.cfg.Name,
 					N:          v.N(),
 					Dim:        v.Dim(),
 					Shards:     len(builds),
 					DurationMS: g.tr.since(t0),
+					Span:       spanPath(g.span, "index_build#"+strconv.Itoa(g.builds)),
+					Parent:     g.span,
 				})
 			}
 		} else {
@@ -213,9 +232,11 @@ func (g *candGen) candidatesSharded(ctx context.Context, v *dataset.View, q lina
 	g.stats.Add(st)
 	if g.tr.enabled() {
 		g.tr.emit(telemetry.Event{
+			Time:       t1,
 			Type:       telemetry.EventCandidateGen,
 			Major:      g.major,
 			Minor:      g.minor,
+			Stage:      "candidates",
 			Backend:    g.cfg.Name,
 			N:          v.N(),
 			Shards:     g.coord.Shards(),
@@ -223,6 +244,8 @@ func (g *candGen) candidatesSharded(ctx context.Context, v *dataset.View, q lina
 			Scanned:    st.Scanned,
 			Refined:    st.Refined,
 			DurationMS: g.tr.since(t1),
+			Span:       spanPath(g.span, "candidate_gen#"+strconv.Itoa(g.calls)),
+			Parent:     g.span,
 		})
 	}
 	return cands, nil

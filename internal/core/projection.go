@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"innsearch/internal/dataset"
@@ -446,11 +447,14 @@ type ProjectionSearch struct {
 }
 
 // stageTrace is the session context a projection search stamps onto its
-// per-stage telemetry events.
+// per-stage telemetry events. span is the enclosing view's /proj span;
+// each halving stage opens a /d{dim} child under it and re-parents the
+// coordinator's scatters there for the stage's duration.
 type stageTrace struct {
 	tr           tracer
 	major, minor int
 	family       string
+	span         string
 }
 
 // FindQueryCenteredProjection realizes Figure 3: starting from the full
@@ -530,9 +534,17 @@ func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cf
 			stageSupport = minStage
 		}
 		var t0 time.Time
+		var stageSpan string
 		tracing := cfg.trace != nil && cfg.trace.tr.enabled()
 		if tracing {
 			t0 = cfg.trace.tr.now()
+			stageSpan = cfg.trace.span + "/d" + strconv.Itoa(next)
+			if cfg.coord != nil {
+				cfg.coord.SetSpan(stageSpan)
+			}
+			if cfg.gen != nil {
+				cfg.gen.span = stageSpan
+			}
 		}
 		members, err := nearestPositions(ctx, cfg.Workers, v, q, ep, stageSupport, scr, cfg.gen, cfg.coord)
 		if err != nil {
@@ -544,6 +556,7 @@ func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cf
 		}
 		if tracing {
 			cfg.trace.tr.emit(telemetry.Event{
+				Time:       t0,
 				Type:       telemetry.EventProjectionStage,
 				Major:      cfg.trace.major,
 				Minor:      cfg.trace.minor,
@@ -551,6 +564,8 @@ func findProjectionDim(ctx context.Context, v *dataset.View, q linalg.Vector, cf
 				N:          v.N(),
 				Dim:        next,
 				DurationMS: cfg.trace.tr.since(t0),
+				Span:       stageSpan,
+				Parent:     cfg.trace.span,
 			})
 		}
 		ep = sub

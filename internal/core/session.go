@@ -257,6 +257,10 @@ type Session struct {
 	traceStarted bool
 	traceEnded   bool
 	traceBegan   time.Time
+	// lastViewSpan is the span ID of the view the user last answered
+	// (the contest winner in ModeAuto), which the select event's span
+	// links under. Only maintained while tracing; "" otherwise.
+	lastViewSpan string
 
 	// autoChoice is ModeAuto's family pick for the current major
 	// iteration (set at the first minor iteration, reused afterwards):
@@ -380,11 +384,14 @@ func (s *Session) StepContext(ctx context.Context) (done bool, err error) {
 	}
 	if s.tr.enabled() {
 		e := telemetry.Event{
+			Time:       iterStart,
 			Type:       telemetry.EventIteration,
 			Major:      s.iter,
 			DurationMS: s.tr.since(iterStart),
 			N:          s.data.N(),
 			Dim:        s.data.Dim(),
+			Span:       roundSpanID(s.iter),
+			Parent:     rootSpan,
 		}
 		if overlap >= 0 {
 			e.Overlap = overlap
@@ -420,7 +427,9 @@ func (s *Session) traceStart() {
 		N:       s.data.N(),
 		Dim:     s.data.Dim(),
 		Workers: s.cfg.Workers,
+		Shards:  s.cfg.Shards,
 		Family:  s.cfg.Mode.traceName(),
+		Parent:  rootSpan,
 	})
 }
 
@@ -433,6 +442,7 @@ func (s *Session) traceEnd(err error) {
 	}
 	s.traceEnded = true
 	e := telemetry.Event{
+		Time:          s.traceBegan, // span ends are back-stamped to their start
 		Type:          telemetry.EventSessionEnd,
 		DurationMS:    s.tr.since(s.traceBegan),
 		Iterations:    s.iter,
@@ -440,6 +450,7 @@ func (s *Session) traceEnd(err error) {
 		ViewsShown:    s.viewsShown,
 		ViewsAnswered: s.viewsAnswered,
 		N:             s.data.N(),
+		Span:          rootSpan,
 	}
 	if err != nil {
 		e.Err = err.Error()
@@ -493,6 +504,10 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 	if s.gen != nil {
 		s.gen.major = s.iter
 	}
+	round := ""
+	if s.tr.enabled() {
+		round = roundSpanID(s.iter)
+	}
 
 	for minor := 1; minor <= d/2; minor++ {
 		if dc.Dim() < 2 || dc.N() < 2 {
@@ -501,7 +516,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		profile, decision, err := s.presentView(ctx, dc, qc, psearch, minor)
+		profile, decision, err := s.presentView(ctx, dc, qc, psearch, minor, round)
 		if err != nil {
 			return fmt.Errorf("core: major %d minor %d: %w", s.iter, minor, err)
 		}
@@ -523,8 +538,10 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 				}
 				if s.tr.enabled() {
 					s.tr.emit(telemetry.Event{
+						Time: selStart,
 						Type: telemetry.EventSelect, Major: s.iter, Minor: minor,
 						DurationMS: s.tr.since(selStart), Picked: len(positions),
+						Span: s.lastViewSpan + "/select", Parent: round,
 					})
 				}
 			} else {
@@ -535,9 +552,11 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 				}
 				if s.tr.enabled() {
 					s.tr.emit(telemetry.Event{
+						Time: selStart,
 						Type: telemetry.EventSelect, Major: s.iter, Minor: minor,
 						DurationMS: s.tr.since(selStart), Tau: decision.Tau,
 						Cells: reg.Cells, Examined: reg.Examined, Picked: len(positions),
+						Span: s.lastViewSpan + "/select", Parent: round,
 					})
 				}
 			}
@@ -619,6 +638,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 			Major:   s.iter,
 			Dropped: dropped,
 			N:       s.data.N(),
+			Parent:  round,
 		})
 	}
 	return nil
@@ -638,7 +658,7 @@ func (s *Session) runMajorIteration(ctx context.Context) error {
 // tightness-style statistic is optimistically biased toward the more
 // expressive arbitrary family — and judging views is exactly what the
 // paper keeps the human for.
-func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.Vector, psearch ProjectionSearch, minor int) (*VisualProfile, Decision, error) {
+func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.Vector, psearch ProjectionSearch, minor int, round string) (*VisualProfile, Decision, error) {
 	if s.gen != nil {
 		s.gen.minor = minor
 	}
@@ -658,6 +678,7 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 		profile  *VisualProfile
 		decision Decision
 		axis     bool
+		span     string // the view's span ID ("" when untraced)
 	}
 	var cands []candidate
 	for _, axis := range families {
@@ -667,12 +688,18 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 			family = "axis"
 		}
 		var t0 time.Time
+		var view string
 		if s.tr.enabled() {
 			t0 = s.tr.now()
+			view = viewSpanID(round, minor, family)
 			// The stage trace lets findProjectionDim emit one
 			// projection_stage event per halving stage with this view's
-			// iteration coordinates stamped on.
-			psearch.trace = &stageTrace{tr: s.tr, major: s.iter, minor: minor, family: family}
+			// iteration coordinates stamped on; the stage trace's span and
+			// the coordinator/candidate-generator parents nest every
+			// downstream event under this view's /proj span until the
+			// profile build re-parents them under /kde.
+			psearch.trace = &stageTrace{tr: s.tr, major: s.iter, minor: minor, family: family, span: view + "/proj"}
+			s.setStageSpan(view + "/proj")
 		}
 		proj, err := findProjectionDim(ctx, dc, qc, psearch, 2, &s.scratch)
 		if err != nil {
@@ -685,10 +712,13 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 		if s.tr.enabled() {
 			t1 = s.tr.now()
 			s.tr.emit(telemetry.Event{
+				Time: t0,
 				Type: telemetry.EventProjection, Major: s.iter, Minor: minor,
 				Family: family, Dim: dc.Dim(), N: dc.N(),
 				DurationMS: float64(t1.Sub(t0)) / float64(time.Millisecond),
+				Span:       view + "/proj", Parent: view,
 			})
+			s.setStageSpan(view + "/kde")
 		}
 		profile, err := buildProfile(ctx, dc, qc, proj, psearch.Support, kde.Options{
 			GridSize:       s.cfg.GridSize,
@@ -706,15 +736,19 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 		if s.tr.enabled() {
 			t2 = s.tr.now()
 			s.tr.emit(telemetry.Event{
+				Time: t1,
 				Type: telemetry.EventKDEBuild, Major: s.iter, Minor: minor,
 				GridSize: profile.Grid.P, N: dc.N(),
 				DurationMS: float64(t2.Sub(t1)) / float64(time.Millisecond),
 				KDEBuildMS: float64(profile.Grid.BuildTime) / float64(time.Millisecond),
+				Span:       view + "/kde", Parent: view,
 			})
 			s.tr.emit(telemetry.Event{
+				Time: t0,
 				Type: telemetry.EventView, Major: s.iter, Minor: minor,
 				Family: family, N: dc.N(), Dim: dc.Dim(),
 				DurationMS: float64(t2.Sub(t0)) / float64(time.Millisecond),
+				Span:       view, Parent: round,
 			})
 		}
 		decision := s.user.SeparateCluster(profile, func(tau float64) *grid.Region {
@@ -725,13 +759,19 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 			return reg
 		})
 		if s.tr.enabled() {
+			// The wait span is a sibling of the view under the round: its
+			// duration is user think time, not view construction, and
+			// keeping it out of the view span keeps the critical path's
+			// compute/wait split honest.
 			s.tr.emit(telemetry.Event{
+				Time: t2,
 				Type: telemetry.EventDecisionWait, Major: s.iter, Minor: minor,
 				Family: family, Skipped: decision.Skip,
 				DurationMS: s.tr.since(t2),
+				Span:       view + "/wait", Parent: round,
 			})
 		}
-		cands = append(cands, candidate{profile, decision, axis})
+		cands = append(cands, candidate{profile, decision, axis, view})
 	}
 	if len(cands) == 0 {
 		return nil, Decision{}, fmt.Errorf("core: no projection family usable")
@@ -758,7 +798,20 @@ func (s *Session) presentView(ctx context.Context, dc *dataset.View, qc linalg.V
 			s.autoChoice = ModeArbitrary
 		}
 	}
+	s.lastViewSpan = cands[best].span
 	return cands[best].profile, cands[best].decision, nil
+}
+
+// setStageSpan re-parents the coordinator's scatters and the candidate
+// generator's events under the given stage span. Only called while
+// tracing; the untraced session never builds span strings.
+func (s *Session) setStageSpan(span string) {
+	if s.coord != nil {
+		s.coord.SetSpan(span)
+	}
+	if s.gen != nil {
+		s.gen.span = span
+	}
 }
 
 // meanProbs returns the per-ID mean meaningfulness probability so far.

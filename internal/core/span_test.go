@@ -1,0 +1,235 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"innsearch/internal/telemetry"
+)
+
+// shardedTraceEvents runs one deterministic sharded session under a step
+// clock and returns its events.
+func shardedTraceEvents(t *testing.T, workers int) []telemetry.Event {
+	t.Helper()
+	ds, q := clusteredDataset(t, 300, 40, 16, 7)
+	col := telemetry.NewCollectorClock(telemetry.StepClock(time.Unix(0, 0).UTC(), time.Millisecond))
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+		Support: 20, GridSize: 32, MaxMajorIterations: 3,
+		Workers: workers, Shards: 4,
+		Tracer: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return col.Events()
+}
+
+// TestSpanDeterministicAcrossWorkersSharded extends the trace-determinism
+// contract to the sharded span layer: the full event stream of a sharded
+// session — span IDs, parents, scatter ordinals, shard spans, and every
+// step-clock duration — must be identical at workers 1, 4, and 8. The
+// only fields allowed to differ are the configured worker count echoed by
+// session_start and the per-shard gather durations, which are measured
+// with the real clock inside the workers by design.
+func TestSpanDeterministicAcrossWorkersSharded(t *testing.T) {
+	normalize := func(e telemetry.Event) telemetry.Event {
+		e.Workers = 0
+		if e.Type == telemetry.EventShardGather {
+			e.DurationMS = 0
+		}
+		return e
+	}
+	want := shardedTraceEvents(t, 1)
+	if len(want) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	for _, workers := range []int{4, 8} {
+		got := shardedTraceEvents(t, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d events, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if g, w := normalize(got[i]), normalize(want[i]); g != w {
+				t.Errorf("workers=%d event %d:\n got %+v\nwant %+v", workers, i, g, w)
+			}
+		}
+	}
+}
+
+// TestSessionSpanTreeComplete checks the span linkage of an unsharded
+// traced session: every span end links into exactly one tree rooted at
+// the session span, with no orphans, and the expected structural IDs.
+func TestSessionSpanTreeComplete(t *testing.T) {
+	ds, q := clusteredDataset(t, 300, 40, 16, 7)
+	col := telemetry.NewCollectorClock(telemetry.StepClock(time.Unix(0, 0).UTC(), time.Millisecond))
+	s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+		Support: 20, GridSize: 32, MaxMajorIterations: 3, Tracer: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := telemetry.BuildSpanTrees(col.Events())
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.Root == nil || tree.Root.ID != "s" || tree.Root.Type != telemetry.EventSessionEnd {
+		t.Fatalf("root = %+v, want session span \"s\" ended by session_end", tree.Root)
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("span tree has %d orphans: %+v", len(tree.Orphans), tree.Orphans)
+	}
+	if got := len(tree.Root.Children); got != res.Iterations {
+		t.Fatalf("root has %d round children, want %d iterations", got, res.Iterations)
+	}
+	for i, r := range tree.Root.Children {
+		if want := "s/r" + string(rune('1'+i)); r.ID != want || r.Type != telemetry.EventIteration {
+			t.Fatalf("round %d span = %q (%s), want %q", i, r.ID, r.Type, want)
+		}
+	}
+	// Every view span nests a /proj and a /kde child, and the /proj span
+	// decomposes into /d{dim} stage spans.
+	views := 0
+	for id, n := range tree.Nodes {
+		if n.Type != telemetry.EventView {
+			continue
+		}
+		views++
+		var proj, kde bool
+		for _, c := range n.Children {
+			switch {
+			case c.ID == id+"/proj":
+				proj = true
+				// A view over data already at the 2-D target has no
+				// halving stages; every wider view decomposes.
+				if len(c.Children) == 0 && n.Event.Dim > 2 {
+					t.Fatalf("proj span %q has no halving-stage children at dim %d", c.ID, n.Event.Dim)
+				}
+				for _, st := range c.Children {
+					if !strings.HasPrefix(st.ID, id+"/proj/d") {
+						t.Fatalf("stage span %q not under %q", st.ID, id+"/proj")
+					}
+				}
+			case c.ID == id+"/kde":
+				kde = true
+			}
+		}
+		if !proj || !kde {
+			t.Fatalf("view span %q missing proj/kde children (proj=%v kde=%v)", id, proj, kde)
+		}
+	}
+	if views != res.ViewsShown {
+		t.Fatalf("view spans = %d, want ViewsShown %d", views, res.ViewsShown)
+	}
+}
+
+// TestShardedSpanTreeCriticalPath is the acceptance scenario: a sharded
+// 2000x64 session's span tree must be complete, its critical path must
+// name a specific shard for each scatter stage it crosses, and the
+// per-stage straggler attribution must cover every sharded stage kernel.
+// Structure (IDs, parents, types, order) must be identical across worker
+// counts; only the real-clock shard durations may differ.
+func TestShardedSpanTreeCriticalPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2000x64 sharded session in -short mode")
+	}
+	run := func(workers int) ([]telemetry.Event, telemetry.Attribution) {
+		ds, q := clusteredDataset(t, 2000, 64, 16, 7)
+		col := telemetry.NewCollector()
+		s, err := NewSession(ds, q, alwaysTauUser(0.3), Config{
+			Support: 25, GridSize: 48, MaxMajorIterations: 2, Mode: ModeAxis,
+			Workers: workers, Shards: 4,
+			Tracer: col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		trees := telemetry.BuildSpanTrees(col.Events())
+		if len(trees) != 1 {
+			t.Fatalf("got %d trees, want 1", len(trees))
+		}
+		tree := trees[0]
+		if tree.Root == nil || len(tree.Orphans) != 0 {
+			t.Fatalf("incomplete sharded span tree: root=%v orphans=%d", tree.Root, len(tree.Orphans))
+		}
+		return col.Events(), tree.Attribute()
+	}
+
+	events, attr := run(4)
+	if attr.TotalMS <= 0 || len(attr.Path) == 0 || attr.Path[0].Span != "s" {
+		t.Fatalf("attribution = %+v, want a rooted critical path", attr)
+	}
+	// Every sharded stage kernel the session exercised must appear in the
+	// attribution, each naming one specific straggler shard in [0, 4).
+	wantStages := map[string]bool{
+		"stats/sums": false, "stats/moments": false, "nearest": false,
+		"kde/extent": false, "kde/spread": false, "kde/lattice": false,
+	}
+	for _, st := range attr.Stages {
+		if _, ok := wantStages[st.Stage]; ok {
+			wantStages[st.Stage] = true
+		}
+		if st.Straggler < 0 || st.Straggler >= 4 {
+			t.Fatalf("stage %q straggler = %d, want a specific shard in [0, 4)", st.Stage, st.Straggler)
+		}
+		if st.Scatters == 0 || st.SlowestMS > st.TotalMS {
+			t.Fatalf("inconsistent stage attribution: %+v", st)
+		}
+	}
+	for stage, seen := range wantStages {
+		if !seen {
+			t.Errorf("sharded stage %q missing from attribution (have %+v)", stage, attr.Stages)
+		}
+	}
+	// Whenever the critical path crosses a scatter span, the next hop must
+	// be a shard span — the straggler by construction.
+	for i := 0; i+1 < len(attr.Path); i++ {
+		if attr.Path[i].Type == telemetry.EventSpan {
+			next := attr.Path[i+1]
+			if next.Type != telemetry.EventShardGather || next.Shard < 0 {
+				t.Fatalf("critical path hop after scatter %q = %+v, want a shard span", attr.Path[i].Span, next)
+			}
+		}
+	}
+
+	// Bit-identical span structure across worker counts: the ordered
+	// (type, span, parent, stage, shard) tuples must match exactly.
+	type link struct {
+		typ           telemetry.EventType
+		span, parent  string
+		stage         string
+		shard, shards int
+	}
+	structure := func(events []telemetry.Event) []link {
+		var out []link
+		for _, e := range events {
+			out = append(out, link{e.Type, e.Span, e.Parent, e.Stage, e.Shard, e.Shards})
+		}
+		return out
+	}
+	want := structure(events)
+	for _, workers := range []int{1, 8} {
+		ev, _ := run(workers)
+		got := structure(ev)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d events, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d span structure diverges at event %d:\n got %+v\nwant %+v",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
 	"innsearch/internal/telemetry"
@@ -51,4 +52,34 @@ func (tr tracer) emit(e telemetry.Event) {
 	if tr.t != nil {
 		tr.t.Emit(e)
 	}
+}
+
+// Span IDs (DESIGN.md "Causal tracing"): spans are deterministic
+// structural paths below the session root — "s" → "s/r{major}" →
+// "s/r{major}/v{minor}.{family}" → stage suffixes /proj, /kde, /wait,
+// /select, with projection stages at /proj/d{dim} and coordinator
+// scatters at {stage span}/{kernel}#{ordinal}. IDs are derived from
+// iteration counters only, never from clocks or worker scheduling, so
+// the same seed produces the same tree at any worker count. All ID
+// construction is guarded on enabled(): an untraced session builds no
+// strings.
+const rootSpan = "s"
+
+// roundSpanID is the span of one major iteration.
+func roundSpanID(major int) string { return "s/r" + strconv.Itoa(major) }
+
+// viewSpanID is the span of one candidate view (projection search +
+// density profile) within a round.
+func viewSpanID(round string, minor int, family string) string {
+	return round + "/v" + strconv.Itoa(minor) + "." + family
+}
+
+// spanPath joins a leaf onto a parent span, tolerating an empty parent
+// (a candGen used standalone under a tracer but outside any session
+// stage still gets a well-formed root-level span ID).
+func spanPath(parent, leaf string) string {
+	if parent == "" {
+		return leaf
+	}
+	return parent + "/" + leaf
 }

@@ -189,6 +189,59 @@ func (c *Client) Varz(ctx context.Context) (json.RawMessage, error) {
 	return json.RawMessage(raw), nil
 }
 
+// DebugSessions is the decoded body of GET /debug/sessions — the
+// server's live-session introspection surface. The fleet consumes the
+// recent summaries (straggler attribution) and the index-cache counters;
+// live entries matter to operators mid-run.
+type DebugSessions struct {
+	Live   []DebugLiveSession    `json:"live"`
+	Recent []DebugSessionSummary `json:"recent"`
+	IndexCache struct {
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Entries int   `json:"entries"`
+	} `json:"index_cache"`
+}
+
+// DebugLiveSession is one running session as /debug/sessions reports it.
+type DebugLiveSession struct {
+	Session   string  `json:"session"`
+	Request   string  `json:"request"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Round     int     `json:"round"`
+	Stage     string  `json:"stage"`
+	Shards    int     `json:"shards"`
+}
+
+// DebugSessionSummary is one finished session's span summary.
+type DebugSessionSummary struct {
+	Session    string           `json:"session"`
+	Request    string           `json:"request"`
+	DurationMS float64          `json:"duration_ms"`
+	Iterations int              `json:"iterations"`
+	Converged  bool             `json:"converged"`
+	Shards     int              `json:"shards"`
+	Stages     []DebugStageCost `json:"stages"`
+}
+
+// DebugStageCost is one sharded stage kernel's attribution within a
+// session summary.
+type DebugStageCost struct {
+	Stage     string  `json:"stage"`
+	Scatters  int     `json:"scatters"`
+	TotalMS   float64 `json:"total_ms"`
+	SlowestMS float64 `json:"slowest_ms"`
+	Straggler int     `json:"straggler"`
+}
+
+// DebugSessionsSnapshot fetches GET /debug/sessions. Servers predating
+// the endpoint return 404, surfaced as an *APIError.
+func (c *Client) DebugSessions(ctx context.Context) (DebugSessions, error) {
+	var out DebugSessions
+	err := c.do(ctx, http.MethodGet, "/debug/sessions", nil, &out)
+	return out, err
+}
+
 // Metrics scrapes the server's Prometheus text exposition and parses the
 // label-free samples (counters, gauges, histogram _count/_sum lines) into
 // a name → value map. Bucket lines carry le labels and are skipped — the

@@ -229,6 +229,16 @@ phases:
 
 	waitAll(ctx, &wg)
 	rep.scrape(ctx, cfg, client, "final", logf)
+	if cfg.Scrape && ctx.Err() == nil {
+		// The run's sessions are drained, so /debug/sessions now holds
+		// their span summaries — the straggler attribution the server
+		// computed from each session's scatter spans.
+		if ds, err := client.DebugSessions(ctx); err != nil {
+			logf("scrape /debug/sessions: %v", err)
+		} else {
+			rep.Stragglers = aggregateStragglers(ds.Recent)
+		}
+	}
 	rep.WallMS = ms(time.Since(fleetStart))
 
 	mu.Lock()

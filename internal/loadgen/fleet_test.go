@@ -131,6 +131,42 @@ func TestFleetDeterministic(t *testing.T) {
 	}
 }
 
+// TestFleetStragglerScrape drives a sharded server and checks the
+// report's straggler section: the final /debug/sessions scrape must
+// yield a per-stage rollup naming a specific shard per stage kernel.
+func TestFleetStragglerScrape(t *testing.T) {
+	ts := newFleetServer(t, server.Config{Shards: 4})
+	rep := runFleet(t, Config{
+		BaseURL:  ts.URL,
+		Policy:   "heuristic",
+		Seed:     7,
+		Phases:   []Phase{{Name: "burst", Sessions: 3}},
+		Session:  fastSession,
+		ViewWait: 5 * time.Second,
+		Scrape:   true,
+	})
+	if rep.Totals.Done != 3 {
+		t.Fatalf("totals = %+v, want 3 done", rep.Totals)
+	}
+	if len(rep.Stragglers) == 0 {
+		t.Fatal("sharded fleet report has no straggler section")
+	}
+	for _, st := range rep.Stragglers {
+		if st.Straggler < 0 || st.Straggler >= 4 {
+			t.Errorf("stage %q straggler = %d, want a shard in [0, 4)", st.Stage, st.Straggler)
+		}
+		if st.Sessions == 0 || st.Scatters == 0 || st.SlowestMS > st.TotalMS {
+			t.Errorf("inconsistent stage rollup: %+v", st)
+		}
+	}
+	// The rollup is sorted by descending total cost.
+	for i := 1; i < len(rep.Stragglers); i++ {
+		if rep.Stragglers[i].TotalMS > rep.Stragglers[i-1].TotalMS {
+			t.Errorf("stragglers out of order at %d: %+v", i, rep.Stragglers)
+		}
+	}
+}
+
 // TestFleetOracleQuality checks the ground-truth loop end to end: oracle
 // sessions against planted clusters come back meaningful and score
 // perfect-recall-or-better-than-nothing precision/recall.

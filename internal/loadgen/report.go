@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"encoding/json"
+	"sort"
 	"time"
 
 	"innsearch/internal/telemetry"
@@ -28,6 +29,12 @@ type Report struct {
 	// Server holds /metrics + /varz snapshots scraped at phase boundaries
 	// (empty unless Config.Scrape).
 	Server []ServerSnapshot `json:"server,omitempty"`
+	// Stragglers is the per-stage shard straggler attribution aggregated
+	// from the /debug/sessions span summaries scraped after the final
+	// drain: which stage kernels dominated the sharded engine's wall time
+	// and which shard bounded them. Empty unless Config.Scrape, the
+	// sessions were sharded, and the server has the endpoint.
+	Stragglers []StageStragglers `json:"stragglers,omitempty"`
 	// Sessions is every scheduled-and-started session, ascending by
 	// index. Decision sequences here are the deterministic part of the
 	// run: equal seeds ⇒ equal sequences.
@@ -104,6 +111,70 @@ type Quality struct {
 	Meaningful    int     `json:"meaningful"`
 	MeanPrecision float64 `json:"mean_precision"`
 	MeanRecall    float64 `json:"mean_recall"`
+}
+
+// StageStragglers aggregates one stage kernel's straggler attribution
+// over the sessions /debug/sessions retained: summed scatter cost, the
+// parallel lower bound (slowest shard per scatter), and how often each
+// shard was the per-session straggler.
+type StageStragglers struct {
+	Stage string `json:"stage"`
+	// Sessions counts summaries that attributed cost to the stage;
+	// Scatters sums their scatter counts.
+	Sessions int `json:"sessions"`
+	Scatters int `json:"scatters"`
+	// TotalMS sums the stage's scatter wall time across sessions;
+	// SlowestMS the slowest-shard portion of it.
+	TotalMS   float64 `json:"total_ms"`
+	SlowestMS float64 `json:"slowest_ms"`
+	// Straggler is the shard named most often across sessions (ties to
+	// the lower index); StragglerSessions its count.
+	Straggler         int `json:"straggler"`
+	StragglerSessions int `json:"straggler_sessions"`
+}
+
+// aggregateStragglers folds per-session stage costs into the report's
+// per-stage rollup, most expensive stage first (ties by name).
+func aggregateStragglers(summaries []DebugSessionSummary) []StageStragglers {
+	type agg struct {
+		StageStragglers
+		byShard map[int]int
+	}
+	byStage := make(map[string]*agg)
+	for _, sum := range summaries {
+		for _, st := range sum.Stages {
+			a := byStage[st.Stage]
+			if a == nil {
+				a = &agg{StageStragglers: StageStragglers{Stage: st.Stage}, byShard: make(map[int]int)}
+				byStage[st.Stage] = a
+			}
+			a.Sessions++
+			a.Scatters += st.Scatters
+			a.TotalMS += st.TotalMS
+			a.SlowestMS += st.SlowestMS
+			if st.Straggler >= 0 {
+				a.byShard[st.Straggler]++
+			}
+		}
+	}
+	out := make([]StageStragglers, 0, len(byStage))
+	for _, a := range byStage {
+		a.Straggler = -1
+		for shard, n := range a.byShard {
+			if a.Straggler == -1 || n > a.StragglerSessions ||
+				(n == a.StragglerSessions && shard < a.Straggler) {
+				a.Straggler, a.StragglerSessions = shard, n
+			}
+		}
+		out = append(out, a.StageStragglers)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalMS != out[j].TotalMS {
+			return out[i].TotalMS > out[j].TotalMS
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
 }
 
 // ServerSnapshot is the server's own telemetry at one phase boundary.

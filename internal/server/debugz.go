@@ -1,0 +1,372 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"innsearch/internal/telemetry"
+)
+
+// debugRecentCap bounds the ring of finished-session summaries the debug
+// watcher retains for GET /debug/sessions.
+const debugRecentCap = 32
+
+// debugWatcher is the live-introspection sink composed into every hosted
+// session's tracer (next to the metrics bridge): it folds the span-tagged
+// event stream into a per-session state machine, so GET /debug/sessions
+// can answer "what is every session doing right now" — current stage,
+// round, elapsed, per-shard progress — without the server polling engine
+// internals. Finished sessions move into a bounded ring of span
+// summaries, linked back to the creating request by X-Request-Id.
+//
+// Emit runs on the session goroutine, the snapshot on HTTP handler
+// goroutines; one mutex covers both (the per-event work is a few map
+// operations, far below the kernels the events time).
+type debugWatcher struct {
+	mu     sync.Mutex
+	live   map[string]*debugLive
+	recent []debugSessionSummary // newest first, capped at debugRecentCap
+}
+
+func newDebugWatcher() *debugWatcher {
+	return &debugWatcher{live: make(map[string]*debugLive)}
+}
+
+// debugLive is the watcher's mutable state for one running session.
+type debugLive struct {
+	session, request string
+	started          time.Time // watcher wall clock at session_start
+	n, dim           int
+	workers, shards  int
+	family           string
+
+	round      int    // highest major ordinal seen on any event
+	stage      string // last scatter/stage annotation
+	lastEvent  string // type of the most recent event
+	viewsShown int
+	builds     int // index_build events
+	candGens   int // candidate_gen events
+
+	shardProg map[int]*debugShardState
+	// pending tracks open scatter spans by span ID: shard_gather events
+	// parent into them, and the coordinator's closing span event folds the
+	// scatter into the per-stage attribution.
+	pending map[string]*debugScatter
+	stages  map[string]*debugStageState
+}
+
+// debugShardState accumulates one shard's gather progress.
+type debugShardState struct {
+	gathers int
+	totalMS float64
+	lastMS  float64
+}
+
+// debugScatter is one open scatter span: the slowest shard seen so far.
+type debugScatter struct {
+	stage        string
+	slowestShard int
+	slowestMS    float64
+}
+
+// debugStageState is the per-stage straggler attribution accumulated from
+// closed scatter spans, mirroring telemetry.StageAttribution incrementally.
+type debugStageState struct {
+	scatters   int
+	totalMS    float64
+	slowestMS  float64
+	stragglers map[int]int
+}
+
+// Now implements telemetry.Tracer. The watcher never drives measurements
+// (the Multi's first sink does); it reads wall time only for elapsed.
+func (d *debugWatcher) Now() time.Time { return time.Now() }
+
+// Emit implements telemetry.Tracer.
+func (d *debugWatcher) Emit(e telemetry.Event) {
+	if e.Session == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ls, ok := d.live[e.Session]
+	if !ok {
+		if e.Type != telemetry.EventSessionStart {
+			return // a session we never saw start (sink installed mid-flight)
+		}
+		ls = &debugLive{
+			session:   e.Session,
+			request:   e.Request,
+			started:   time.Now(),
+			shardProg: make(map[int]*debugShardState),
+			pending:   make(map[string]*debugScatter),
+			stages:    make(map[string]*debugStageState),
+		}
+		d.live[e.Session] = ls
+	}
+	ls.lastEvent = string(e.Type)
+	if e.Major > ls.round {
+		ls.round = e.Major
+	}
+	switch e.Type {
+	case telemetry.EventSessionStart:
+		ls.n, ls.dim = e.N, e.Dim
+		ls.workers, ls.shards = e.Workers, e.Shards
+		ls.family = e.Family
+	case telemetry.EventView:
+		ls.viewsShown++
+	case telemetry.EventIndexBuild:
+		ls.builds++
+	case telemetry.EventCandidateGen:
+		ls.candGens++
+	case telemetry.EventShardScatter:
+		ls.stage = e.Stage
+		if e.Parent != "" {
+			ls.pending[e.Parent] = &debugScatter{stage: e.Stage, slowestShard: -1}
+		}
+	case telemetry.EventShardGather:
+		p := ls.shardProg[e.Shard]
+		if p == nil {
+			p = &debugShardState{}
+			ls.shardProg[e.Shard] = p
+		}
+		p.gathers++
+		p.totalMS += e.DurationMS
+		p.lastMS = e.DurationMS
+		if sc := ls.pending[e.Parent]; sc != nil {
+			// Ties go to the earlier (lower-index) shard, matching
+			// telemetry.SpanNode.Straggler: gathers arrive in ascending
+			// shard order, so strictly-greater keeps the first maximum.
+			if sc.slowestShard < 0 || e.DurationMS > sc.slowestMS {
+				sc.slowestShard, sc.slowestMS = e.Shard, e.DurationMS
+			}
+		}
+	case telemetry.EventSpan:
+		sc := ls.pending[e.Span]
+		if sc == nil {
+			break
+		}
+		delete(ls.pending, e.Span)
+		st := ls.stages[sc.stage]
+		if st == nil {
+			st = &debugStageState{stragglers: make(map[int]int)}
+			ls.stages[sc.stage] = st
+		}
+		st.scatters++
+		st.totalMS += e.DurationMS
+		st.slowestMS += sc.slowestMS
+		if sc.slowestShard >= 0 {
+			st.stragglers[sc.slowestShard]++
+		}
+	case telemetry.EventSessionEnd:
+		d.finish(ls, e)
+	}
+}
+
+// finish moves a live session into the recent ring. Caller holds d.mu.
+func (d *debugWatcher) finish(ls *debugLive, e telemetry.Event) {
+	delete(d.live, ls.session)
+	sum := debugSessionSummary{
+		Session:       ls.session,
+		Request:       ls.request,
+		StartedAt:     ls.started.UTC(),
+		DurationMS:    e.DurationMS,
+		Iterations:    e.Iterations,
+		Converged:     e.Converged,
+		ViewsShown:    e.ViewsShown,
+		ViewsAnswered: e.ViewsAnswered,
+		Err:           e.Err,
+		Shards:        ls.shards,
+		IndexBuilds:   ls.builds,
+		CandidateGens: ls.candGens,
+		Stages:        stageCosts(ls.stages),
+	}
+	d.recent = append([]debugSessionSummary{sum}, d.recent...)
+	if len(d.recent) > debugRecentCap {
+		d.recent = d.recent[:debugRecentCap]
+	}
+}
+
+// stageCosts renders the accumulated per-stage attribution, most
+// expensive first (ties by stage name, like telemetry.Attribution).
+func stageCosts(stages map[string]*debugStageState) []debugStageCost {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make([]debugStageCost, 0, len(stages))
+	for name, st := range stages {
+		c := debugStageCost{
+			Stage:     name,
+			Scatters:  st.scatters,
+			TotalMS:   st.totalMS,
+			SlowestMS: st.slowestMS,
+			Straggler: -1,
+		}
+		best := -1
+		for shard, n := range st.stragglers {
+			if n > best || (n == best && shard < c.Straggler) {
+				best, c.Straggler = n, shard
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalMS != out[j].TotalMS {
+			return out[i].TotalMS > out[j].TotalMS
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// snapshot renders the watcher state as the /debug/sessions response
+// body. Live sessions are ordered oldest first (the longest-running
+// session is usually the one an operator is hunting).
+func (d *debugWatcher) snapshot(now time.Time) debugSessionsResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := debugSessionsResponse{
+		Live:   make([]debugLiveSession, 0, len(d.live)),
+		Recent: append([]debugSessionSummary(nil), d.recent...),
+	}
+	for _, ls := range d.live {
+		out := debugLiveSession{
+			Session:       ls.session,
+			Request:       ls.request,
+			StartedAt:     ls.started.UTC(),
+			ElapsedMS:     float64(now.Sub(ls.started)) / float64(time.Millisecond),
+			Round:         ls.round,
+			Stage:         ls.stage,
+			LastEvent:     ls.lastEvent,
+			N:             ls.n,
+			Dim:           ls.dim,
+			Workers:       ls.workers,
+			Shards:        ls.shards,
+			Family:        ls.family,
+			ViewsShown:    ls.viewsShown,
+			IndexBuilds:   ls.builds,
+			CandidateGens: ls.candGens,
+		}
+		if len(ls.shardProg) > 0 {
+			ids := make([]int, 0, len(ls.shardProg))
+			for id := range ls.shardProg {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				p := ls.shardProg[id]
+				out.ShardProgress = append(out.ShardProgress, debugShardProgress{
+					Shard: id, Gathers: p.gathers, TotalMS: p.totalMS, LastMS: p.lastMS,
+				})
+			}
+		}
+		resp.Live = append(resp.Live, out)
+	}
+	sort.Slice(resp.Live, func(i, j int) bool {
+		if !resp.Live[i].StartedAt.Equal(resp.Live[j].StartedAt) {
+			return resp.Live[i].StartedAt.Before(resp.Live[j].StartedAt)
+		}
+		return resp.Live[i].Session < resp.Live[j].Session
+	})
+	return resp
+}
+
+// ---- /debug/sessions JSON shapes ----
+
+// debugSessionsResponse is the body of GET /debug/sessions. Like /varz
+// it is an operator surface, not part of the wire protocol contract.
+type debugSessionsResponse struct {
+	Live   []debugLiveSession    `json:"live"`
+	Recent []debugSessionSummary `json:"recent"`
+	// IndexCache is the shared candidate-generation cache: reuse across
+	// all hosted sessions, not per-session.
+	IndexCache debugIndexCache `json:"index_cache"`
+}
+
+// debugLiveSession is one running session's instantaneous state.
+type debugLiveSession struct {
+	Session   string    `json:"session"`
+	Request   string    `json:"request,omitempty"`
+	StartedAt time.Time `json:"started_at"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	// Round is the highest major-iteration ordinal seen; Stage the last
+	// scatter-stage kernel entered ("" for unsharded sessions) and
+	// LastEvent the type of the most recent trace event.
+	Round     int    `json:"round"`
+	Stage     string `json:"stage,omitempty"`
+	LastEvent string `json:"last_event"`
+	N         int    `json:"n"`
+	Dim       int    `json:"dim"`
+	Workers   int    `json:"workers"`
+	Shards    int    `json:"shards,omitempty"`
+	Family    string `json:"family,omitempty"`
+
+	ViewsShown    int `json:"views_shown"`
+	IndexBuilds   int `json:"index_builds,omitempty"`
+	CandidateGens int `json:"candidate_gens,omitempty"`
+	// ShardProgress is the cumulative per-shard gather tally — a shard
+	// whose total creeps ahead of its peers is the straggler forming.
+	ShardProgress []debugShardProgress `json:"shard_progress,omitempty"`
+}
+
+// debugShardProgress is one shard's cumulative partial-gather progress
+// inside a live session.
+type debugShardProgress struct {
+	Shard   int     `json:"shard"`
+	Gathers int     `json:"gathers"`
+	TotalMS float64 `json:"total_ms"`
+	LastMS  float64 `json:"last_ms"`
+}
+
+// debugSessionSummary is the span summary of one finished session,
+// linked to the creating request by X-Request-Id.
+type debugSessionSummary struct {
+	Session       string    `json:"session"`
+	Request       string    `json:"request,omitempty"`
+	StartedAt     time.Time `json:"started_at"`
+	DurationMS    float64   `json:"duration_ms"`
+	Iterations    int       `json:"iterations"`
+	Converged     bool      `json:"converged"`
+	ViewsShown    int       `json:"views_shown"`
+	ViewsAnswered int       `json:"views_answered"`
+	Err           string    `json:"error,omitempty"`
+	Shards        int       `json:"shards,omitempty"`
+	IndexBuilds   int       `json:"index_builds,omitempty"`
+	CandidateGens int       `json:"candidate_gens,omitempty"`
+	// Stages is the per-stage straggler attribution folded from the
+	// session's scatter spans, most expensive stage first; empty for
+	// unsharded sessions.
+	Stages []debugStageCost `json:"stages,omitempty"`
+}
+
+// debugStageCost attributes one sharded stage kernel's cost: TotalMS is
+// the summed scatter wall time, SlowestMS the portion spent inside the
+// slowest shard per scatter, and Straggler the shard that was slowest
+// most often (ties to the lower index; -1 when no gather was seen).
+type debugStageCost struct {
+	Stage     string  `json:"stage"`
+	Scatters  int     `json:"scatters"`
+	TotalMS   float64 `json:"total_ms"`
+	SlowestMS float64 `json:"slowest_ms"`
+	Straggler int     `json:"straggler"`
+}
+
+// debugIndexCache is the shared index.Cache counters.
+type debugIndexCache struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// handleDebugSessions serves GET /debug/sessions: live sessions with
+// current stage/round/elapsed and per-shard progress, recent finished
+// sessions with their straggler attribution, and the shared index-cache
+// counters. Complements /varz (aggregates) with per-session causality.
+func (s *Server) handleDebugSessions(w http.ResponseWriter, r *http.Request) {
+	resp := s.debugz.snapshot(time.Now())
+	hits, misses := s.idxCache.Stats()
+	resp.IndexCache = debugIndexCache{Hits: hits, Misses: misses, Entries: s.idxCache.Len()}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"innsearch/internal/dataset"
+	"innsearch/internal/server/wire"
+	"innsearch/internal/telemetry"
+)
+
+// TestDebugWatcherLifecycle drives the watcher with a synthetic span
+// stream and checks both snapshots: the live entry while the session
+// runs, and the summary with straggler attribution after it ends.
+func TestDebugWatcherLifecycle(t *testing.T) {
+	d := newDebugWatcher()
+	emit := func(e telemetry.Event) {
+		e.Session, e.Request = "sess-1", "req-1"
+		d.Emit(e)
+	}
+	emit(telemetry.Event{Type: telemetry.EventSessionStart, N: 1000, Dim: 64, Workers: 4, Shards: 2})
+	// One scatter of the "nearest" stage: shard 1 is the straggler.
+	emit(telemetry.Event{Type: telemetry.EventShardScatter, Major: 1, Stage: "nearest", Shards: 2, Parent: "s/r1/v1.axis/proj/nearest#1"})
+	emit(telemetry.Event{Type: telemetry.EventShardGather, Major: 1, Stage: "nearest", Shard: 0, DurationMS: 3, Parent: "s/r1/v1.axis/proj/nearest#1"})
+	emit(telemetry.Event{Type: telemetry.EventShardGather, Major: 1, Stage: "nearest", Shard: 1, DurationMS: 9, Parent: "s/r1/v1.axis/proj/nearest#1"})
+	emit(telemetry.Event{Type: telemetry.EventSpan, Major: 1, Stage: "nearest", Shards: 2, DurationMS: 10, Span: "s/r1/v1.axis/proj/nearest#1"})
+	emit(telemetry.Event{Type: telemetry.EventView, Major: 1, Minor: 1, DurationMS: 20})
+
+	snap := d.snapshot(time.Now())
+	if len(snap.Live) != 1 || len(snap.Recent) != 0 {
+		t.Fatalf("mid-session snapshot: %d live, %d recent; want 1, 0", len(snap.Live), len(snap.Recent))
+	}
+	ls := snap.Live[0]
+	if ls.Session != "sess-1" || ls.Request != "req-1" {
+		t.Fatalf("live entry IDs = %q/%q", ls.Session, ls.Request)
+	}
+	if ls.Round != 1 || ls.Stage != "nearest" || ls.LastEvent != "view" || ls.ViewsShown != 1 {
+		t.Fatalf("live entry = %+v", ls)
+	}
+	if ls.N != 1000 || ls.Dim != 64 || ls.Workers != 4 || ls.Shards != 2 {
+		t.Fatalf("live entry shape = %+v", ls)
+	}
+	if len(ls.ShardProgress) != 2 {
+		t.Fatalf("shard progress = %+v, want both shards", ls.ShardProgress)
+	}
+	if p := ls.ShardProgress[1]; p.Shard != 1 || p.Gathers != 1 || p.TotalMS != 9 || p.LastMS != 9 {
+		t.Fatalf("shard 1 progress = %+v", p)
+	}
+
+	emit(telemetry.Event{Type: telemetry.EventSessionEnd, DurationMS: 40,
+		Iterations: 1, Converged: true, ViewsShown: 1, ViewsAnswered: 1, Span: "s"})
+	snap = d.snapshot(time.Now())
+	if len(snap.Live) != 0 || len(snap.Recent) != 1 {
+		t.Fatalf("post-session snapshot: %d live, %d recent; want 0, 1", len(snap.Live), len(snap.Recent))
+	}
+	sum := snap.Recent[0]
+	if sum.Session != "sess-1" || sum.Request != "req-1" || sum.DurationMS != 40 || !sum.Converged {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(sum.Stages) != 1 {
+		t.Fatalf("summary stages = %+v, want the one scattered stage", sum.Stages)
+	}
+	st := sum.Stages[0]
+	if st.Stage != "nearest" || st.Scatters != 1 || st.TotalMS != 10 || st.SlowestMS != 9 || st.Straggler != 1 {
+		t.Fatalf("stage attribution = %+v", st)
+	}
+}
+
+// TestDebugWatcherRecentRing pins the bound on the finished-session ring
+// and its newest-first order.
+func TestDebugWatcherRecentRing(t *testing.T) {
+	d := newDebugWatcher()
+	for i := 0; i < debugRecentCap+5; i++ {
+		id := "sess-" + string(rune('A'+i))
+		d.Emit(telemetry.Event{Type: telemetry.EventSessionStart, Session: id})
+		d.Emit(telemetry.Event{Type: telemetry.EventSessionEnd, Session: id, Iterations: i})
+	}
+	snap := d.snapshot(time.Now())
+	if len(snap.Recent) != debugRecentCap {
+		t.Fatalf("recent ring holds %d, want cap %d", len(snap.Recent), debugRecentCap)
+	}
+	if snap.Recent[0].Iterations != debugRecentCap+4 {
+		t.Fatalf("recent[0].Iterations = %d, want the newest session", snap.Recent[0].Iterations)
+	}
+}
+
+// TestDebugWatcherIgnoresAnonymous checks that events without a session
+// ID (the batch-search path) never create live entries.
+func TestDebugWatcherIgnoresAnonymous(t *testing.T) {
+	d := newDebugWatcher()
+	d.Emit(telemetry.Event{Type: telemetry.EventSessionStart, Request: "req-9"})
+	d.Emit(telemetry.Event{Type: telemetry.EventView, Request: "req-9"})
+	if snap := d.snapshot(time.Now()); len(snap.Live) != 0 || len(snap.Recent) != 0 {
+		t.Fatalf("anonymous events created state: %+v", snap)
+	}
+}
+
+// TestDebugSessionsEndpoint scrapes GET /debug/sessions against a live
+// sharded interactive session: mid-session the entry must expose the
+// round, stage, and per-shard progress; after the session finishes the
+// recent summary must attribute each sharded stage to a straggler shard
+// and the response must carry the shared index-cache counters.
+func TestDebugSessionsEndpoint(t *testing.T) {
+	ds := testData(t, 240, 11)
+	_, ts := newTestServer(t, Config{
+		Datasets: map[string]*dataset.Dataset{"test": ds},
+		Shards:   4,
+	})
+	c := newClient(t, ts)
+	queryRow := 3
+	created := c.createSession(wire.CreateSessionRequest{
+		Dataset:  "test",
+		QueryRow: &queryRow,
+		User:     "", // interactive: decisions come over HTTP
+		Config:   wire.SessionConfig{Mode: "axis", GridSize: 16, MaxMajorIterations: 1, Workers: 2},
+	})
+
+	// Long-poll until the first view is up — the session is then parked in
+	// decision_wait, a stable moment to scrape.
+	var view wire.ViewResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for view.State != wire.StateAwaiting {
+		if time.Now().After(deadline) {
+			t.Fatal("session never reached an awaiting view")
+		}
+		if code := c.do("GET", "/v1/sessions/"+created.ID+"/view?wait=5s", nil, &view); code != http.StatusOK {
+			t.Fatalf("view: status %d", code)
+		}
+	}
+
+	var mid debugSessionsResponse
+	if code := c.do("GET", "/debug/sessions", nil, &mid); code != http.StatusOK {
+		t.Fatalf("/debug/sessions: status %d", code)
+	}
+	if len(mid.Live) != 1 {
+		t.Fatalf("mid-session live entries = %d, want 1 (%+v)", len(mid.Live), mid.Live)
+	}
+	ls := mid.Live[0]
+	if ls.Session != created.ID {
+		t.Fatalf("live session = %q, want %q", ls.Session, created.ID)
+	}
+	if ls.Request == "" {
+		t.Error("live entry has no request ID to link back to the create")
+	}
+	if ls.Round < 1 || ls.Stage == "" || ls.ElapsedMS <= 0 || ls.ViewsShown < 1 {
+		t.Fatalf("live entry not mid-flight: %+v", ls)
+	}
+	if ls.Shards != 4 || len(ls.ShardProgress) != 4 {
+		t.Fatalf("live entry shard progress = %+v, want all 4 shards", ls)
+	}
+	for _, p := range ls.ShardProgress {
+		if p.Gathers == 0 {
+			t.Errorf("shard %d reported no gathers mid-session", p.Shard)
+		}
+	}
+
+	c.driveSession(created.ID, func(seq int, p *wire.Profile) wire.Decision {
+		return wire.Decision{Tau: 0.5 * p.QueryDensity}
+	})
+
+	var done debugSessionsResponse
+	if code := c.do("GET", "/debug/sessions", nil, &done); code != http.StatusOK {
+		t.Fatalf("/debug/sessions: status %d", code)
+	}
+	if len(done.Live) != 0 {
+		t.Fatalf("post-session live entries = %+v, want none", done.Live)
+	}
+	if len(done.Recent) != 1 {
+		t.Fatalf("recent summaries = %d, want 1", len(done.Recent))
+	}
+	sum := done.Recent[0]
+	if sum.Session != created.ID || sum.Request != ls.Request {
+		t.Fatalf("summary linkage = %+v, want session %q request %q", sum, created.ID, ls.Request)
+	}
+	if sum.DurationMS <= 0 || sum.Iterations < 1 || sum.ViewsShown < 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(sum.Stages) == 0 {
+		t.Fatal("sharded session summary has no stage attribution")
+	}
+	for _, st := range sum.Stages {
+		if st.Straggler < 0 || st.Straggler >= 4 {
+			t.Errorf("stage %q straggler = %d, want a shard in [0, 4)", st.Stage, st.Straggler)
+		}
+		if st.Scatters == 0 || st.SlowestMS > st.TotalMS {
+			t.Errorf("inconsistent stage attribution: %+v", st)
+		}
+	}
+}

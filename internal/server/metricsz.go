@@ -40,10 +40,11 @@ func (b metricsBridge) Emit(e telemetry.Event) {
 }
 
 // sessionTracer composes the tracer installed on a hosted session: the
-// metrics bridge plus the server's optional trace sink, with session and
-// request IDs stamped on every event.
+// metrics bridge, the /debug/sessions live watcher, and the server's
+// optional trace sink, with session and request IDs stamped on every
+// event.
 func (s *Server) sessionTracer(sessionID, requestID string) telemetry.Tracer {
-	return telemetry.WithIDs(telemetry.Multi(metricsBridge{m: s.metrics}, s.trace), sessionID, requestID)
+	return telemetry.WithIDs(telemetry.Multi(metricsBridge{m: s.metrics}, s.debugz, s.trace), sessionID, requestID)
 }
 
 // boolGauge renders a boolean as 0/1.

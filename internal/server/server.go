@@ -139,6 +139,9 @@ type Server struct {
 	// residentBytes is the summed footprint of the preloaded immutable
 	// point stores, exported as the resident_dataset_bytes gauge.
 	residentBytes int64
+	// debugz folds every session's trace events into the live-session
+	// table served by GET /debug/sessions.
+	debugz *debugWatcher
 }
 
 // New validates the configuration and starts the store's TTL sweeper.
@@ -174,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 		trace:         cfg.Trace,
 		idxCache:      index.NewCache(0),
 		residentBytes: residentBytes,
+		debugz:        newDebugWatcher(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -187,6 +191,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("GET /debug/sessions", s.handleDebugSessions)
 	s.mux = mux
 	s.handler = s.withTelemetry(mux)
 	return s, nil

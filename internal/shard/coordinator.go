@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"innsearch/internal/dataset"
@@ -53,6 +54,13 @@ type Coordinator struct {
 	idxView   *dataset.View
 	idxShards []Shard
 
+	// span is the parent span ID the next scatter links under (set by the
+	// session as it moves through stages, "" when untraced); seq is the
+	// monotonic scatter ordinal that makes scatter span IDs unique. Both
+	// live on the session goroutine, like everything else here.
+	span string
+	seq  int
+
 	// mkShards overrides shard construction in tests (e.g. to inject a
 	// blocking shard and prove mid-scatter cancellation).
 	mkShards func(v *dataset.View, xy kde.XYSource, n int) []Shard
@@ -71,6 +79,11 @@ func New(cfg Config) *Coordinator {
 
 // Shards returns P as configured.
 func (c *Coordinator) Shards() int { return c.p }
+
+// SetSpan sets the parent span subsequent scatters link under, "" to
+// unlink. Sessions call it as they enter each traced stage; untraced
+// sessions never call it, so the coordinator stays allocation-free.
+func (c *Coordinator) SetSpan(parent string) { c.span = parent }
 
 // shardsFor builds the stage's shard set: min(P, n) windows cut by
 // parallel.ShardBounds — a function of (n, P) only, never of workers, so
@@ -96,15 +109,25 @@ func (c *Coordinator) shardsFor(v *dataset.View, xy kde.XYSource, n int) []Shard
 }
 
 // scatter fans run out over the shards with the session's worker budget
-// and waits for all of them. Telemetry: one shard_scatter event before
-// the fan-out, then — after the barrier, in ascending shard order (the
-// merge order) — one shard_gather event per shard carrying the partial's
-// wall time. Both are emitted from the calling goroutine, so injected
-// single-goroutine tracer clocks stay safe; the per-shard durations are
-// measured with the real clock inside the workers.
+// and waits for all of them. Telemetry: one scatter-stage span per call
+// with one shard span per shard — a shard_scatter annotation before the
+// fan-out, then, after the barrier in ascending shard order (the merge
+// order), one shard_gather span end per shard carrying the partial's
+// wall time, then the stage's own span end, so a trace reader sees
+// scatter → gather·P → span per sharded stage. Everything is emitted
+// from the calling goroutine, so injected single-goroutine tracer clocks
+// stay safe; the per-shard durations are measured with the real clock
+// inside the workers (the only non-deterministic field of the stream).
 func (c *Coordinator) scatter(ctx context.Context, stage string, shards []Shard, n int, run func(ctx context.Context, s Shard) error) error {
+	var span telemetry.Span
 	if c.tr != nil {
-		c.tr.Emit(telemetry.Event{
+		c.seq++
+		id := stage + "#" + strconv.Itoa(c.seq)
+		if c.span != "" {
+			id = c.span + "/" + id
+		}
+		span = telemetry.StartSpan(c.tr, id, c.span)
+		span.Annotate(telemetry.Event{
 			Type:   telemetry.EventShardScatter,
 			Stage:  stage,
 			Shards: len(shards),
@@ -124,7 +147,7 @@ func (c *Coordinator) scatter(ctx context.Context, stage string, shards []Shard,
 	if c.tr != nil {
 		for i, s := range shards {
 			lo, hi := s.Rows()
-			c.tr.Emit(telemetry.Event{
+			span.ChildEnd("sh"+strconv.Itoa(s.ID()), telemetry.Event{
 				Type:       telemetry.EventShardGather,
 				Stage:      stage,
 				Shard:      s.ID(),
@@ -133,6 +156,12 @@ func (c *Coordinator) scatter(ctx context.Context, stage string, shards []Shard,
 				DurationMS: float64(durs[i]) / float64(time.Millisecond),
 			})
 		}
+		span.End(telemetry.Event{
+			Type:   telemetry.EventSpan,
+			Stage:  stage,
+			Shards: len(shards),
+			N:      n,
+		})
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
@@ -309,26 +310,33 @@ func TestCoordinatorCancellationMidScatter(t *testing.T) {
 }
 
 // TestCoordinatorTelemetry checks the event protocol: per sharded stage
-// one shard_scatter followed by exactly P shard_gather events in
-// ascending shard order, with shard row counts summing to n.
+// one shard_scatter annotation followed by exactly P shard_gather span
+// ends in ascending shard order and one closing scatter-stage span, with
+// shard row counts summing to n and every event linked into the span the
+// scatter opened.
 func TestCoordinatorTelemetry(t *testing.T) {
 	ctx := context.Background()
 	v := testDataset(t, 29, 250, 4).View()
 	tr := &recordTracer{}
 	c := New(Config{Shards: 4, Workers: 2, Tracer: tr})
+	c.SetSpan("s/r1/v1.axis/proj")
 	if _, err := c.Stats(ctx, v); err != nil {
 		t.Fatal(err)
 	}
 
 	wantStages := []string{"stats/sums", "stats/moments"}
 	i := 0
-	for _, stage := range wantStages {
+	for seq, stage := range wantStages {
 		if i >= len(tr.events) {
 			t.Fatalf("missing scatter for stage %q", stage)
 		}
+		spanID := fmt.Sprintf("s/r1/v1.axis/proj/%s#%d", stage, seq+1)
 		e := tr.events[i]
 		if e.Type != telemetry.EventShardScatter || e.Stage != stage || e.Shards != 4 || e.N != 250 {
 			t.Fatalf("event %d = %+v, want scatter of %q over 4 shards / 250 rows", i, e, stage)
+		}
+		if e.Span != "" || e.Parent != spanID {
+			t.Fatalf("scatter %d span/parent = %q/%q, want annotation under %q", i, e.Span, e.Parent, spanID)
 		}
 		i++
 		rows := 0
@@ -337,15 +345,51 @@ func TestCoordinatorTelemetry(t *testing.T) {
 			if g.Type != telemetry.EventShardGather || g.Stage != stage || g.Shard != s {
 				t.Fatalf("event %d = %+v, want gather of %q shard %d", i, g, stage, s)
 			}
+			if want := fmt.Sprintf("%s/sh%d", spanID, s); g.Span != want || g.Parent != spanID {
+				t.Fatalf("gather %d span/parent = %q/%q, want shard span %q", i, g.Span, g.Parent, want)
+			}
 			rows += g.N
 			i++
 		}
 		if rows != 250 {
 			t.Fatalf("stage %q gathered %d rows, want 250", stage, rows)
 		}
+		end := tr.events[i]
+		if end.Type != telemetry.EventSpan || end.Stage != stage || end.Shards != 4 || end.N != 250 {
+			t.Fatalf("event %d = %+v, want scatter-stage span end for %q", i, end, stage)
+		}
+		if end.Span != spanID || end.Parent != "s/r1/v1.axis/proj" {
+			t.Fatalf("stage span end span/parent = %q/%q, want %q under the configured parent", end.Span, end.Parent, spanID)
+		}
+		i++
 	}
 	if i != len(tr.events) {
 		t.Fatalf("unexpected trailing events: %+v", tr.events[i:])
+	}
+}
+
+// TestCoordinatorTelemetryUnparented checks scatter span IDs without a
+// configured parent: bare "stage#seq" roots, still unique via the
+// monotonic ordinal.
+func TestCoordinatorTelemetryUnparented(t *testing.T) {
+	ctx := context.Background()
+	v := testDataset(t, 31, 120, 3).View()
+	tr := &recordTracer{}
+	c := New(Config{Shards: 2, Workers: 2, Tracer: tr})
+	if _, err := c.Stats(ctx, v); err != nil {
+		t.Fatal(err)
+	}
+	var ends []telemetry.Event
+	for _, e := range tr.events {
+		if e.Type == telemetry.EventSpan {
+			ends = append(ends, e)
+		}
+	}
+	if len(ends) != 2 {
+		t.Fatalf("got %d scatter-stage spans, want 2", len(ends))
+	}
+	if ends[0].Span != "stats/sums#1" || ends[1].Span != "stats/moments#2" || ends[0].Parent != "" {
+		t.Fatalf("unparented span IDs = %q (parent %q), %q", ends[0].Span, ends[0].Parent, ends[1].Span)
 	}
 }
 

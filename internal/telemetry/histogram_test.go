@@ -165,3 +165,72 @@ func TestHistogramQuantileCappedByMax(t *testing.T) {
 		t.Fatalf("p100 with +Inf bucket = %v, want 5", got)
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the corner behavior of the
+// interpolation: empty histograms, a lone sample, the extreme quantiles,
+// and the max-capped bucket ceiling.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+
+	// Empty histogram: every quantile is 0, including the clamped ones.
+	empty := NewHistogram(bounds).Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// A single sample at 1.5 lives in the (1, 2] bucket with Max = 1.5.
+	single := NewHistogram(bounds)
+	single.Observe(1.5)
+	s := single.Snapshot()
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("single-sample p0 = %v, want bucket floor 1", got)
+	}
+	if got := s.Quantile(1); got != 1.5 {
+		t.Fatalf("single-sample p100 = %v, want observed max 1.5", got)
+	}
+	// Interpolation runs toward the observed max, not the bucket bound 2.
+	if got := s.Quantile(0.5); got != 1.25 {
+		t.Fatalf("single-sample p50 = %v, want 1.25 (midpoint of [1, max])", got)
+	}
+	// Out-of-range q clamps to the extremes.
+	if got := s.Quantile(-3); got != s.Quantile(0) {
+		t.Fatalf("Quantile(-3) = %v, want clamp to p0 %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(7); got != s.Quantile(1) {
+		t.Fatalf("Quantile(7) = %v, want clamp to p100 %v", got, s.Quantile(1))
+	}
+
+	// A sample below the first bound interpolates within [0, max].
+	low := NewHistogram(bounds)
+	low.Observe(0.5)
+	if got := low.Snapshot().Quantile(1); got != 0.5 {
+		t.Fatalf("first-bucket p100 = %v, want 0.5", got)
+	}
+	if got := low.Snapshot().Quantile(0); got != 0 {
+		t.Fatalf("first-bucket p0 = %v, want 0", got)
+	}
+
+	// Beyond the last finite bound the +Inf bucket reports the max for
+	// every quantile that lands in it.
+	inf := NewHistogram(bounds)
+	inf.Observe(100)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := inf.Snapshot().Quantile(q); got != 100 {
+			t.Fatalf("+Inf-bucket Quantile(%v) = %v, want 100", q, got)
+		}
+	}
+
+	// Degenerate cap: a snapshot whose max undercuts the hit bucket's
+	// floor returns the max rather than inventing mass below it.
+	crafted := HistogramSnapshot{
+		Bounds: []float64{1, 2},
+		Counts: []int64{0, 1, 0},
+		Count:  1,
+		Max:    0.5,
+	}
+	if got := crafted.Quantile(0.5); got != 0.5 {
+		t.Fatalf("capped-below-floor Quantile = %v, want max 0.5", got)
+	}
+}

@@ -90,3 +90,61 @@ func TestHistogramMergeBoundsMismatch(t *testing.T) {
 		t.Fatalf("nil merge should be a no-op, got %v", err)
 	}
 }
+
+// TestHistogramMergeMismatchedCounts checks merging histograms whose
+// observation counts differ wildly — including an empty source and an
+// empty destination — which is the normal case for per-shard latency
+// histograms under skewed shard load.
+func TestHistogramMergeMismatchedCounts(t *testing.T) {
+	bounds := ExponentialBounds(0.001, 2, 8)
+	big := NewHistogram(bounds)
+	for i := 0; i < 1000; i++ {
+		big.Observe(0.002)
+	}
+	small := NewHistogram(bounds)
+	small.Observe(0.05)
+
+	// Small into big.
+	dst := NewHistogram(bounds)
+	if err := dst.Merge(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(small); err != nil {
+		t.Fatal(err)
+	}
+	s := dst.Snapshot()
+	if s.Count != 1001 {
+		t.Fatalf("merged count = %d, want 1001", s.Count)
+	}
+	if want := 1000*0.002 + 0.05; math.Abs(s.Sum-want) > 1e-9 {
+		t.Fatalf("merged sum = %v, want %v", s.Sum, want)
+	}
+	if s.Max != 0.05 {
+		t.Fatalf("merged max = %v, want the small side's 0.05", s.Max)
+	}
+
+	// Empty source: merging must be a no-op on counts, sum, and max.
+	before := dst.Snapshot()
+	if err := dst.Merge(NewHistogram(bounds)); err != nil {
+		t.Fatal(err)
+	}
+	after := dst.Snapshot()
+	if after.Count != before.Count || after.Sum != before.Sum || after.Max != before.Max {
+		t.Fatalf("merging an empty histogram changed the destination: %+v → %+v", before, after)
+	}
+
+	// Empty destination: the merge result equals the source.
+	fresh := NewHistogram(bounds)
+	if err := fresh.Merge(big); err != nil {
+		t.Fatal(err)
+	}
+	fs, bs := fresh.Snapshot(), big.Snapshot()
+	if fs.Count != bs.Count || fs.Sum != bs.Sum || fs.Max != bs.Max {
+		t.Fatalf("empty-destination merge = %+v, want source %+v", fs, bs)
+	}
+	for i := range fs.Counts {
+		if fs.Counts[i] != bs.Counts[i] {
+			t.Fatalf("bucket %d: merged %d, source %d", i, fs.Counts[i], bs.Counts[i])
+		}
+	}
+}

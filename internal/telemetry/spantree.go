@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// This file reconstructs span trees from event streams and runs the
+// critical-path analysis over them: which child dominated each span's
+// wall time, which shard straggled in each scatter, and how much time
+// each node spent in itself rather than its children. It is the offline
+// half of the span layer — producers only stamp Span/Parent fields;
+// everything here is derived.
+
+// SpanNode is one reconstructed node of a session's span tree.
+type SpanNode struct {
+	// ID and ParentID are the deterministic span path and its parent
+	// ("" for the root).
+	ID       string
+	ParentID string
+	// Type is the event type that ended the span; Event is that full
+	// end record.
+	Type  EventType
+	Event Event
+	// Stage is the stage kernel for scatter-stage and shard spans.
+	Stage string
+	// Shard is the shard index for shard spans, -1 otherwise.
+	Shard int
+	// Start is the span's back-stamped start time (zero when the
+	// producer could not back-stamp, e.g. shard spans).
+	Start time.Time
+	// DurationMS is the span's measured duration.
+	DurationMS float64
+	// Children are the span's child nodes in end-record order — for
+	// shard children that is ascending shard order, the merge order.
+	Children []*SpanNode
+}
+
+// Scatter reports whether the node is a scatter-stage span, i.e. its
+// children are per-shard partials that ran in parallel rather than
+// sequential sub-stages.
+func (n *SpanNode) Scatter() bool {
+	return len(n.Children) > 0 && n.Children[0].Type == EventShardGather
+}
+
+// Straggler returns the slowest child of a scatter node — the shard that
+// bounded the stage's wall time. Ties break to the lower shard index
+// (the earlier child), so the answer is deterministic for a given event
+// stream. Returns nil for non-scatter nodes.
+func (n *SpanNode) Straggler() *SpanNode {
+	if !n.Scatter() {
+		return nil
+	}
+	best := n.Children[0]
+	for _, c := range n.Children[1:] {
+		if c.DurationMS > best.DurationMS {
+			best = c
+		}
+	}
+	return best
+}
+
+// SelfMS is the node's duration not attributable to its children: for a
+// scatter node the children ran in parallel, so self time is duration
+// minus the slowest child (fan-out plus merge overhead); for every other
+// node the children ran sequentially, so self time is duration minus the
+// children's sum. Clamped at zero — overlapping child spans (a wait span
+// outliving its view) would otherwise go negative.
+func (n *SpanNode) SelfMS() float64 {
+	covered := 0.0
+	if n.Scatter() {
+		covered = n.Straggler().DurationMS
+	} else {
+		for _, c := range n.Children {
+			covered += c.DurationMS
+		}
+	}
+	if self := n.DurationMS - covered; self > 0 {
+		return self
+	}
+	return 0
+}
+
+// SpanTree is one session's reconstructed tree.
+type SpanTree struct {
+	// Session and Request are the IDs stamped on the session's events
+	// (either may be empty for in-process traces).
+	Session string
+	Request string
+	// Root is the session span ("s"), or nil if the stream held no
+	// session_end for this session (a live or truncated trace).
+	Root *SpanNode
+	// Nodes indexes every span end seen, by ID.
+	Nodes map[string]*SpanNode
+	// Orphans are spans whose parent never produced an end record; a
+	// complete trace has none.
+	Orphans []*SpanNode
+}
+
+// BuildSpanTrees reconstructs one SpanTree per session from an event
+// stream, in first-appearance order. Events without a Span field
+// (annotations and pre-span traces) contribute nothing; a stream from a
+// pre-span build therefore yields trees with no nodes.
+func BuildSpanTrees(events []Event) []*SpanTree {
+	bySession := make(map[string]*SpanTree)
+	var order []string
+	for _, e := range events {
+		if e.Span == "" {
+			continue
+		}
+		t := bySession[e.Session]
+		if t == nil {
+			t = &SpanTree{Session: e.Session, Nodes: make(map[string]*SpanNode)}
+			bySession[e.Session] = t
+			order = append(order, e.Session)
+		}
+		if t.Request == "" {
+			t.Request = e.Request
+		}
+		shard := -1
+		if e.Type == EventShardGather {
+			shard = e.Shard
+		}
+		n := &SpanNode{
+			ID:         e.Span,
+			ParentID:   e.Parent,
+			Type:       e.Type,
+			Event:      e,
+			Stage:      e.Stage,
+			Shard:      shard,
+			Start:      e.Time,
+			DurationMS: e.DurationMS,
+		}
+		t.Nodes[n.ID] = n
+	}
+	out := make([]*SpanTree, 0, len(order))
+	for _, s := range order {
+		t := bySession[s]
+		// Link children in the original end-record order: walk the event
+		// stream again restricted to this session so child slices are
+		// deterministic.
+		for _, e := range events {
+			if e.Span == "" || e.Session != s {
+				continue
+			}
+			n := t.Nodes[e.Span]
+			switch {
+			case n.ParentID == "":
+				if t.Root == nil {
+					t.Root = n
+				}
+			case t.Nodes[n.ParentID] != nil:
+				p := t.Nodes[n.ParentID]
+				p.Children = append(p.Children, n)
+			default:
+				t.Orphans = append(t.Orphans, n)
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// PathStep is one hop of a critical path, root first.
+type PathStep struct {
+	Span       string
+	Type       EventType
+	Stage      string
+	Shard      int
+	DurationMS float64
+	SelfMS     float64
+}
+
+// StageAttribution aggregates every scatter of one stage kernel across a
+// session: how much wall time the stage cost, how much of it the slowest
+// shards account for, and which shard straggled most often.
+type StageAttribution struct {
+	// Stage is the stage kernel name ("nearest", "kde/lattice", ...).
+	Stage string
+	// Scatters counts the stage's scatter spans.
+	Scatters int
+	// TotalMS sums the scatter spans' durations; SlowestMS sums each
+	// scatter's slowest shard (the parallel lower bound); SelfMS is the
+	// difference — fan-out and merge overhead on the session goroutine.
+	TotalMS   float64
+	SlowestMS float64
+	SelfMS    float64
+	// Straggler is the shard that was slowest most often (ties to the
+	// lower index); Stragglers counts slowest-shard occurrences per shard.
+	Straggler  int
+	Stragglers map[int]int
+}
+
+// Attribution is the critical-path analysis of one session tree.
+type Attribution struct {
+	Session string
+	Request string
+	// TotalMS is the root session span's duration (0 without a root).
+	TotalMS float64
+	// Path walks from the root following the slowest child at each node
+	// until a leaf; at a scatter node that child is the straggler shard,
+	// which is how the path names a specific shard per dominated stage.
+	Path []PathStep
+	// Stages is the per-stage scatter rollup, sorted by descending
+	// TotalMS (ties by stage name), so Stages[0] is the most expensive
+	// sharded stage.
+	Stages []StageAttribution
+}
+
+// Attribute runs the critical-path analysis over the tree. It is pure
+// derivation: calling it twice, or on a tree rebuilt from the same
+// events, yields identical results.
+func (t *SpanTree) Attribute() Attribution {
+	a := Attribution{Session: t.Session, Request: t.Request}
+	if t.Root != nil {
+		a.TotalMS = t.Root.DurationMS
+		for n := t.Root; n != nil; {
+			a.Path = append(a.Path, PathStep{
+				Span:       n.ID,
+				Type:       n.Type,
+				Stage:      n.Stage,
+				Shard:      n.Shard,
+				DurationMS: n.DurationMS,
+				SelfMS:     n.SelfMS(),
+			})
+			var next *SpanNode
+			for _, c := range n.Children {
+				if next == nil || c.DurationMS > next.DurationMS {
+					next = c
+				}
+			}
+			n = next
+		}
+	}
+	byStage := make(map[string]*StageAttribution)
+	for _, n := range t.Nodes {
+		if !n.Scatter() {
+			continue
+		}
+		sa := byStage[n.Stage]
+		if sa == nil {
+			sa = &StageAttribution{Stage: n.Stage, Stragglers: make(map[int]int)}
+			byStage[n.Stage] = sa
+		}
+		worst := n.Straggler()
+		sa.Scatters++
+		sa.TotalMS += n.DurationMS
+		sa.SlowestMS += worst.DurationMS
+		sa.SelfMS += n.SelfMS()
+		sa.Stragglers[worst.Shard]++
+	}
+	for _, sa := range byStage {
+		sa.Straggler = -1
+		for shard, hits := range sa.Stragglers {
+			if sa.Straggler == -1 || hits > sa.Stragglers[sa.Straggler] ||
+				(hits == sa.Stragglers[sa.Straggler] && shard < sa.Straggler) {
+				sa.Straggler = shard
+			}
+		}
+		a.Stages = append(a.Stages, *sa)
+	}
+	sort.Slice(a.Stages, func(i, j int) bool {
+		if a.Stages[i].TotalMS != a.Stages[j].TotalMS {
+			return a.Stages[i].TotalMS > a.Stages[j].TotalMS
+		}
+		return a.Stages[i].Stage < a.Stages[j].Stage
+	})
+	return a
+}

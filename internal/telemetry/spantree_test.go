@@ -1,0 +1,184 @@
+package telemetry
+
+import "testing"
+
+// craftedSession builds an event stream for one synthetic session:
+//
+//	s (100ms)
+//	└── s/r1 (90ms)
+//	    ├── s/r1/v1.axis (60ms)
+//	    │   ├── s/r1/v1.axis/proj (40ms)
+//	    │   │   └── s/r1/v1.axis/proj/nearest#1 (30ms scatter)
+//	    │   │       ├── sh0 10ms  sh1 25ms (straggler)
+//	    │   └── s/r1/v1.axis/kde (15ms)
+//	    │       └── s/r1/v1.axis/kde/kde/lattice#2 (12ms scatter)
+//	    │           ├── sh0 11ms (straggler)  sh1 3ms
+//	    └── s/r1/v1.axis/wait (20ms)
+func craftedSession(session string) []Event {
+	ev := func(e Event) Event {
+		e.Session = session
+		e.Request = "req-" + session
+		return e
+	}
+	nearest := "s/r1/v1.axis/proj/nearest#1"
+	lattice := "s/r1/v1.axis/kde/kde/lattice#2"
+	return []Event{
+		ev(Event{Type: EventSessionStart, Parent: "s", N: 100, Dim: 8}),
+		ev(Event{Type: EventShardScatter, Parent: nearest, Stage: "nearest", Shards: 2, N: 100}),
+		ev(Event{Type: EventShardGather, Span: nearest + "/sh0", Parent: nearest, Stage: "nearest", Shard: 0, Shards: 2, DurationMS: 10}),
+		ev(Event{Type: EventShardGather, Span: nearest + "/sh1", Parent: nearest, Stage: "nearest", Shard: 1, Shards: 2, DurationMS: 25}),
+		ev(Event{Type: EventSpan, Span: nearest, Parent: "s/r1/v1.axis/proj", Stage: "nearest", Shards: 2, N: 100, DurationMS: 30}),
+		ev(Event{Type: EventProjection, Span: "s/r1/v1.axis/proj", Parent: "s/r1/v1.axis", DurationMS: 40}),
+		ev(Event{Type: EventShardGather, Span: lattice + "/sh0", Parent: lattice, Stage: "kde/lattice", Shard: 0, Shards: 2, DurationMS: 11}),
+		ev(Event{Type: EventShardGather, Span: lattice + "/sh1", Parent: lattice, Stage: "kde/lattice", Shard: 1, Shards: 2, DurationMS: 3}),
+		ev(Event{Type: EventSpan, Span: lattice, Parent: "s/r1/v1.axis/kde", Stage: "kde/lattice", Shards: 2, N: 100, DurationMS: 12}),
+		ev(Event{Type: EventKDEBuild, Span: "s/r1/v1.axis/kde", Parent: "s/r1/v1.axis", DurationMS: 15}),
+		ev(Event{Type: EventView, Span: "s/r1/v1.axis", Parent: "s/r1", DurationMS: 60}),
+		ev(Event{Type: EventDecisionWait, Span: "s/r1/v1.axis/wait", Parent: "s/r1", DurationMS: 20}),
+		ev(Event{Type: EventIteration, Span: "s/r1", Parent: "s", Major: 1, DurationMS: 90}),
+		ev(Event{Type: EventSessionEnd, Span: "s", Iterations: 1, DurationMS: 100}),
+	}
+}
+
+func TestBuildSpanTrees(t *testing.T) {
+	trees := BuildSpanTrees(craftedSession("sess-a"))
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.Session != "sess-a" || tree.Request != "req-sess-a" {
+		t.Fatalf("tree IDs = %q/%q", tree.Session, tree.Request)
+	}
+	if tree.Root == nil || tree.Root.ID != "s" || tree.Root.Type != EventSessionEnd {
+		t.Fatalf("root = %+v, want session span s", tree.Root)
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("complete trace produced orphans: %+v", tree.Orphans)
+	}
+	// 10 span ends: s, r1, view, proj, kde, wait, 2 scatters, 4 gathers = 12.
+	if len(tree.Nodes) != 12 {
+		t.Fatalf("got %d nodes, want 12", len(tree.Nodes))
+	}
+	round := tree.Root.Children
+	if len(round) != 1 || round[0].ID != "s/r1" {
+		t.Fatalf("root children = %+v, want [s/r1]", round)
+	}
+	// Round children in end order: view then wait.
+	if len(round[0].Children) != 2 || round[0].Children[0].ID != "s/r1/v1.axis" ||
+		round[0].Children[1].ID != "s/r1/v1.axis/wait" {
+		t.Fatalf("round children = %v", round[0].Children)
+	}
+
+	nearest := tree.Nodes["s/r1/v1.axis/proj/nearest#1"]
+	if !nearest.Scatter() {
+		t.Fatal("nearest scatter span not recognized as scatter")
+	}
+	if got := nearest.Straggler(); got.Shard != 1 || got.DurationMS != 25 {
+		t.Fatalf("nearest straggler = %+v, want shard 1 at 25ms", got)
+	}
+	// Scatter self time = 30 − max(10, 25) = 5.
+	if self := nearest.SelfMS(); self != 5 {
+		t.Fatalf("scatter SelfMS = %v, want 5", self)
+	}
+	// Sequential self time: view 60 − (proj 40 + kde 15) = 5.
+	if self := tree.Nodes["s/r1/v1.axis"].SelfMS(); self != 5 {
+		t.Fatalf("view SelfMS = %v, want 5", self)
+	}
+}
+
+func TestSpanTreeMultiSessionAndOrphans(t *testing.T) {
+	events := append(craftedSession("a"), craftedSession("b")...)
+	// An orphan: span end whose parent never closes.
+	events = append(events, Event{Session: "a", Type: EventSpan, Span: "ghost/x", Parent: "ghost", DurationMS: 1})
+	trees := BuildSpanTrees(events)
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2 (one per session)", len(trees))
+	}
+	if trees[0].Session != "a" || trees[1].Session != "b" {
+		t.Fatalf("tree order = %q, %q, want first-appearance order a, b", trees[0].Session, trees[1].Session)
+	}
+	if len(trees[0].Orphans) != 1 || trees[0].Orphans[0].ID != "ghost/x" {
+		t.Fatalf("orphans = %+v, want [ghost/x]", trees[0].Orphans)
+	}
+}
+
+func TestSpanTreeIgnoresPreSpanStreams(t *testing.T) {
+	trees := BuildSpanTrees([]Event{
+		{Type: EventSessionStart, Session: "old"},
+		{Type: EventView, Session: "old", DurationMS: 5},
+		{Type: EventSessionEnd, Session: "old", DurationMS: 9},
+	})
+	if len(trees) != 0 {
+		t.Fatalf("pre-span stream produced %d trees, want 0", len(trees))
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	tree := BuildSpanTrees(craftedSession("sess-a"))[0]
+	a := tree.Attribute()
+	if a.TotalMS != 100 {
+		t.Fatalf("TotalMS = %v, want 100", a.TotalMS)
+	}
+	// Critical path: s → r1 → view (60 > wait 20) → proj (40 > kde 15) →
+	// nearest scatter → shard 1 (the straggler).
+	wantPath := []string{"s", "s/r1", "s/r1/v1.axis", "s/r1/v1.axis/proj",
+		"s/r1/v1.axis/proj/nearest#1", "s/r1/v1.axis/proj/nearest#1/sh1"}
+	if len(a.Path) != len(wantPath) {
+		t.Fatalf("path length %d, want %d: %+v", len(a.Path), len(wantPath), a.Path)
+	}
+	for i, want := range wantPath {
+		if a.Path[i].Span != want {
+			t.Fatalf("path[%d] = %q, want %q", i, a.Path[i].Span, want)
+		}
+	}
+	last := a.Path[len(a.Path)-1]
+	if last.Shard != 1 || last.Type != EventShardGather {
+		t.Fatalf("critical path leaf = %+v, want straggler shard 1", last)
+	}
+
+	if len(a.Stages) != 2 {
+		t.Fatalf("stages = %+v, want 2", a.Stages)
+	}
+	// Sorted by TotalMS descending: nearest (30) before kde/lattice (12).
+	n := a.Stages[0]
+	if n.Stage != "nearest" || n.Scatters != 1 || n.TotalMS != 30 || n.SlowestMS != 25 ||
+		n.SelfMS != 5 || n.Straggler != 1 || n.Stragglers[1] != 1 {
+		t.Fatalf("nearest attribution = %+v", n)
+	}
+	k := a.Stages[1]
+	if k.Stage != "kde/lattice" || k.SlowestMS != 11 || k.Straggler != 0 {
+		t.Fatalf("kde/lattice attribution = %+v", k)
+	}
+
+	// Pure derivation: attributing twice is identical.
+	b := tree.Attribute()
+	if len(b.Path) != len(a.Path) || b.Stages[0].Straggler != a.Stages[0].Straggler {
+		t.Fatal("Attribute is not deterministic")
+	}
+}
+
+func TestAttributionStragglerTieBreak(t *testing.T) {
+	scatter := func(id string, d0, d1 float64) []Event {
+		return []Event{
+			{Type: EventShardGather, Span: id + "/sh0", Parent: id, Stage: "nearest", Shard: 0, DurationMS: d0},
+			{Type: EventShardGather, Span: id + "/sh1", Parent: id, Stage: "nearest", Shard: 1, DurationMS: d1},
+			{Type: EventSpan, Span: id, Parent: "s", Stage: "nearest", DurationMS: d0 + d1},
+		}
+	}
+	events := append(scatter("s/nearest#1", 5, 1), scatter("s/nearest#2", 1, 5)...)
+	events = append(events, Event{Type: EventSessionEnd, Span: "s", DurationMS: 20})
+	a := BuildSpanTrees(events)[0].Attribute()
+	if len(a.Stages) != 1 {
+		t.Fatalf("stages = %+v", a.Stages)
+	}
+	// One straggle each: the tie breaks to the lower shard index.
+	if a.Stages[0].Straggler != 0 || a.Stages[0].Stragglers[0] != 1 || a.Stages[0].Stragglers[1] != 1 {
+		t.Fatalf("tie-break attribution = %+v, want straggler 0", a.Stages[0])
+	}
+	// Equal-duration shards within one scatter: straggler is the lower index.
+	b := BuildSpanTrees(append(scatter("s/nearest#1", 3, 3),
+		Event{Type: EventSessionEnd, Span: "s", DurationMS: 6}))[0]
+	if got := b.Nodes["s/nearest#1"].Straggler(); got.Shard != 0 {
+		t.Fatalf("equal-duration straggler = shard %d, want 0", got.Shard)
+	}
+}

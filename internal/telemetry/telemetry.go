@@ -84,8 +84,16 @@ const (
 	// the shard index, Stage the stage kernel, DurationMS the partial's
 	// wall time, N the shard's row count. Emitted in ascending shard
 	// order after the scatter barrier (the merge order), so a trace reader
-	// sees scatter → gather·P per sharded stage.
+	// sees scatter → gather·P → span per sharded stage.
 	EventShardGather EventType = "shard_gather"
+	// EventSpan is the generic span-end record for spans that have no
+	// richer event type of their own — today the scatter-stage spans the
+	// shard.Coordinator closes after the gathers. Stage, Shards, and N
+	// describe the stage; DurationMS is the scatter's wall time on the
+	// session goroutine (fan-out through merge-ready), which per-shard
+	// gather durations decompose. All other span ends ride on existing
+	// events (view, kde_build, iteration, ...) via the Span/Parent fields.
+	EventSpan EventType = "span"
 )
 
 // Event is one trace record. It is a flat value struct — no maps, no
@@ -154,6 +162,17 @@ type Event struct {
 	ViewsAnswered int  `json:"views_answered,omitempty"`
 	// Err carries the abort error of a failed session_end.
 	Err string `json:"error,omitempty"`
+	// Span and Parent link the event into the session's span tree
+	// (DESIGN.md "Causal tracing"). A non-empty Span marks the event as
+	// the end record of that span — the event's DurationMS is the span's
+	// duration and, for events the producer back-stamps, Time is the
+	// span's start. A non-empty Parent on an event without Span is an
+	// annotation attached inside the parent span (session_start,
+	// points_dropped, shard_scatter). Span IDs are deterministic
+	// structural paths ("s/r2/v1.axis/proj"), identical across runs and
+	// worker counts for the same seed.
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
 }
 
 // Tracer is a sink for trace events. Implementations must be safe for

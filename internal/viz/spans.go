@@ -1,0 +1,214 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"innsearch/internal/telemetry"
+)
+
+// This file renders reconstructed span trees (telemetry.BuildSpanTrees):
+// a text waterfall for the terminal and a self-contained HTML icicle for
+// sharing. Both lay spans out structurally — sequential children stack
+// left to right, scatter children (per-shard partials) start together at
+// their parent's offset — so the layout is deterministic even for spans
+// whose producers could not back-stamp a start time.
+
+// ErrNilTree is returned when a span renderer receives a nil tree.
+var ErrNilTree = fmt.Errorf("viz: nil span tree")
+
+// spanBarWidth is the character width of the text waterfall's bar column.
+const spanBarWidth = 24
+
+// WriteSpanText renders one session's span tree as an indented text
+// waterfall — bar scaled to the root duration, duration, self time, span
+// ID — followed by the critical path and the per-stage straggler table
+// from the tree's Attribution.
+func WriteSpanText(w io.Writer, t *telemetry.SpanTree) error {
+	if t == nil {
+		return ErrNilTree
+	}
+	label := t.Session
+	if label == "" {
+		label = "(untagged)"
+	}
+	fmt.Fprintf(w, "session %s", label)
+	if t.Request != "" {
+		fmt.Fprintf(w, "  request %s", t.Request)
+	}
+	if t.Root == nil {
+		fmt.Fprintf(w, "\n  (no session span — live or truncated trace; %d spans, %d orphans)\n",
+			len(t.Nodes), len(t.Orphans))
+		return nil
+	}
+	fmt.Fprintf(w, "  total %.1fms\n", t.Root.DurationMS)
+	writeSpanNode(w, t.Root, t.Root.DurationMS, 0)
+	for _, o := range t.Orphans {
+		fmt.Fprintf(w, "  orphan %s (%s, %.1fms): parent %q has no end record\n",
+			o.ID, o.Type, o.DurationMS, o.ParentID)
+	}
+
+	a := t.Attribute()
+	fmt.Fprintf(w, "critical path:\n")
+	for _, step := range a.Path {
+		shard := ""
+		if step.Shard >= 0 {
+			shard = fmt.Sprintf("  [shard %d]", step.Shard)
+		}
+		fmt.Fprintf(w, "  %9.1fms  self %8.1fms  %s%s\n", step.DurationMS, step.SelfMS, step.Span, shard)
+	}
+	if len(a.Stages) > 0 {
+		fmt.Fprintf(w, "sharded stages (by total cost):\n")
+		fmt.Fprintf(w, "  %-16s %8s %11s %11s %10s  straggler\n",
+			"stage", "scatters", "total", "slowest", "self")
+		for _, st := range a.Stages {
+			fmt.Fprintf(w, "  %-16s %8d %9.1fms %9.1fms %8.1fms  shard %d (%d/%d)\n",
+				st.Stage, st.Scatters, st.TotalMS, st.SlowestMS, st.SelfMS,
+				st.Straggler, st.Stragglers[st.Straggler], st.Scatters)
+		}
+	}
+	return nil
+}
+
+func writeSpanNode(w io.Writer, n *telemetry.SpanNode, totalMS float64, depth int) {
+	frac := 0.0
+	if totalMS > 0 {
+		frac = n.DurationMS / totalMS
+	}
+	fill := int(frac*spanBarWidth + 0.5)
+	if fill > spanBarWidth {
+		fill = spanBarWidth
+	}
+	if fill < 1 && n.DurationMS > 0 {
+		fill = 1
+	}
+	bar := strings.Repeat("#", fill) + strings.Repeat(" ", spanBarWidth-fill)
+	fmt.Fprintf(w, "  [%s] %9.1fms  %s%s (%s)\n",
+		bar, n.DurationMS, strings.Repeat("  ", depth), n.ID, n.Type)
+	for _, c := range n.Children {
+		writeSpanNode(w, c, totalMS, depth+1)
+	}
+}
+
+// WriteSpanHTML renders span trees as a self-contained HTML icicle
+// waterfall (one section per session, no external assets): every span is
+// a bar offset and sized as a percentage of its session's total, scatter
+// children sharing their parent's offset so stragglers stick out past
+// their sibling shards. Hover shows the exact numbers.
+func WriteSpanHTML(w io.Writer, trees []*telemetry.SpanTree) error {
+	fmt.Fprint(w, `<!doctype html>
+<html><head><meta charset="utf-8"><title>innsearch span trace</title><style>
+body{font:13px/1.4 monospace;margin:1.5em;background:#fafafa;color:#222}
+h2{font-size:14px;margin:1.4em 0 .3em}
+.row{height:17px;position:relative;margin-bottom:1px}
+.bar{position:absolute;top:0;height:15px;border-radius:2px;overflow:hidden;
+ white-space:nowrap;padding:0 3px;box-sizing:border-box;color:#fff;font-size:11px}
+.path{margin:.4em 0 1em;color:#555}
+table{border-collapse:collapse;margin:.4em 0 1em}
+td,th{border:1px solid #ccc;padding:2px 8px;text-align:right}
+th{background:#eee}td:first-child,th:first-child{text-align:left}
+</style></head><body>
+<h1>innsearch span trace</h1>
+`)
+	for _, t := range trees {
+		if t == nil {
+			return ErrNilTree
+		}
+		label := t.Session
+		if label == "" {
+			label = "(untagged)"
+		}
+		fmt.Fprintf(w, "<h2>session %s", html.EscapeString(label))
+		if t.Request != "" {
+			fmt.Fprintf(w, " &mdash; request %s", html.EscapeString(t.Request))
+		}
+		if t.Root == nil {
+			fmt.Fprintf(w, "</h2><p>(no session span — live or truncated trace)</p>\n")
+			continue
+		}
+		fmt.Fprintf(w, " &mdash; %.1fms</h2>\n<div class=\"tree\">\n", t.Root.DurationMS)
+		writeSpanBar(w, t.Root, 0, t.Root.DurationMS)
+		fmt.Fprint(w, "</div>\n")
+
+		a := t.Attribute()
+		var path []string
+		for _, step := range a.Path {
+			s := html.EscapeString(step.Span)
+			if step.Shard >= 0 {
+				s += fmt.Sprintf(" [shard %d]", step.Shard)
+			}
+			path = append(path, s)
+		}
+		fmt.Fprintf(w, "<div class=\"path\">critical path: %s</div>\n", strings.Join(path, " &rarr; "))
+		if len(a.Stages) > 0 {
+			fmt.Fprint(w, "<table><tr><th>stage</th><th>scatters</th><th>total ms</th><th>slowest ms</th><th>self ms</th><th>straggler</th></tr>\n")
+			for _, st := range a.Stages {
+				fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%.1f</td><td>%.1f</td><td>%.1f</td><td>shard %d (%d/%d)</td></tr>\n",
+					html.EscapeString(st.Stage), st.Scatters, st.TotalMS, st.SlowestMS, st.SelfMS,
+					st.Straggler, st.Stragglers[st.Straggler], st.Scatters)
+			}
+			fmt.Fprint(w, "</table>\n")
+		}
+	}
+	fmt.Fprint(w, "</body></html>\n")
+	return nil
+}
+
+// writeSpanBar lays out one span and its subtree: sequential children
+// stack left to right from the parent's offset, scatter children all
+// start at it. Offsets and widths are percentages of the root duration.
+func writeSpanBar(w io.Writer, n *telemetry.SpanNode, offsetMS, totalMS float64) {
+	pct := func(ms float64) float64 {
+		if totalMS <= 0 {
+			return 0
+		}
+		return 100 * ms / totalMS
+	}
+	width := pct(n.DurationMS)
+	if width < 0.15 {
+		width = 0.15 // keep microsecond spans visible
+	}
+	fmt.Fprintf(w, "<div class=\"row\"><div class=\"bar\" style=\"left:%.3f%%;width:%.3f%%;background:%s\" title=\"%s (%s) %.2fms self %.2fms\">%s</div></div>\n",
+		pct(offsetMS), width, spanColor(n),
+		html.EscapeString(n.ID), n.Type, n.DurationMS, n.SelfMS(),
+		html.EscapeString(n.ID))
+	childOffset := offsetMS
+	for _, c := range n.Children {
+		writeSpanBar(w, c, childOffset, totalMS)
+		if !n.Scatter() {
+			childOffset += c.DurationMS
+		}
+	}
+}
+
+// spanColor picks a stable color per span kind so the waterfall reads at
+// a glance: rounds blue, views teal, projection work green, kde purple,
+// waits gray, scatters orange, shards red-orange.
+func spanColor(n *telemetry.SpanNode) string {
+	switch n.Type {
+	case telemetry.EventSessionEnd:
+		return "#37474f"
+	case telemetry.EventIteration:
+		return "#1565c0"
+	case telemetry.EventView:
+		return "#00838f"
+	case telemetry.EventProjection, telemetry.EventProjectionStage:
+		return "#2e7d32"
+	case telemetry.EventKDEBuild:
+		return "#6a1b9a"
+	case telemetry.EventDecisionWait:
+		return "#9e9e9e"
+	case telemetry.EventSelect:
+		return "#5d4037"
+	case telemetry.EventIndexBuild, telemetry.EventCandidateGen:
+		return "#00695c"
+	case telemetry.EventShardGather:
+		return "#d84315"
+	case telemetry.EventSpan:
+		return "#ef6c00"
+	default:
+		return "#455a64"
+	}
+}

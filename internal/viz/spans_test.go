@@ -1,0 +1,110 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"innsearch/internal/telemetry"
+)
+
+// spanEvents is a minimal complete session: one round, one view whose
+// projection stage scatters over two shards (shard 1 straggles), ended
+// by a session_end. Durations are crafted so every renderer branch runs.
+func spanEvents() []telemetry.Event {
+	const sess = "sess-viz"
+	ev := func(e telemetry.Event) telemetry.Event {
+		e.Session = sess
+		e.Request = "req-viz"
+		return e
+	}
+	scatter := "s/r1/v1.axis/proj/nearest#1"
+	return []telemetry.Event{
+		ev(telemetry.Event{Type: telemetry.EventShardGather, Stage: "nearest", Shard: 0, DurationMS: 4, Span: scatter + "/sh0", Parent: scatter}),
+		ev(telemetry.Event{Type: telemetry.EventShardGather, Stage: "nearest", Shard: 1, DurationMS: 9, Span: scatter + "/sh1", Parent: scatter}),
+		ev(telemetry.Event{Type: telemetry.EventSpan, Stage: "nearest", Shards: 2, DurationMS: 10, Span: scatter, Parent: "s/r1/v1.axis/proj"}),
+		ev(telemetry.Event{Type: telemetry.EventProjection, DurationMS: 12, Span: "s/r1/v1.axis/proj", Parent: "s/r1/v1.axis"}),
+		ev(telemetry.Event{Type: telemetry.EventKDEBuild, DurationMS: 6, Span: "s/r1/v1.axis/kde", Parent: "s/r1/v1.axis"}),
+		ev(telemetry.Event{Type: telemetry.EventView, DurationMS: 20, Span: "s/r1/v1.axis", Parent: "s/r1"}),
+		ev(telemetry.Event{Type: telemetry.EventDecisionWait, DurationMS: 5, Span: "s/r1/v1.axis/wait", Parent: "s/r1"}),
+		ev(telemetry.Event{Type: telemetry.EventIteration, DurationMS: 55, Span: "s/r1", Parent: "s"}),
+		ev(telemetry.Event{Type: telemetry.EventSessionEnd, DurationMS: 60, Span: "s"}),
+	}
+}
+
+func spanTree(t *testing.T) *telemetry.SpanTree {
+	t.Helper()
+	trees := telemetry.BuildSpanTrees(spanEvents())
+	if len(trees) != 1 || trees[0].Root == nil {
+		t.Fatalf("crafted events built %d trees", len(trees))
+	}
+	return trees[0]
+}
+
+func TestWriteSpanText(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSpanText(&sb, spanTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"session sess-viz", "request req-viz", "total 60.0ms",
+		"critical path:",
+		"s/r1/v1.axis/proj/nearest#1/sh1", // the straggler ends the path
+		"[shard 1]",
+		"sharded stages",
+		"shard 1 (1/1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Every span appears exactly once as a tree row.
+	tree := spanTree(t)
+	for id := range tree.Nodes {
+		if !strings.Contains(out, id+" (") {
+			t.Errorf("text output missing span %q", id)
+		}
+	}
+}
+
+func TestWriteSpanTextTruncated(t *testing.T) {
+	// A live trace — no session_end yet — must render, not error.
+	events := spanEvents()
+	trees := telemetry.BuildSpanTrees(events[:len(events)-2]) // drop round + session end
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	var sb strings.Builder
+	if err := WriteSpanText(&sb, trees[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no session span") {
+		t.Errorf("truncated tree output = %q, want the truncation notice", sb.String())
+	}
+	if err := WriteSpanText(&sb, nil); err != ErrNilTree {
+		t.Errorf("nil tree error = %v, want ErrNilTree", err)
+	}
+}
+
+func TestWriteSpanHTML(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSpanHTML(&sb, []*telemetry.SpanTree{spanTree(t)}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!doctype html>", "</html>",
+		"session sess-viz", "request req-viz",
+		"critical path:", "shard 1 (1/1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML output missing %q", want)
+		}
+	}
+	if got, want := strings.Count(out, "class=\"row\""), len(spanTree(t).Nodes); got != want {
+		t.Errorf("HTML renders %d bars, want one per span (%d)", got, want)
+	}
+	if strings.Contains(out, "http://") || strings.Contains(out, "https://") {
+		t.Error("HTML output references external assets; must be self-contained")
+	}
+}
