@@ -224,6 +224,35 @@ func benchmarkSessionSharded(b *testing.B, shards, workers int) {
 	}
 }
 
+// benchmarkSession20000 is the crossover-scale session: n = 20000 in
+// ModeAxis, where every halving stage scans an axis-aligned subspace the
+// index layer serves through KNNAxis (exact, vafile) and view narrowings
+// are served by index derivation instead of rebuilds. The unindexed
+// variant is the baseline EXPERIMENTS.md quotes the crossover against.
+func benchmarkSession20000(b *testing.B, backend string) {
+	ds, q := benchDataset(b, 20000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Support: 64, GridSize: 48, MaxMajorIterations: 2, Mode: ModeAxis}
+		if backend != "" {
+			cfg.Index = index.Config{Name: backend}
+		}
+		s, err := NewSession(ds, q, alwaysTauUser(0.3), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSession20000x64(b *testing.B)              { benchmarkSession20000(b, "") }
+func BenchmarkSession20000x64IndexedExact(b *testing.B)  { benchmarkSession20000(b, "exact") }
+func BenchmarkSession20000x64IndexedVAFile(b *testing.B) { benchmarkSession20000(b, "vafile") }
+func BenchmarkSession20000x64IndexedKMTree(b *testing.B) { benchmarkSession20000(b, "kmtree") }
+
 func BenchmarkSession2000x64Shards1(b *testing.B) { benchmarkSessionSharded(b, 1, 4) }
 func BenchmarkSession2000x64Shards2(b *testing.B) { benchmarkSessionSharded(b, 2, 4) }
 func BenchmarkSession2000x64Shards4(b *testing.B) { benchmarkSessionSharded(b, 4, 4) }

@@ -15,14 +15,19 @@ import (
 
 // candGen owns a session's candidate-generation backend (Config.Index):
 // the index built over the session's current view and the accumulated
-// work statistics. The generator is consulted by nearestPositions only
-// for full-space scans (sub.Identity()), where the backend's L2 ranking
-// is the engine's ranking; narrowed-subspace scans keep the exact kernels.
+// work statistics. The generator is consulted by nearestPositions for
+// full-space scans (sub.Identity()), where the backend's L2 ranking is
+// the engine's ranking, and — when the backend implements
+// index.AxisSearcher — for axis-aligned subspace scans routed through
+// axisScanRoute; arbitrary-direction subspaces keep the exact kernels.
 //
 // Sessions prune rows between major iterations, producing a new view;
-// the generator detects the view change and lazily rebuilds, emitting one
-// index_build trace event per build and one candidate_gen event per
-// query. With a shared cache (Config.IndexCache) a build whose (view,
+// the generator detects the view change and lazily re-ensures the index:
+// derived in O(n′) from the previous view's backend when it implements
+// index.Deriver and the views share a recorded row provenance
+// (dataset.RowsBetween), rebuilt from scratch otherwise. Each fresh
+// build emits one index_build trace event, each derivation one
+// index_derive event, and each query one candidate_gen event. With a shared cache (Config.IndexCache) a build whose (view,
 // backend, options) key was already built by another session is reused
 // instead — no build runs, no index_build event fires, and the reuse is
 // counted in IndexStats.CacheHits. With a shard coordinator
@@ -48,10 +53,11 @@ type candGen struct {
 	// it. Maintained only while tracing, like the coordinator's parent.
 	span string
 
-	builds int
-	hits   int
-	calls  int
-	stats  index.Stats
+	builds  int
+	derives int
+	hits    int
+	calls   int
+	stats   index.Stats
 }
 
 // newCandGen constructs the configured backend, or (nil, nil) when no
@@ -75,6 +81,12 @@ func newCandGen(cfg index.Config, workers int) (*candGen, error) {
 // With a cache, the build is shared: a hit installs the other session's
 // backend (safe — backends allow concurrent KNN after Build) and a miss
 // builds a fresh instance, never re-Building a cached one in place.
+//
+// Before building fresh, ensure walks the view's provenance chain: a view
+// that is a pure row narrowing of the one the backend was built over, on
+// a backend implementing index.Deriver, derives the child index from the
+// built state in O(n′) — the tentpole that makes indexes pay off across a
+// session's shrinking views instead of rebuilding per generation.
 func (g *candGen) ensure(ctx context.Context, v *dataset.View) error {
 	if g.built == v {
 		return nil
@@ -82,6 +94,40 @@ func (g *candGen) ensure(ctx context.Context, v *dataset.View) error {
 	var t0 time.Time
 	if g.tr.enabled() {
 		t0 = g.tr.now()
+	}
+	if g.built != nil && g.backend != nil {
+		if der, ok := g.backend.(index.Deriver); ok {
+			if rows, ok := dataset.RowsBetween(g.built, v); ok && rows != nil {
+				parent, parentView := g.backend, g.built
+				if g.cache != nil {
+					key := index.CacheKey{Source: v, Shard: 0, Shards: 1, Name: g.cfg.Name, Options: g.cfg.Options, Parent: parentView}
+					b, hit, err := g.cache.Get(ctx, key, func(ctx context.Context) (index.Backend, error) {
+						return der.Derive(ctx, parent, v, rows)
+					})
+					if err != nil {
+						return fmt.Errorf("core: index derive (%s): %w", g.cfg.Name, err)
+					}
+					g.backend = b
+					g.built = v
+					if hit {
+						g.hits++
+						return nil // nothing was derived; no index_derive event
+					}
+					g.derives++
+					g.emitDerive(parentView.N(), v, t0)
+					return nil
+				}
+				nb, err := der.Derive(ctx, parent, v, rows)
+				if err != nil {
+					return fmt.Errorf("core: index derive (%s): %w", g.cfg.Name, err)
+				}
+				g.backend = nb
+				g.built = v
+				g.derives++
+				g.emitDerive(parentView.N(), v, t0)
+				return nil
+			}
+		}
 	}
 	if g.cache != nil {
 		key := index.CacheKey{Source: v, Shard: 0, Shards: 1, Name: g.cfg.Name, Options: g.cfg.Options}
@@ -125,6 +171,7 @@ func (g *candGen) emitBuild(v *dataset.View, t0 time.Time) {
 		Time:       t0,
 		Type:       telemetry.EventIndexBuild,
 		Major:      g.major,
+		Minor:      g.minor,
 		Stage:      "index/build",
 		Backend:    g.cfg.Name,
 		N:          v.N(),
@@ -132,6 +179,29 @@ func (g *candGen) emitBuild(v *dataset.View, t0 time.Time) {
 		Shards:     1,
 		DurationMS: g.tr.since(t0),
 		Span:       spanPath(g.span, "index_build#"+strconv.Itoa(g.builds)),
+		Parent:     g.span,
+	})
+}
+
+// emitDerive mirrors emitBuild for the incremental path: ParentN records
+// the size of the index the derivation avoided re-scanning.
+func (g *candGen) emitDerive(parentN int, v *dataset.View, t0 time.Time) {
+	if !g.tr.enabled() {
+		return
+	}
+	g.tr.emit(telemetry.Event{
+		Time:       t0,
+		Type:       telemetry.EventIndexDerive,
+		Major:      g.major,
+		Minor:      g.minor,
+		Stage:      "index/derive",
+		Backend:    g.cfg.Name,
+		ParentN:    parentN,
+		N:          v.N(),
+		Dim:        v.Dim(),
+		Shards:     1,
+		DurationMS: g.tr.since(t0),
+		Span:       spanPath(g.span, "index_derive#"+strconv.Itoa(g.derives)),
 		Parent:     g.span,
 	})
 }
@@ -153,72 +223,79 @@ func (g *candGen) candidates(ctx context.Context, v *dataset.View, q linalg.Vect
 	if err != nil {
 		return nil, fmt.Errorf("core: candidate generation (%s): %w", g.cfg.Name, err)
 	}
+	g.emitQuery(v, cands, st, t0, 1)
+	return cands, nil
+}
+
+// candidatesAxis is the axis-subspace route: the backend's KNNAxis serves
+// the scan over the masked original attributes (see index.AxisSearcher).
+// The caller guarantees the backend supports it (supportsAxis).
+func (g *candGen) candidatesAxis(ctx context.Context, v *dataset.View, qaxis []float64, axes []int, k int) ([]index.Candidate, error) {
+	if g.coord != nil {
+		return g.candidatesAxisSharded(ctx, v, qaxis, axes, k)
+	}
+	if err := g.ensure(ctx, v); err != nil {
+		return nil, err
+	}
+	as, ok := g.backend.(index.AxisSearcher)
+	if !ok {
+		return nil, fmt.Errorf("core: backend %s cannot serve axis scans", g.cfg.Name)
+	}
+	var t0 time.Time
+	if g.tr.enabled() {
+		t0 = g.tr.now()
+	}
+	cands, st, err := as.KNNAxis(ctx, qaxis, axes, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate generation (%s): %w", g.cfg.Name, err)
+	}
+	g.emitQuery(v, cands, st, t0, 1)
+	return cands, nil
+}
+
+// supportsAxis reports whether the configured backend implements
+// index.AxisSearcher — the gate nearestPositions checks before routing an
+// axis-subspace scan through the index.
+func (g *candGen) supportsAxis() bool {
+	_, ok := g.backend.(index.AxisSearcher)
+	return ok
+}
+
+// emitQuery counts one query and emits its candidate_gen event.
+func (g *candGen) emitQuery(v *dataset.View, cands []index.Candidate, st index.Stats, t0 time.Time, shards int) {
 	g.calls++
 	g.stats.Add(st)
-	if g.tr.enabled() {
-		g.tr.emit(telemetry.Event{
-			Time:       t0,
-			Type:       telemetry.EventCandidateGen,
-			Major:      g.major,
-			Minor:      g.minor,
-			Stage:      "candidates",
-			Backend:    g.cfg.Name,
-			N:          v.N(),
-			Shards:     1,
-			Picked:     len(cands),
-			Scanned:    st.Scanned,
-			Refined:    st.Refined,
-			DurationMS: g.tr.since(t0),
-			Span:       spanPath(g.span, "candidate_gen#"+strconv.Itoa(g.calls)),
-			Parent:     g.span,
-		})
+	if !g.tr.enabled() {
+		return
 	}
-	return cands, nil
+	g.tr.emit(telemetry.Event{
+		Time:       t0,
+		Type:       telemetry.EventCandidateGen,
+		Major:      g.major,
+		Minor:      g.minor,
+		Stage:      "candidates",
+		Backend:    g.cfg.Name,
+		N:          v.N(),
+		Dim:        v.Dim(),
+		Shards:     shards,
+		Picked:     len(cands),
+		Scanned:    st.Scanned,
+		Refined:    st.Refined,
+		DurationMS: g.tr.since(t0),
+		Span:       spanPath(g.span, "candidate_gen#"+strconv.Itoa(g.calls)),
+		Parent:     g.span,
+	})
 }
 
 // candidatesSharded is the coordinator route: per-shard backends built by
 // EnsureIndex (shared through the cache when one is configured), queried
 // and merged under the engine's strict order. One index_build event
-// covers the scatter when at least one shard actually built; all-hit
-// ensures count a single cache hit instead.
+// covers the scatter when at least one shard actually built fresh; one
+// index_derive event covers a scatter served entirely by per-shard
+// derivations; all-hit ensures count a single cache hit instead.
 func (g *candGen) candidatesSharded(ctx context.Context, v *dataset.View, q linalg.Vector, k int) ([]index.Candidate, error) {
-	var t0 time.Time
-	if g.tr.enabled() {
-		t0 = g.tr.now()
-	}
-	builds, err := g.coord.EnsureIndex(ctx, v, g.cfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: index build (%s): %w", g.cfg.Name, err)
-	}
-	if builds != nil {
-		g.built = v
-		anyBuilt := false
-		for _, b := range builds {
-			if !b.Hit {
-				anyBuilt = true
-				break
-			}
-		}
-		if anyBuilt {
-			g.builds++
-			if g.tr.enabled() {
-				g.tr.emit(telemetry.Event{
-					Time:       t0,
-					Type:       telemetry.EventIndexBuild,
-					Major:      g.major,
-					Stage:      "index/build",
-					Backend:    g.cfg.Name,
-					N:          v.N(),
-					Dim:        v.Dim(),
-					Shards:     len(builds),
-					DurationMS: g.tr.since(t0),
-					Span:       spanPath(g.span, "index_build#"+strconv.Itoa(g.builds)),
-					Parent:     g.span,
-				})
-			}
-		} else {
-			g.hits++
-		}
+	if err := g.ensureSharded(ctx, v); err != nil {
+		return nil, err
 	}
 	var t1 time.Time
 	if g.tr.enabled() {
@@ -228,27 +305,101 @@ func (g *candGen) candidatesSharded(ctx context.Context, v *dataset.View, q lina
 	if err != nil {
 		return nil, fmt.Errorf("core: candidate generation (%s): %w", g.cfg.Name, err)
 	}
-	g.calls++
-	g.stats.Add(st)
-	if g.tr.enabled() {
-		g.tr.emit(telemetry.Event{
-			Time:       t1,
-			Type:       telemetry.EventCandidateGen,
-			Major:      g.major,
-			Minor:      g.minor,
-			Stage:      "candidates",
-			Backend:    g.cfg.Name,
-			N:          v.N(),
-			Shards:     g.coord.Shards(),
-			Picked:     len(cands),
-			Scanned:    st.Scanned,
-			Refined:    st.Refined,
-			DurationMS: g.tr.since(t1),
-			Span:       spanPath(g.span, "candidate_gen#"+strconv.Itoa(g.calls)),
-			Parent:     g.span,
-		})
-	}
+	g.emitQuery(v, cands, st, t1, g.coord.Shards())
 	return cands, nil
+}
+
+// candidatesAxisSharded mirrors candidatesSharded for axis-subspace
+// scans, merging the per-shard KNNAxis partials.
+func (g *candGen) candidatesAxisSharded(ctx context.Context, v *dataset.View, qaxis []float64, axes []int, k int) ([]index.Candidate, error) {
+	if err := g.ensureSharded(ctx, v); err != nil {
+		return nil, err
+	}
+	var t1 time.Time
+	if g.tr.enabled() {
+		t1 = g.tr.now()
+	}
+	cands, st, err := g.coord.CandidatesAxis(ctx, v, qaxis, axes, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate generation (%s): %w", g.cfg.Name, err)
+	}
+	g.emitQuery(v, cands, st, t1, g.coord.Shards())
+	return cands, nil
+}
+
+// ensureSharded runs the coordinator's EnsureIndex and classifies its
+// per-shard records into exactly one of: an index_build event (some shard
+// built fresh), an index_derive event (shards derived, none built), or a
+// counted cache hit (everything reused). The event fields match the
+// unsharded path's except Shards, so span trees and /debug/sessions
+// attribute builds identically on both paths.
+func (g *candGen) ensureSharded(ctx context.Context, v *dataset.View) error {
+	var t0 time.Time
+	if g.tr.enabled() {
+		t0 = g.tr.now()
+	}
+	builds, err := g.coord.EnsureIndex(ctx, v, g.cfg)
+	if err != nil {
+		return fmt.Errorf("core: index build (%s): %w", g.cfg.Name, err)
+	}
+	if builds == nil {
+		return nil
+	}
+	g.built = v
+	anyBuilt, anyDerived, parentN := false, false, 0
+	for _, b := range builds {
+		if b.Hit {
+			continue
+		}
+		if b.Derived {
+			anyDerived = true
+			parentN += b.ParentN
+		} else {
+			anyBuilt = true
+		}
+	}
+	switch {
+	case anyBuilt:
+		g.builds++
+		if g.tr.enabled() {
+			g.tr.emit(telemetry.Event{
+				Time:       t0,
+				Type:       telemetry.EventIndexBuild,
+				Major:      g.major,
+				Minor:      g.minor,
+				Stage:      "index/build",
+				Backend:    g.cfg.Name,
+				N:          v.N(),
+				Dim:        v.Dim(),
+				Shards:     len(builds),
+				DurationMS: g.tr.since(t0),
+				Span:       spanPath(g.span, "index_build#"+strconv.Itoa(g.builds)),
+				Parent:     g.span,
+			})
+		}
+	case anyDerived:
+		g.derives++
+		if g.tr.enabled() {
+			g.tr.emit(telemetry.Event{
+				Time:       t0,
+				Type:       telemetry.EventIndexDerive,
+				Major:      g.major,
+				Minor:      g.minor,
+				Stage:      "index/derive",
+				Backend:    g.cfg.Name,
+				ParentN:    parentN,
+				N:          v.N(),
+				Dim:        v.Dim(),
+				Shards:     len(builds),
+				DurationMS: g.tr.since(t0),
+				Span:       spanPath(g.span, "index_derive#"+strconv.Itoa(g.derives)),
+				Parent:     g.span,
+			})
+		}
+	default:
+		g.hits++
+	}
+	return nil
 }
 
 // IndexStats reports the session's candidate-generation counters so far:
@@ -257,6 +408,9 @@ func (g *candGen) candidatesSharded(ctx context.Context, v *dataset.View, q lina
 type IndexStats struct {
 	Backend string
 	Builds  int
+	// Derives counts view changes served by deriving the child index from
+	// its parent (index.Deriver) instead of rebuilding — the O(n′) path.
+	Derives int
 	// CacheHits counts view changes served entirely from a shared
 	// backend cache — builds another session (or an earlier one on the
 	// same store) already paid for.
@@ -274,6 +428,7 @@ func (s *Session) IndexStats() IndexStats {
 	return IndexStats{
 		Backend:   s.gen.cfg.Name,
 		Builds:    s.gen.builds,
+		Derives:   s.gen.derives,
 		CacheHits: s.gen.hits,
 		Queries:   s.gen.calls,
 		Work:      s.gen.stats,

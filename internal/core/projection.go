@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"innsearch/internal/dataset"
+	"innsearch/internal/index"
 	"innsearch/internal/linalg"
 	"innsearch/internal/parallel"
 	"innsearch/internal/shard"
@@ -81,6 +82,16 @@ func (sc *searchScratch) floatBuf(n int) []float64 {
 // exactly the full scan's, because every distance comes from the same
 // kernel. The candidate-generator path likewise scatters over per-shard
 // backends through the coordinator (see candGen.candidates).
+//
+// Beyond the ambient identity scan, the generator is also consulted when
+// the whole scan resolves to an axis-aligned mask over an ancestor
+// ambient view (axisScanRoute): backends implementing index.AxisSearcher
+// serve those scans over the ancestor's rows directly, so the index built
+// (or derived) once per view generation is reused across the projection
+// stages instead of being rebuilt per composed frame. Scans that resolve
+// to no route — arbitrary-direction frames — run the exact kernels with
+// no index at all, which is strictly cheaper than building one that
+// cannot be consulted.
 func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linalg.Vector, sub *linalg.Subspace, s int, scr *searchScratch, gen *candGen, coord *shard.Coordinator) ([]int, error) {
 	n := v.N()
 	if s < 0 {
@@ -90,8 +101,20 @@ func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linal
 		s = n
 	}
 	qp := sub.Project(q)
-	if gen != nil && s > 0 && s < n && sub.Identity() {
-		idxCands, err := gen.candidates(ctx, v, q, s)
+	if gen != nil && s > 0 && s < n {
+		var idxCands []index.Candidate
+		var err error
+		if base, _ := v.Base(); sub.Identity() && base == nil {
+			// Ambient full-space scan: the backend's L2 ranking is the
+			// engine's ranking.
+			idxCands, err = gen.candidates(ctx, v, q, s)
+		} else if gen.supportsAxis() {
+			if origin, axes, ok := axisScanRoute(v, sub); ok {
+				// qp is the query in the scanned subspace's coordinates —
+				// exactly the coordinates KNNAxis measures along axes.
+				idxCands, err = gen.candidatesAxis(ctx, origin, qp, axes, s)
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -137,6 +160,40 @@ func nearestPositions(ctx context.Context, workers int, v *dataset.View, q linal
 		out[i] = cands[i].pos
 	}
 	return out, nil
+}
+
+// axisScanRoute resolves a projected-subspace scan to an equivalent
+// axis-mask scan over an ancestor ambient view: when sub is axis-aligned
+// within v's coordinate frame AND every projection on v's composition
+// chain is itself axis-aligned, the scanned directions compose to a mask
+// of the ancestor's original attributes. origin is the deepest ambient
+// view of the chain (positions in v and origin coincide — Compose
+// preserves row order) and axes[j] is the origin attribute behind sub's
+// j-th basis vector, so a backend's KNNAxis over (origin, axes) measures
+// exactly the engine's projected distance. Any arbitrary-direction hop
+// makes the scan unroutable (ok false): those frames re-coordinatize the
+// data and no fixed index can serve them.
+func axisScanRoute(v *dataset.View, sub *linalg.Subspace) (origin *dataset.View, axes []int, ok bool) {
+	axes0, ok := sub.AxisIndices()
+	if !ok {
+		return nil, nil, false
+	}
+	axes = make([]int, len(axes0))
+	copy(axes, axes0)
+	for cur := v; ; {
+		base, proj := cur.Base()
+		if base == nil {
+			return cur, axes, true
+		}
+		paxes, pok := proj.AxisIndices()
+		if !pok {
+			return nil, nil, false
+		}
+		for i, a := range axes {
+			axes[i] = paxes[a]
+		}
+		cur = base
+	}
 }
 
 // candLess is the scan's strict total order: ascending distance with

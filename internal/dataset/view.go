@@ -39,6 +39,14 @@ type View struct {
 	// buffer; see ComposeArena.
 	arena *Arena
 
+	// parent and parentRows record row provenance: the view this one was
+	// narrowed from and, per narrowed row, its position in that parent.
+	// They are the stable row-identity accessor the index-derivation path
+	// reads (see Provenance and RowsBetween); nil parent means the view
+	// was not produced by Narrow.
+	parent     *View
+	parentRows []int
+
 	// statsMu guards the lazily memoized first/second moments; see Stats.
 	// A mutex rather than a sync.Once so that a context-canceled attempt
 	// does not poison the memo — the next caller simply retries.
@@ -184,18 +192,55 @@ func (v *View) Narrow(positions []int) (*View, error) {
 			return nil, fmt.Errorf("dataset: subset position %d out of range [0,%d)", p, n)
 		}
 	}
+	prows := make([]int, len(positions))
+	copy(prows, positions)
 	if v.base != nil {
 		nb, err := v.base.Narrow(positions)
 		if err != nil {
 			return nil, err
 		}
-		return &View{store: v.store, base: nb, proj: v.proj}, nil
+		return &View{store: v.store, base: nb, proj: v.proj, parent: v, parentRows: prows}, nil
 	}
 	rows := make([]int, len(positions))
 	for k, p := range positions {
 		rows[k] = v.storeRow(p)
 	}
-	return &View{store: v.store, rows: rows}, nil
+	return &View{store: v.store, rows: rows, parent: v, parentRows: prows}, nil
+}
+
+// Provenance returns the view this one was narrowed from and the
+// position each row of this view had in that parent (aliased, read-only).
+// Views not produced by Narrow return (nil, nil).
+func (v *View) Provenance() (*View, []int) { return v.parent, v.parentRows }
+
+// RowsBetween composes the provenance chain from ancestor down to v:
+// ok reports whether v was produced from ancestor by a chain of Narrow
+// calls, and rows maps each row of v to its position in ancestor. The
+// identity chain (v == ancestor) returns (nil, true) — no mapping needed.
+// This is what lets an index built over an ancestor view be derived for
+// a descendant instead of rebuilt: positions translate exactly, in O(n′)
+// per hop.
+func RowsBetween(ancestor, v *View) (rows []int, ok bool) {
+	if v == ancestor {
+		return nil, true
+	}
+	for cur := v; cur != nil; cur = cur.parent {
+		if cur.parentRows == nil {
+			return nil, false
+		}
+		if rows == nil {
+			rows = make([]int, len(cur.parentRows))
+			copy(rows, cur.parentRows)
+		} else {
+			for i := range rows {
+				rows[i] = cur.parentRows[rows[i]]
+			}
+		}
+		if cur.parent == ancestor {
+			return rows, true
+		}
+	}
+	return nil, false
 }
 
 // Compose returns a view whose rows are this view's rows projected into

@@ -2,6 +2,7 @@ package index
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 )
 
@@ -48,3 +49,71 @@ func BenchmarkCandidateGenBuildVAFile2000x64(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkIndexDerive times deriving a ~70% child index from a built
+// parent — the O(n′) path a session takes at each pruning — against
+// benchmarkIndexRebuild, the from-scratch build the derivation replaces.
+func benchmarkIndexDerive(b *testing.B, name string, n, d int) {
+	ds, _ := testData(b, n, d)
+	parent, err := New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := parent.Build(context.Background(), ds, Options{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+	der, ok := parent.(Deriver)
+	if !ok {
+		b.Fatalf("backend %s is not a Deriver", name)
+	}
+	rows := benchChildRows(n)
+	child, err := ds.View().Narrow(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := der.Derive(context.Background(), parent, child, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkIndexRebuild(b *testing.B, name string, n, d int) {
+	ds, _ := testData(b, n, d)
+	rows := benchChildRows(n)
+	child, err := ds.View().Narrow(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be, err := New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := be.Build(context.Background(), child, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchChildRows keeps a deterministic ~70% of [0, n), ascending — the
+// shape of a session's pruning keep-set.
+func benchChildRows(n int) []int {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([]int, 0, n*7/10)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.7 {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+func BenchmarkIndexDeriveVAFile20000x64(b *testing.B)  { benchmarkIndexDerive(b, "vafile", 20000, 64) }
+func BenchmarkIndexDeriveKmtree20000x64(b *testing.B)  { benchmarkIndexDerive(b, "kmtree", 20000, 64) }
+func BenchmarkIndexRebuildVAFile20000x64(b *testing.B) { benchmarkIndexRebuild(b, "vafile", 20000, 64) }
+func BenchmarkIndexRebuildKmtree20000x64(b *testing.B) { benchmarkIndexRebuild(b, "kmtree", 20000, 64) }

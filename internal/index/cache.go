@@ -43,6 +43,13 @@ type CacheKey struct {
 	Shards  int
 	Name    string
 	Options Options
+	// Parent is the identity of the parent source a derived backend was
+	// narrowed from (nil for fresh builds). Keeping derived and fresh
+	// entries distinct matters for approximate backends, whose derived
+	// state legitimately differs from a fresh build: a session's results
+	// must depend only on its own derivation chain, never on which kind of
+	// build another session cached first.
+	Parent any
 }
 
 type cacheEntry struct {
@@ -143,13 +150,13 @@ func (c *Cache) evictLocked() {
 	}
 }
 
-// Invalidate drops every entry built over src — the eager eviction for a
-// source whose generation is being replaced.
+// Invalidate drops every entry built over src — or derived from it — the
+// eager eviction for a source whose generation is being replaced.
 func (c *Cache) Invalidate(src any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for k := range c.entries {
-		if k.Source == src {
+		if k.Source == src || k.Parent == src {
 			delete(c.entries, k)
 		}
 	}

@@ -69,6 +69,55 @@ func (b *exactBackend) KNN(ctx context.Context, q []float64, k int) ([]Candidate
 	return out, Stats{Scanned: n, Refined: n}, nil
 }
 
+// KNNAxis implements AxisSearcher: the same parallel scan restricted to
+// the masked attributes. The accumulation order (ascending mask index,
+// one sqrt at the end) matches the engine's axis-subspace distance kernel
+// bit for bit, so routed sessions stay field-identical to unrouted ones.
+func (b *exactBackend) KNNAxis(ctx context.Context, qaxis []float64, axes []int, k int) ([]Candidate, Stats, error) {
+	if b.src == nil {
+		return nil, Stats{}, errors.New("index: exact backend not built")
+	}
+	if len(qaxis) != len(axes) {
+		return nil, Stats{}, fmt.Errorf("index: query dim %d, axis mask %d", len(qaxis), len(axes))
+	}
+	if len(axes) == 0 {
+		return nil, Stats{}, errors.New("index: empty axis mask")
+	}
+	dim := b.src.Dim()
+	for _, a := range axes {
+		if a < 0 || a >= dim {
+			return nil, Stats{}, fmt.Errorf("index: axis %d outside [0, %d)", a, dim)
+		}
+	}
+	if k <= 0 {
+		return nil, Stats{}, errors.New("index: k must be positive")
+	}
+	n := b.src.N()
+	if k > n {
+		k = n
+	}
+	dists := make([]float64, n)
+	err := parallel.ForShards(ctx, b.workers, n, func(_ context.Context, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			x := b.src.Point(i)
+			var s float64
+			for j, a := range axes {
+				// The +0 normalizes -0 exactly as the engine's projection
+				// kernels do, keeping the distances bit-identical.
+				d := qaxis[j] - (x[a] + 0)
+				s += d * d
+			}
+			dists[i] = math.Sqrt(s)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := selectSmallest(b.src, dists, k)
+	return out, Stats{Scanned: n, Refined: n}, nil
+}
+
 // selectSmallest returns the k candidates of smallest (dist, pos) as a
 // sorted slice, via a bounded max-heap over the distance slots.
 func selectSmallest(src Source, dists []float64, k int) []Candidate {

@@ -130,6 +130,45 @@ type Backend interface {
 	KNN(ctx context.Context, q []float64, k int) ([]Candidate, Stats, error)
 }
 
+// Deriver is the optional incremental-maintenance interface: a backend
+// that can build a child index from a parent index when the child source
+// is a pure row subset of the parent's. Sessions only ever narrow by row
+// subset, so deriving replaces the O(n·d) rebuild of every major
+// iteration with an O(n′) filter of already-built state.
+//
+// Derive is called on a backend of the same registered name as parent
+// (the receiver supplies dispatch; parent supplies the state). childRows
+// maps each child row to its position in the parent source, ascending;
+// child is the child source itself, retained by the returned backend for
+// refinement and ID resolution. The returned backend must be a fresh
+// instance (parent stays valid and queryable) and must satisfy the
+// derivation contract of DESIGN.md §5k: for exact backends, KNN results
+// identical to a fresh Build over child; for approximate backends,
+// identical candidate sets whenever the search budget covers the source.
+type Deriver interface {
+	Backend
+	// Derive builds a child backend from parent's built state. parent must
+	// have the same dynamic type as the receiver.
+	Derive(ctx context.Context, parent Backend, child Source, childRows []int) (Backend, error)
+}
+
+// AxisSearcher is the optional subspace-consultation interface: a backend
+// whose structure supports axis-aligned dimension masks natively, so the
+// engine can route projection-stage scans over axis subspaces through the
+// index instead of falling back to exact full scans. qaxis[j] is the
+// query coordinate along original attribute axes[j]; distances are L2
+// over exactly those attributes, in the engine's strict total order. An
+// exact backend's KNNAxis must agree bit-for-bit with the engine's
+// masked exact scan (accumulate squared terms in ascending j, then one
+// sqrt).
+type AxisSearcher interface {
+	Backend
+	// KNNAxis returns up to k candidates nearest to qaxis in the axis
+	// subspace spanned by axes (original-attribute indices, strictly
+	// ascending not required but each in [0, Dim)).
+	KNNAxis(ctx context.Context, qaxis []float64, axes []int, k int) ([]Candidate, Stats, error)
+}
+
 // registry maps backend names to constructors. Backends self-register in
 // their init functions; the map is effectively read-only afterwards, but
 // the mutex keeps Register safe for tests that add fakes.

@@ -214,6 +214,90 @@ func (b *kmtreeBackend) kmeans(rows []int, rng *rand.Rand) [][]int {
 	return out
 }
 
+// Derive implements Deriver: the child reuses the parent's tree shape and
+// cluster centers and only prunes the leaf member lists to the surviving
+// rows (remapped to child positions), dropping subtrees that lost every
+// point — O(n′ + nodes) instead of a fresh O(n·d) clustering. Centers are
+// therefore the parent's means, not the child's; the traversal order may
+// differ from a fresh build's, but with a Checks budget covering the
+// source both examine every point and return the exact top-k (the
+// property-test regime, per DESIGN.md §5k).
+func (b *kmtreeBackend) Derive(ctx context.Context, parent Backend, child Source, childRows []int) (Backend, error) {
+	p, ok := parent.(*kmtreeBackend)
+	if !ok || p.root == nil {
+		return nil, errors.New("index: kmtree derive needs a built kmtree parent")
+	}
+	if child == nil || child.N() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if child.N() != len(childRows) {
+		return nil, fmt.Errorf("index: child has %d rows, mapping has %d", child.N(), len(childRows))
+	}
+	pn := p.src.N()
+	remap := make([]int, pn)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for t, r := range childRows {
+		if r < 0 || r >= pn {
+			return nil, fmt.Errorf("index: derive row %d outside parent range [0, %d)", r, pn)
+		}
+		remap[r] = t
+	}
+	d := &kmtreeBackend{src: child, opts: p.opts}
+	root, err := d.deriveNode(ctx, p.root, remap)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, errors.New("index: kmtree derive dropped every point")
+	}
+	d.root = root
+	return d, nil
+}
+
+// deriveNode clones a subtree sharing the parent's centers, keeping only
+// leaf members that survive remap; a subtree with no survivors returns
+// nil and is dropped. nodes is recounted on the derived tree.
+func (b *kmtreeBackend) deriveNode(ctx context.Context, n *kmNode, remap []int) (*kmNode, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(n.children) == 0 {
+		var pts []int
+		for _, r := range n.points {
+			if t := remap[r]; t >= 0 {
+				pts = append(pts, t)
+			}
+		}
+		if len(pts) == 0 {
+			return nil, nil
+		}
+		b.nodes++
+		return &kmNode{center: n.center, points: pts}, nil
+	}
+	var kids []*kmNode
+	for _, c := range n.children {
+		kid, err := b.deriveNode(ctx, c, remap)
+		if err != nil {
+			return nil, err
+		}
+		if kid != nil {
+			kids = append(kids, kid)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return nil, nil
+	case 1:
+		// A single surviving child makes the internal node pure overhead;
+		// hoist the child (its center is the tighter bound anyway).
+		return kids[0], nil
+	}
+	b.nodes++
+	return &kmNode{center: n.center, children: kids}, nil
+}
+
 // branchItem is one pending subtree on the search frontier, keyed by the
 // squared distance from the query to its center; seq breaks distance
 // ties in insertion order, which makes the traversal — and therefore the

@@ -66,6 +66,15 @@ func (s *Subspace) AxisAligned() bool {
 	return ok
 }
 
+// AxisIndices exposes the axis decomposition to callers outside the
+// package (the engine's axis-subspace index routing): for an axis-aligned
+// basis it returns the axis index of each basis vector in order; ok is
+// false for any other basis. The returned slice is the memo itself —
+// read-only, do not mutate.
+func (s *Subspace) AxisIndices() (axes []int, ok bool) {
+	return s.axisIndices()
+}
+
 // Identity reports whether s is exactly the full space with the standard
 // basis in natural order — what FullSpace constructs. Projection through
 // an identity subspace is the identity map and its projected distance is

@@ -47,6 +47,7 @@ type debugLive struct {
 	lastEvent  string // type of the most recent event
 	viewsShown int
 	builds     int // index_build events
+	derives    int // index_derive events
 	candGens   int // candidate_gen events
 
 	shardProg map[int]*debugShardState
@@ -119,6 +120,8 @@ func (d *debugWatcher) Emit(e telemetry.Event) {
 		ls.viewsShown++
 	case telemetry.EventIndexBuild:
 		ls.builds++
+	case telemetry.EventIndexDerive:
+		ls.derives++
 	case telemetry.EventCandidateGen:
 		ls.candGens++
 	case telemetry.EventShardScatter:
@@ -180,6 +183,7 @@ func (d *debugWatcher) finish(ls *debugLive, e telemetry.Event) {
 		Err:           e.Err,
 		Shards:        ls.shards,
 		IndexBuilds:   ls.builds,
+		IndexDerives:  ls.derives,
 		CandidateGens: ls.candGens,
 		Stages:        stageCosts(ls.stages),
 	}
@@ -247,6 +251,7 @@ func (d *debugWatcher) snapshot(now time.Time) debugSessionsResponse {
 			Family:        ls.family,
 			ViewsShown:    ls.viewsShown,
 			IndexBuilds:   ls.builds,
+			IndexDerives:  ls.derives,
 			CandidateGens: ls.candGens,
 		}
 		if len(ls.shardProg) > 0 {
@@ -305,6 +310,7 @@ type debugLiveSession struct {
 
 	ViewsShown    int `json:"views_shown"`
 	IndexBuilds   int `json:"index_builds,omitempty"`
+	IndexDerives  int `json:"index_derives,omitempty"`
 	CandidateGens int `json:"candidate_gens,omitempty"`
 	// ShardProgress is the cumulative per-shard gather tally — a shard
 	// whose total creeps ahead of its peers is the straggler forming.
@@ -334,6 +340,7 @@ type debugSessionSummary struct {
 	Err           string    `json:"error,omitempty"`
 	Shards        int       `json:"shards,omitempty"`
 	IndexBuilds   int       `json:"index_builds,omitempty"`
+	IndexDerives  int       `json:"index_derives,omitempty"`
 	CandidateGens int       `json:"candidate_gens,omitempty"`
 	// Stages is the per-stage straggler attribution folded from the
 	// session's scatter spans, most expensive stage first; empty for

@@ -32,6 +32,9 @@ func (b metricsBridge) Emit(e telemetry.Event) {
 		b.m.projectionStage.Observe(e.DurationMS * sec)
 	case telemetry.EventIndexBuild:
 		b.m.indexBuild.Observe(e.DurationMS * sec)
+	case telemetry.EventIndexDerive:
+		b.m.IndexDerives.Add(1)
+		b.m.indexDerive.Observe(e.DurationMS * sec)
 	case telemetry.EventCandidateGen:
 		b.m.candidateGen.Observe(e.DurationMS * sec)
 	case telemetry.EventShardGather:
@@ -93,6 +96,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Histogram("innsearch_batch_search_seconds", "End-to-end duration of /v1/search requests.", m.batchSearch.Snapshot())
 	p.Histogram("innsearch_projection_stage_seconds", "Per-halving-stage cost of the graded projection search.", m.projectionStage.Snapshot())
 	p.Histogram("innsearch_index_build_seconds", "Candidate-generation index build time per view generation.", m.indexBuild.Snapshot())
+	p.Histogram("innsearch_index_derive_seconds", "Candidate-generation index derivation time (child index derived from a parent in O(n')).", m.indexDerive.Snapshot())
 	p.Histogram("innsearch_candidate_gen_seconds", "Candidate-generation query time per nearest-s scan.", m.candidateGen.Snapshot())
 	p.Histogram("innsearch_shard_gather_seconds", "Per-shard partial gather latency across sharded sessions, merged over shard indices.", m.shardGatherMerged().Snapshot())
 

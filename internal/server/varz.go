@@ -45,10 +45,14 @@ type metrics struct {
 	// projectionStage times one halving stage of the graded projection
 	// search — the engine's hot path; its histogram is what makes the
 	// fast-path/exact cost difference visible on a dashboard.
-	// indexBuild and candidateGen time the optional candidate-generation
-	// index layer (core Config.Index): builds per view generation and
-	// KNN queries per nearest-s scan. Sessions without an index backend
-	// never observe into them, so both stay at count 0 by default.
+	// indexBuild, indexDerive and candidateGen time the optional
+	// candidate-generation index layer (core Config.Index): fresh builds
+	// per view generation, O(n′) derivations from a parent index, and KNN
+	// queries per nearest-s scan. Sessions without an index backend never
+	// observe into them, so all three stay at count 0 by default.
+	// IndexDerives counts derivations across hosted sessions (the
+	// histogram's count, kept as a plain counter for quick /varz checks).
+	IndexDerives    atomic.Int64
 	viewLatency     *telemetry.Histogram
 	decisionWait    *telemetry.Histogram
 	kdeBuild        *telemetry.Histogram
@@ -56,6 +60,7 @@ type metrics struct {
 	batchSearch     *telemetry.Histogram
 	projectionStage *telemetry.Histogram
 	indexBuild      *telemetry.Histogram
+	indexDerive     *telemetry.Histogram
 	candidateGen    *telemetry.Histogram
 
 	// shardGather holds one latency histogram per shard index, fed by the
@@ -82,6 +87,7 @@ func newMetrics() *metrics {
 		batchSearch:     telemetry.NewHistogram(machine),
 		projectionStage: telemetry.NewHistogram(machine),
 		indexBuild:      telemetry.NewHistogram(machine),
+		indexDerive:     telemetry.NewHistogram(machine),
 		candidateGen:    telemetry.NewHistogram(machine),
 
 		shardGather:   make(map[int]*telemetry.Histogram),
@@ -209,10 +215,14 @@ type varz struct {
 	// ProjectionStage is the per-halving-stage cost of the graded
 	// projection search across hosted sessions.
 	ProjectionStage latencyVarz `json:"projection_stage"`
-	// IndexBuild and CandidateGen time the optional candidate-generation
-	// index layer; both stay at count 0 unless sessions set an index
-	// backend.
+	// IndexBuild, IndexDerive and CandidateGen time the optional
+	// candidate-generation index layer; all stay at count 0 unless
+	// sessions set an index backend. IndexDerives is the running count of
+	// O(n′) index derivations (child index derived from a parent instead
+	// of rebuilt).
 	IndexBuild   latencyVarz `json:"index_build"`
+	IndexDerive  latencyVarz `json:"index_derive"`
+	IndexDerives int64       `json:"index_derives"`
 	CandidateGen latencyVarz `json:"candidate_gen"`
 	// Shard is the sharded-engine block: the server's default partition
 	// width and the partial-gather latencies the coordinator reported.
@@ -260,6 +270,8 @@ func (m *metrics) snapshot(active int, draining bool, residentBytes int64, poolA
 		BatchSearch:     toLatencyVarz(m.batchSearch.Snapshot()),
 		ProjectionStage: toLatencyVarz(m.projectionStage.Snapshot()),
 		IndexBuild:      toLatencyVarz(m.indexBuild.Snapshot()),
+		IndexDerive:     toLatencyVarz(m.indexDerive.Snapshot()),
+		IndexDerives:    m.IndexDerives.Load(),
 		CandidateGen:    toLatencyVarz(m.candidateGen.Snapshot()),
 		Shard: shardVarz{
 			DefaultShards: defaultShards,

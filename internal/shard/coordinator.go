@@ -356,6 +356,11 @@ type IndexBuild struct {
 	N int
 	// Hit reports a cache reuse (no build ran).
 	Hit bool
+	// Derived reports that the shard's backend was derived from the
+	// previous view's shard (index.Deriver) instead of built fresh;
+	// ParentN is that parent shard's row count.
+	Derived bool
+	ParentN int
 	// DurationMS is the build (or cache wait) wall time.
 	DurationMS float64
 }
@@ -364,9 +369,22 @@ type IndexBuild struct {
 // them while the view is unchanged and sharing builds across sessions
 // through the cache when one is configured. It returns per-shard build
 // records (nil when the shard set was already in place).
+//
+// When v is a pure row narrowing of the view the current shard set was
+// built over and the backend can derive (index.Deriver), the new shards
+// inherit the parent partition's boundaries: child rows are grouped by
+// which parent shard window their parent position falls into, so every
+// child shard derives from exactly one parent shard in O(n′). The child
+// windows are contiguous (prune rows are ascending) but possibly uneven;
+// parent shards that lost every row produce no child shard. Only the
+// index shard set uses inherited boundaries — every other stage keeps
+// its fresh ShardBounds cut.
 func (c *Coordinator) EnsureIndex(ctx context.Context, v *dataset.View, cfg index.Config) ([]IndexBuild, error) {
 	if c.idxView == v && c.idxShards != nil {
 		return nil, nil
+	}
+	if builds, ok, err := c.deriveIndex(ctx, v, cfg); ok || err != nil {
+		return builds, err
 	}
 	n := v.N()
 	shards := c.shardsFor(v, nil, n)
@@ -406,6 +424,112 @@ func (c *Coordinator) EnsureIndex(ctx context.Context, v *dataset.View, cfg inde
 	return builds, nil
 }
 
+// deriveIndex attempts the inherited-boundary derivation described on
+// EnsureIndex. ok reports whether it applied; when false (no parent shard
+// set, not a row narrowing, rows not ascending, or a backend that cannot
+// derive) the caller builds fresh.
+func (c *Coordinator) deriveIndex(ctx context.Context, v *dataset.View, cfg index.Config) ([]IndexBuild, bool, error) {
+	if c.idxView == nil || c.idxShards == nil {
+		return nil, false, nil
+	}
+	rows, ok := dataset.RowsBetween(c.idxView, v)
+	if !ok || rows == nil {
+		return nil, false, nil
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] <= rows[i-1] {
+			return nil, false, nil // not an ascending narrowing; rebuild
+		}
+	}
+	parents := make([]*Local, 0, len(c.idxShards))
+	for _, s := range c.idxShards {
+		l, isLocal := s.(*Local)
+		if !isLocal || l.backend == nil {
+			return nil, false, nil
+		}
+		if _, canDerive := l.backend.(index.Deriver); !canDerive {
+			return nil, false, nil
+		}
+		parents = append(parents, l)
+	}
+	parentView := c.idxView
+	// Partition child rows by parent shard window: contiguous because the
+	// rows are ascending and the parent windows tile [0, parentN).
+	type window struct {
+		parent   *Local
+		clo, chi int // child row window
+	}
+	var wins []window
+	t := 0
+	for _, p := range parents {
+		plo, phi := p.Rows()
+		clo := t
+		for t < len(rows) && rows[t] < phi {
+			if rows[t] < plo {
+				return nil, false, nil // row behind its window; malformed chain
+			}
+			t++
+		}
+		if t > clo {
+			wins = append(wins, window{parent: p, clo: clo, chi: t})
+		}
+	}
+	if t != len(rows) || len(wins) == 0 {
+		return nil, false, nil // rows outside every parent window
+	}
+	shards := make([]Shard, len(wins))
+	for i, w := range wins {
+		shards[i] = NewLocal(i, w.clo, w.chi, v, nil)
+	}
+	builds := make([]IndexBuild, len(shards))
+	err := c.scatter(ctx, "index/build", shards, v.N(), func(ctx context.Context, s Shard) error {
+		w := wins[s.ID()]
+		l := s.(*Local)
+		plo, phi := w.parent.Rows()
+		der := w.parent.backend.(index.Deriver)
+		// Window-local mapping: child row t of this shard sits at parent
+		// window position rows[clo+t]−plo.
+		childRows := make([]int, w.chi-w.clo)
+		for i := range childRows {
+			childRows[i] = rows[w.clo+i] - plo
+		}
+		child := windowSource{v: v, lo: w.clo, hi: w.chi}
+		start := time.Now()
+		hit := false
+		if c.cache != nil {
+			key := index.CacheKey{Source: v, Shard: s.ID(), Shards: len(shards), Name: cfg.Name, Options: cfg.Options, Parent: parentView}
+			b, h, err := c.cache.Get(ctx, key, func(ctx context.Context) (index.Backend, error) {
+				return der.Derive(ctx, w.parent.backend, child, childRows)
+			})
+			if err != nil {
+				return err
+			}
+			hit = h
+			l.SetBackend(b)
+		} else {
+			b, err := der.Derive(ctx, w.parent.backend, child, childRows)
+			if err != nil {
+				return err
+			}
+			l.SetBackend(b)
+		}
+		builds[s.ID()] = IndexBuild{
+			Shard:      s.ID(),
+			N:          w.chi - w.clo,
+			Hit:        hit,
+			Derived:    true,
+			ParentN:    phi - plo,
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	c.idxView, c.idxShards = v, shards
+	return builds, true, nil
+}
+
 // Candidates scatter-gathers the candidate-generation stage over the
 // backends EnsureIndex built: per-shard KNN with globally translated
 // positions, merged under (dist, pos) and truncated to k. Per-shard query
@@ -419,6 +543,46 @@ func (c *Coordinator) Candidates(ctx context.Context, v *dataset.View, q linalg.
 	stats := make([]index.Stats, len(shards))
 	err := c.scatter(ctx, "candidates", shards, v.N(), func(ctx context.Context, s Shard) error {
 		cs, st, err := s.Candidates(ctx, q, k)
+		if err != nil {
+			return err
+		}
+		parts[s.ID()], stats[s.ID()] = cs, st
+		return nil
+	})
+	if err != nil {
+		return nil, index.Stats{}, err
+	}
+	var all []index.Candidate
+	var total index.Stats
+	for i, p := range parts {
+		all = append(all, p...)
+		total.Add(stats[i])
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist != all[b].Dist {
+			return all[a].Dist < all[b].Dist
+		}
+		return all[a].Pos < all[b].Pos
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, total, nil
+}
+
+// CandidatesAxis scatter-gathers the axis-subspace candidate stage over
+// the backends EnsureIndex built: per-shard KNNAxis with globally
+// translated positions, merged under (dist, pos) and truncated to k —
+// the same merge as Candidates.
+func (c *Coordinator) CandidatesAxis(ctx context.Context, v *dataset.View, qaxis []float64, axes []int, k int) ([]index.Candidate, index.Stats, error) {
+	if c.idxView != v || c.idxShards == nil {
+		return nil, index.Stats{}, fmt.Errorf("shard: CandidatesAxis before EnsureIndex for this view")
+	}
+	shards := c.idxShards
+	parts := make([][]index.Candidate, len(shards))
+	stats := make([]index.Stats, len(shards))
+	err := c.scatter(ctx, "candidates", shards, v.N(), func(ctx context.Context, s Shard) error {
+		cs, st, err := s.CandidatesAxis(ctx, qaxis, axes, k)
 		if err != nil {
 			return err
 		}

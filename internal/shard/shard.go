@@ -88,9 +88,12 @@ type Shard interface {
 
 	// BuildIndex (re)builds the shard's candidate-generation backend over
 	// its rows; Candidates queries it for up to k candidates with
-	// positions global to the stage input.
+	// positions global to the stage input. CandidatesAxis is the
+	// axis-subspace variant (index.AxisSearcher), erroring when the
+	// shard's backend does not support axis masks.
 	BuildIndex(ctx context.Context, cfg index.Config) error
 	Candidates(ctx context.Context, q linalg.Vector, k int) ([]index.Candidate, index.Stats, error)
+	CandidatesAxis(ctx context.Context, qaxis []float64, axes []int, k int) ([]index.Candidate, index.Stats, error)
 }
 
 // cancelStride is how many rows Local's sweep kernels process between
@@ -259,6 +262,26 @@ func (l *Local) Candidates(ctx context.Context, q linalg.Vector, k int) ([]index
 		return nil, index.Stats{}, fmt.Errorf("shard %d: candidates before BuildIndex", l.id)
 	}
 	cands, st, err := l.backend.KNN(ctx, q, k)
+	if err != nil {
+		return nil, st, err
+	}
+	for i := range cands {
+		cands[i].Pos += l.lo
+	}
+	return cands, st, nil
+}
+
+// CandidatesAxis implements Shard: the backend's KNNAxis partial with
+// positions translated to stage-global, like Candidates.
+func (l *Local) CandidatesAxis(ctx context.Context, qaxis []float64, axes []int, k int) ([]index.Candidate, index.Stats, error) {
+	if l.backend == nil {
+		return nil, index.Stats{}, fmt.Errorf("shard %d: candidates before BuildIndex", l.id)
+	}
+	as, ok := l.backend.(index.AxisSearcher)
+	if !ok {
+		return nil, index.Stats{}, fmt.Errorf("shard %d: backend %s cannot serve axis scans", l.id, l.backend.Name())
+	}
+	cands, st, err := as.KNNAxis(ctx, qaxis, axes, k)
 	if err != nil {
 		return nil, st, err
 	}

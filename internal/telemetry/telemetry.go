@@ -71,6 +71,12 @@ const (
 	// was built over. Sessions rebuild lazily whenever their view
 	// advances, so one session emits one per view generation consulted.
 	EventIndexBuild EventType = "index_build"
+	// EventIndexDerive times one incremental index derivation
+	// (index.Deriver): the child backend over N rows was filtered from a
+	// parent built over ParentN rows instead of rebuilt — the cheap path
+	// sessions take when their view narrows. Backend names the backend;
+	// the span nests under the stage span like index_build.
+	EventIndexDerive EventType = "index_derive"
 	// EventCandidateGen times one candidate-generation query against the
 	// built index: Picked is the candidate count returned, Scanned and
 	// Refined the backend's work counters (see index.Stats).
@@ -120,6 +126,9 @@ type Event struct {
 	// N and Dim describe the data in play when the event fired.
 	N   int `json:"n,omitempty"`
 	Dim int `json:"dim,omitempty"`
+	// ParentN is the parent index's row count on an index_derive event —
+	// the size the derivation avoided re-scanning.
+	ParentN int `json:"parent_n,omitempty"`
 	// Workers is the session's configured worker count (session_start).
 	Workers int `json:"workers,omitempty"`
 	// Family is the projection family of a projection/view event

@@ -210,9 +210,6 @@ func BenchmarkVAFileSearch5000x20(b *testing.B) {
 	}
 }
 
-// Sinks defeat dead-code elimination in the allocation probes below.
-var sinkLower, sinkUpper float64
-
 // TestBuildAllocsIndependentOfRows pins the zero-copy build contract: rows
 // are read in place through the source accessor, so the only allocations
 // are the boundary tables and the packed cell array — a per-dimension
@@ -233,23 +230,27 @@ func TestBuildAllocsIndependentOfRows(t *testing.T) {
 	}
 }
 
-// TestBoundsForAllocFree asserts the per-row approximation scan allocates
-// nothing — the property that keeps phase 1 of a query at two slices
-// total regardless of N.
-func TestBoundsForAllocFree(t *testing.T) {
-	ds := uniformDS(t, 512, 24, 10)
-	idx, err := Build(ds, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	q := ds.PointCopy(0)
-	allocs := testing.AllocsPerRun(100, func() {
-		for i := 0; i < 64; i++ {
-			sinkLower, sinkUpper = idx.boundsFor(i, q)
+// TestSearchAllocsIndependentOfRows asserts the per-row approximation
+// scan allocates nothing: a query pays for its lookup tables, the bounds
+// array, and the candidate/result buffers, a count that must not grow
+// with the row count.
+func TestSearchAllocsIndependentOfRows(t *testing.T) {
+	measure := func(n int) float64 {
+		ds := uniformDS(t, n, 24, 10)
+		idx, err := Build(ds, 6)
+		if err != nil {
+			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Errorf("boundsFor allocated %v times per 64-row block, want 0", allocs)
+		q := ds.PointCopy(0)
+		return testing.AllocsPerRun(20, func() {
+			if _, _, err := idx.Search(q, 10); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a, b := measure(512), measure(4096)
+	if b > a+6 {
+		t.Errorf("search allocations grew with rows: %v at n=512 vs %v at n=4096", a, b)
 	}
 }
 
